@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one paper artifact (table/figure)
+or ablation at a CI-friendly scale — traces are truncated and the
+benchmark subset reduced, because the cycle-level engine is pure Python —
+and asserts the paper's qualitative *shape* on the result.  EXPERIMENTS.md
+records a full-scale run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import ProcessorConfig
+from repro.programs.suite import benchmark_suite
+
+#: Workload scale for benchmark runs.
+BENCH_TRACE_LIMIT = 2500
+BENCH_BENCHMARKS = ["compress", "m88ksim", "perl"]
+BENCH_CONFIGS = (
+    ProcessorConfig(issue_width=4, window_size=24),
+    ProcessorConfig(issue_width=8, window_size=48),
+)
+
+
+@pytest.fixture(scope="session")
+def bench_traces():
+    """Kernel traces shared by every benchmark module."""
+    return {
+        spec.name: spec.trace(BENCH_TRACE_LIMIT)
+        for spec in benchmark_suite()
+        if spec.name in BENCH_BENCHMARKS
+    }

@@ -1,0 +1,71 @@
+"""ABL-R / ABL-CS / ABL-W: resolution policies, confidence schemes, and
+width scaling."""
+
+from repro.harness.render import render_table
+from repro.harness.sweeps import (
+    confidence_scheme_sweep,
+    resolution_policy_sweep,
+    width_scaling_sweep,
+)
+
+from conftest import BENCH_BENCHMARKS, BENCH_TRACE_LIMIT
+
+
+def _print(points, title):
+    print()
+    print(render_table(
+        ("Point", "HM Speedup"),
+        [(p.label, p.speedup) for p in points],
+        title=title,
+    ))
+
+
+def test_bench_resolution_policies(benchmark):
+    points = benchmark.pedantic(
+        lambda: resolution_policy_sweep(
+            max_instructions=BENCH_TRACE_LIMIT, benchmarks=BENCH_BENCHMARKS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print(points, "ABL-R: branch/memory resolution policies")
+    by_label = {p.label: p.speedup for p in points}
+    # dropping the network wait never hurts under this model's optimism
+    # (branch outcomes still only trusted once inputs are valid)
+    assert by_label["speculative-both"] >= by_label["valid-only (paper)"] - 0.02
+    assert by_label["speculative-branches"] >= by_label["valid-only (paper)"] - 0.02
+
+
+def test_bench_confidence_schemes(benchmark):
+    points = benchmark.pedantic(
+        lambda: confidence_scheme_sweep(
+            max_instructions=BENCH_TRACE_LIMIT, benchmarks=BENCH_BENCHMARKS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print(points, "ABL-CS: confidence estimation schemes")
+    by_label = {p.label: p for p in points}
+    assert by_label["oracle"].detail["_misspeculation_rate"] == 0.0
+    # the resetting scheme is the most conservative realistic estimator
+    assert (
+        by_label["resetting (paper)"].detail["_misspeculation_rate"]
+        <= by_label["saturating"].detail["_misspeculation_rate"] + 1e-9
+    )
+
+
+def test_bench_width_scaling(benchmark):
+    points = benchmark.pedantic(
+        lambda: width_scaling_sweep(
+            max_instructions=BENCH_TRACE_LIMIT,
+            benchmarks=BENCH_BENCHMARKS,
+            widths=(2, 4, 8, 16),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print(points, "ABL-W: width/window scaling")
+    speedups = [p.speedup for p in points]
+    # the paper's trend: wider machines benefit more (allow small noise)
+    assert speedups[-1] >= speedups[0] - 0.01
+    assert max(speedups) == max(speedups[-2:], default=speedups[-1])

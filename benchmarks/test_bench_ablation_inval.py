@@ -1,0 +1,33 @@
+"""ABL-I: Section 3.1 invalidation-scheme comparison."""
+
+from repro.harness.render import render_table
+from repro.harness.sweeps import invalidation_scheme_sweep
+
+from conftest import BENCH_BENCHMARKS, BENCH_TRACE_LIMIT
+
+
+def test_bench_invalidation_schemes(benchmark):
+    points = benchmark.pedantic(
+        lambda: invalidation_scheme_sweep(
+            max_instructions=BENCH_TRACE_LIMIT, benchmarks=BENCH_BENCHMARKS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(
+        ("Scheme", "HM Speedup"),
+        [(p.label, p.speedup) for p in points],
+        title="ABL-I: invalidation schemes (great latencies, real confidence)",
+    ))
+    by_label = {p.label: p.speedup for p in points}
+    # With realistic confidence misspeculation is rare, so the selective
+    # schemes are nearly indistinguishable — the paper's conclusion that
+    # "when misspeculation is infrequent slow invalidation may be
+    # acceptable".
+    assert abs(
+        by_label["selective-parallel"] - by_label["selective-hierarchical"]
+    ) < 0.03
+    # Complete invalidation has "smaller but still positive potential".
+    assert by_label["complete"] <= by_label["selective-parallel"] + 1e-9
+    assert by_label["complete"] > 0.9

@@ -1,0 +1,51 @@
+"""ABL-L: per-latency-variable sensitivity around the great model.
+
+Reproduces the paper's core conclusion: performance has *non-uniform*
+sensitivity to the latency events — verification latency is critical,
+while (under realistic confidence) invalidation and reissue latency barely
+matter.
+"""
+
+from repro.harness.render import render_table
+from repro.harness.sweeps import latency_sensitivity_sweep
+
+from conftest import BENCH_BENCHMARKS, BENCH_TRACE_LIMIT
+
+
+def test_bench_latency_sensitivity(benchmark):
+    points = benchmark.pedantic(
+        lambda: latency_sensitivity_sweep(
+            max_instructions=BENCH_TRACE_LIMIT,
+            benchmarks=BENCH_BENCHMARKS,
+            values=(0, 1, 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(
+        ("Variable setting", "HM Speedup"),
+        [(p.label, p.speedup) for p in points],
+        title="ABL-L: latency sensitivity (around great, I/R)",
+    ))
+    by_label = {p.label: p.speedup for p in points}
+
+    def drop(prefix):
+        return by_label[f"{prefix}=0"] - by_label[f"{prefix}=2"]
+
+    verification_drop = drop("Exec-Eq-Verification")
+    invalidation_drop = drop("Exec-Eq-Invalidation")
+    reissue_drop = drop("Invalidation-Reissue")
+    # fast verification is essential...
+    assert verification_drop > 0.01
+    # ...but with rare misspeculation, slow invalidation/reissue is
+    # acceptable (the paper's headline sensitivity asymmetry)
+    assert verification_drop > invalidation_drop + 0.005
+    assert verification_drop > reissue_drop + 0.005
+    # each latency is monotone: more cycles never help
+    for prefix in (
+        "Exec-Eq-Verification",
+        "Verification-Branch",
+        "Verification-FreeRes",
+    ):
+        assert by_label[f"{prefix}=0"] >= by_label[f"{prefix}=2"] - 0.01

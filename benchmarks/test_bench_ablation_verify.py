@@ -1,0 +1,29 @@
+"""ABL-V: Section 3.2 verification-scheme comparison."""
+
+from repro.harness.render import render_table
+from repro.harness.sweeps import verification_scheme_sweep
+
+from conftest import BENCH_BENCHMARKS, BENCH_TRACE_LIMIT
+
+
+def test_bench_verification_schemes(benchmark):
+    points = benchmark.pedantic(
+        lambda: verification_scheme_sweep(
+            max_instructions=BENCH_TRACE_LIMIT, benchmarks=BENCH_BENCHMARKS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(
+        ("Scheme", "HM Speedup"),
+        [(p.label, p.speedup) for p in points],
+        title="ABL-V: verification schemes (great latencies)",
+    ))
+    by_label = {p.label: p.speedup for p in points}
+    # the flattened network is the highest-potential scheme (Section 3.2)
+    assert by_label["parallel-network"] >= by_label["hierarchical"] - 1e-9
+    assert by_label["parallel-network"] >= by_label["retirement-based"] - 1e-9
+    # retirement-based verification suffers its pitfall (a): only the w
+    # oldest instructions can validate, holding resources needlessly
+    assert by_label["retirement-based"] <= by_label["hierarchical"]

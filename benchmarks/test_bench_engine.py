@@ -1,0 +1,75 @@
+"""Engine-throughput microbenchmarks: simulation speed itself.
+
+These are classic pytest-benchmark measurements (multiple rounds) of the
+library's hot paths, so performance regressions in the simulator are
+visible independently of the paper-artifact regenerations.
+"""
+
+from repro.core.model import GREAT_MODEL
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import run_baseline, run_trace
+from repro.trace.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.vp.context import ContextValuePredictor
+
+
+def _workload():
+    return generate_synthetic_trace(
+        SyntheticTraceConfig(length=2000, predictable_fraction=0.7, seed=5)
+    )
+
+
+def test_bench_baseline_engine_throughput(benchmark):
+    trace = _workload()
+    config = ProcessorConfig(issue_width=8, window_size=48)
+    result = benchmark(lambda: run_baseline(trace, config))
+    assert result.counters.retired == len(trace)
+
+
+def test_bench_speculative_engine_throughput(benchmark):
+    trace = _workload()
+    config = ProcessorConfig(issue_width=8, window_size=48)
+    result = benchmark(
+        lambda: run_trace(
+            trace, config, GREAT_MODEL, confidence="R", update_timing="D"
+        )
+    )
+    assert result.counters.retired == len(trace)
+
+
+def test_bench_predictor_lookup_train(benchmark):
+    predictor = ContextValuePredictor()
+    values = [(0x1000 + 8 * (i % 64), (i * 7) % 1000) for i in range(512)]
+
+    def run():
+        for pc, value in values:
+            predictor.predict(pc)
+            predictor.train(pc, value)
+
+    benchmark(run)
+
+
+def test_bench_functional_simulator(benchmark):
+    from repro.programs.suite import kernel
+
+    spec = kernel("compress")
+
+    def run():
+        return spec.trace(max_instructions=4000)
+
+    trace = benchmark(run)
+    assert len(trace) >= 4000 or trace[-1].opcode.mnemonic == "halt"
+
+
+def test_bench_cache_access(benchmark):
+    from repro.mem.hierarchy import make_paper_hierarchy
+
+    hierarchy = make_paper_hierarchy()
+    addresses = [(i * 1664525 + 13) % (1 << 22) for i in range(2048)]
+
+    def run():
+        total = 0
+        for address in addresses:
+            total += hierarchy.data_access(address, is_write=False)
+        return total
+
+    assert benchmark(run) > 0

@@ -1,0 +1,18 @@
+"""FIG1: regenerate the Figure 1 pipeline-execution example."""
+
+from repro.harness.figure1 import render_figure1, run_figure1
+
+
+def test_bench_figure1(benchmark):
+    scenarios = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    print()
+    print(render_figure1(scenarios))
+    cycles = {s.label: s.cycles for s in scenarios}
+    # the paper's reference values
+    assert cycles["base"] == 5
+    assert cycles["super/correct"] == 3
+    assert cycles["great/correct"] == 3
+    assert cycles["good/correct"] == 4
+    assert cycles["super/incorrect"] == 5
+    assert cycles["super/incorrect"] < cycles["great/incorrect"]
+    assert cycles["great/incorrect"] < cycles["good/incorrect"] == 7

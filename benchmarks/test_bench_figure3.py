@@ -1,0 +1,37 @@
+"""FIG3: regenerate the Figure 3 model-speedup sweep (reduced scale)."""
+
+from repro.harness.figure3 import figure3_table, run_figure3
+
+from conftest import BENCH_BENCHMARKS, BENCH_CONFIGS, BENCH_TRACE_LIMIT
+
+
+def test_bench_figure3(benchmark):
+    cells = benchmark.pedantic(
+        lambda: run_figure3(
+            max_instructions=BENCH_TRACE_LIMIT,
+            benchmarks=BENCH_BENCHMARKS,
+            configs=BENCH_CONFIGS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure3_table(cells))
+    grid = {(c.config_label, c.setting, c.model_name): c.speedup for c in cells}
+
+    def s(config, setting, model):
+        return grid[(config, setting, model)]
+
+    for config in ("4/24", "8/48"):
+        for setting in ("D/R", "I/R", "D/O", "I/O"):
+            # (a) good significantly worse than great and super
+            assert s(config, setting, "good") <= s(config, setting, "super")
+            assert s(config, setting, "good") <= s(config, setting, "great") + 0.01
+        # (c) confidence moves performance more than update timing:
+        # real -> oracle gain exceeds delayed -> immediate gain (super model)
+        conf_gain = s(config, "I/O", "super") - s(config, "I/R", "super")
+        timing_gain = s(config, "I/R", "super") - s(config, "D/R", "super")
+        assert conf_gain >= timing_gain - 0.02
+    # benefits grow with width/window (paper: wider processors expose more
+    # dependences)
+    assert s("8/48", "I/O", "super") >= s("4/24", "I/O", "super") - 0.02

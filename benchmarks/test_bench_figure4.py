@@ -1,0 +1,38 @@
+"""FIG4: regenerate the Figure 4 prediction-accuracy breakdown."""
+
+from repro.harness.figure4 import render_figure4, run_figure4
+
+from conftest import BENCH_BENCHMARKS, BENCH_CONFIGS, BENCH_TRACE_LIMIT
+
+
+def test_bench_figure4(benchmark):
+    cells = benchmark.pedantic(
+        lambda: run_figure4(
+            max_instructions=BENCH_TRACE_LIMIT,
+            benchmarks=BENCH_BENCHMARKS,
+            configs=BENCH_CONFIGS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure4(cells))
+    by_key = {(c.config_label, c.timing): c.breakdown for c in cells}
+    for (config, timing), breakdown in by_key.items():
+        # the paper's headline shape: the resetting-counter scheme keeps
+        # misspeculation exposure (IH) tiny...
+        assert breakdown.ih < 0.02, (config, timing)
+        # ...at the cost of a large correct-but-low-confidence set
+        assert breakdown.cl > 0.10, (config, timing)
+        # fractions are a partition
+        total = breakdown.ch + breakdown.cl + breakdown.ih + breakdown.il
+        assert abs(total - 1.0) < 1e-9
+    # immediate update predicts no worse than delayed at equal geometry
+    for config in ("4/24", "8/48"):
+        assert (
+            by_key[(config, "I")].correct >= by_key[(config, "D")].correct - 0.02
+        )
+    # delayed updating degrades with larger width/window (paper Section 6)
+    assert (
+        by_key[("8/48", "D")].correct <= by_key[("4/24", "D")].correct + 0.02
+    )

@@ -1,0 +1,31 @@
+"""ABL-P: value-predictor comparison under the great model (extension)."""
+
+from repro.harness.render import render_table
+from repro.harness.sweeps import predictor_sweep
+
+from conftest import BENCH_BENCHMARKS, BENCH_TRACE_LIMIT
+
+
+def test_bench_predictor_comparison(benchmark):
+    points = benchmark.pedantic(
+        lambda: predictor_sweep(
+            max_instructions=BENCH_TRACE_LIMIT, benchmarks=BENCH_BENCHMARKS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(
+        ("Predictor", "HM Speedup"),
+        [(p.label, p.speedup) for p in points],
+        title="ABL-P: value predictors (great model, I/R)",
+    ))
+    by_label = {p.label: p.speedup for p in points}
+    # the hybrid should not lose to its weakest component
+    assert by_label["hybrid"] >= min(
+        by_label["context"], by_label["stride"]
+    ) - 0.02
+    # every predictor keeps the machine at or above ~base performance under
+    # realistic confidence
+    for label, value in by_label.items():
+        assert value > 0.93, label

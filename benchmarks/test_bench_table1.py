@@ -1,0 +1,21 @@
+"""TAB1: regenerate Table 1 (benchmark characteristics)."""
+
+from repro.harness.table1 import render_table1, run_table1
+
+
+def test_bench_table1(benchmark):
+    # Full traces: Table 1 only needs the functional simulator, which is
+    # fast enough to run every kernel to completion.
+    rows = benchmark.pedantic(
+        lambda: run_table1(max_instructions=None), rounds=1, iterations=1
+    )
+    assert len(rows) == 8
+    print()
+    print(render_table1(rows))
+    # shape: every kernel lands near its paper predicted-% value
+    for row in rows:
+        assert abs(row.predicted_pct - row.paper_predicted_pct) < 7.0, row
+    # ijpeg is the most predictable, xlisp among the least (paper order)
+    by_name = {r.benchmark: r.predicted_pct for r in rows}
+    assert by_name["ijpeg"] == max(by_name.values())
+    assert by_name["xlisp"] <= by_name["ijpeg"] - 10

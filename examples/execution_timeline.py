@@ -1,0 +1,40 @@
+"""Visualize execution behaviour over time: base vs the three models.
+
+Samples IPC and instruction-window occupancy through a kernel run and
+renders sparkline timelines — making visible *where* value speculation
+wins (phases with predictable dependence chains) and where the good
+model's verification latency throttles retirement.
+
+Run:  python examples/execution_timeline.py
+"""
+
+from repro import GOOD_MODEL, GREAT_MODEL, SUPER_MODEL, ProcessorConfig, kernel
+from repro.engine.pipeline import PipelineSimulator
+from repro.viz import render_ipc_comparison, render_timeline
+from repro.vp.update_timing import UpdateTiming
+
+
+def main() -> None:
+    spec = kernel("m88ksim")
+    trace = spec.trace(max_instructions=12_000)
+    config = ProcessorConfig(issue_width=8, window_size=48, sample_interval=50)
+
+    runs = {}
+    base = PipelineSimulator(trace, config)
+    base.run()
+    runs["base"] = base.samples
+    for model in (SUPER_MODEL, GREAT_MODEL, GOOD_MODEL):
+        sim = PipelineSimulator(
+            trace, config, model, update_timing=UpdateTiming.IMMEDIATE
+        )
+        sim.run()
+        runs[model.name] = sim.samples
+
+    print(f"{spec.name}: IPC over time (50-cycle samples)\n")
+    print(render_ipc_comparison(runs))
+    print()
+    print(render_timeline(runs["great"], label="great model, detail:"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Isolated behaviours: what value speculation can and cannot break.
+
+Runs the parameterized micro-kernels — each isolating one dependence
+pattern — under the super model with oracle confidence (the upper bound)
+and prints what prediction buys for each:
+
+* ``reduction``        — a non-repeating accumulator chain: VP-immune,
+* ``periodic_chain``   — a predictable producer feeding a chain: VP's
+                         home turf,
+* ``pointer_chase``    — constant pointers: serial loads parallelize,
+* ``streaming``        — repeating load values: loads stop gating,
+* ``fib``              — recursion with leaf-value locality.
+
+Run:  python examples/microbenchmarks.py
+"""
+
+from repro import SUPER_MODEL, ProcessorConfig, run_baseline, run_trace, trace_program
+from repro.programs import micro_kernel
+
+WORKLOADS = {
+    "reduction": dict(n=400),
+    "periodic_chain": dict(iterations=150, chain_ops=4),
+    "pointer_chase": dict(nodes=24, iterations=20),
+    "streaming": dict(n=48, passes=5),
+    "fib": dict(n=12),
+}
+
+
+def main() -> None:
+    config = ProcessorConfig(issue_width=8, window_size=48)
+    print(f"{'kernel':16s} {'instrs':>7s} {'base':>6s} {'VP':>6s} "
+          f"{'speedup':>8s} {'pred.acc':>9s}")
+    for name, params in WORKLOADS.items():
+        __, trace = trace_program(micro_kernel(name, **params),
+                                  max_instructions=25_000)
+        base = run_baseline(trace, config)
+        vp = run_trace(trace, config, SUPER_MODEL, confidence="oracle",
+                       update_timing="I")
+        print(
+            f"{name:16s} {len(trace):7d} {base.cycles:6d} {vp.cycles:6d} "
+            f"{base.cycles / vp.cycles:8.3f} "
+            f"{vp.counters.prediction_accuracy:9.1%}"
+        )
+    print("\nreduction's chain never repeats, so no predictor can break it;")
+    print("every other kernel has predictable values on its critical path.")
+
+
+if __name__ == "__main__":
+    main()

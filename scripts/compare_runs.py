@@ -1,0 +1,67 @@
+"""Compare two full-results JSON files (regression diffing).
+
+Usage:  python scripts/compare_runs.py old.json new.json [--threshold 0.01]
+
+Prints per-cell Figure 3 speedup deltas exceeding the threshold and the
+Figure 4 accuracy drift, exiting nonzero when anything moved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _grid(results: dict) -> dict:
+    return {
+        (c["config"], c["setting"], c["model"]): c["speedup"]
+        for c in results.get("figure3", [])
+    }
+
+
+def compare(old: dict, new: dict, threshold: float) -> list[str]:
+    """Return human-readable difference lines exceeding ``threshold``."""
+    diffs: list[str] = []
+    old_grid, new_grid = _grid(old), _grid(new)
+    for key in sorted(set(old_grid) | set(new_grid)):
+        a, b = old_grid.get(key), new_grid.get(key)
+        if a is None or b is None:
+            diffs.append(f"figure3 {key}: only in {'new' if a is None else 'old'}")
+        elif abs(a - b) > threshold:
+            diffs.append(f"figure3 {key}: {a:.4f} -> {b:.4f} ({b - a:+.4f})")
+    old_f4 = {(c["config"], c["timing"]): c for c in old.get("figure4", [])}
+    new_f4 = {(c["config"], c["timing"]): c for c in new.get("figure4", [])}
+    for key in sorted(set(old_f4) | set(new_f4)):
+        a, b = old_f4.get(key), new_f4.get(key)
+        if a is None or b is None:
+            diffs.append(f"figure4 {key}: only in {'new' if a is None else 'old'}")
+            continue
+        for field in ("CH", "CL", "IH", "IL"):
+            if abs(a[field] - b[field]) > threshold:
+                diffs.append(
+                    f"figure4 {key} {field}: {a[field]:.4f} -> {b[field]:.4f}"
+                )
+    return diffs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.01)
+    args = parser.parse_args()
+    old = json.loads(Path(args.old).read_text())
+    new = json.loads(Path(args.new).read_text())
+    diffs = compare(old, new, args.threshold)
+    if not diffs:
+        print(f"no differences above {args.threshold}")
+        return 0
+    for line in diffs:
+        print(line)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Render the reproduction report from a full-results JSON.
+
+Usage:  python scripts/make_report.py [results/full_results.json] [-o REPORT.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.harness.report import render_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "results", nargs="?", default="results/full_results.json"
+    )
+    parser.add_argument("-o", "--out", default=None)
+    args = parser.parse_args()
+    results = json.loads(Path(args.results).read_text())
+    report = render_report(results)
+    if args.out:
+        Path(args.out).write_text(report + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline evaluation environment has setuptools but not ``wheel``, so the
+PEP-517 editable path (``pip install -e .``) cannot build a wheel.  This shim
+lets ``python setup.py develop`` install the package in editable mode with no
+network access.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

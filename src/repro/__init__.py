@@ -1,0 +1,104 @@
+"""repro — a reproduction of *Modeling Value Speculation* (Sazeides, HPCA 2002).
+
+The package provides, end to end:
+
+* the paper's **speculative-execution model** — model variables and latency
+  variables with the named **super/great/good** instances (:mod:`repro.core`);
+* a cycle-level **out-of-order timing simulator** with a unified instruction
+  window, gshare branch prediction, the paper's cache hierarchy, a
+  load/store queue, wrong-path modeling, and full value-speculation timing
+  (:mod:`repro.engine`);
+* the **context-based value predictor** with realistic/oracle confidence and
+  immediate/delayed update timing (:mod:`repro.vp`);
+* a workload substrate — a small RISC ISA, assembler, functional simulator
+  and eight SPECint95 stand-in kernels (:mod:`repro.isa`, :mod:`repro.asm`,
+  :mod:`repro.func`, :mod:`repro.programs`, :mod:`repro.trace`);
+* an **experiment harness** regenerating every table and figure in the
+  paper's evaluation (:mod:`repro.harness`), runnable via ``python -m repro``.
+
+Quickstart::
+
+    from repro import (
+        GREAT_MODEL, ProcessorConfig, kernel, run_baseline, run_trace,
+    )
+
+    trace = kernel("m88ksim").trace(max_instructions=10_000)
+    config = ProcessorConfig(issue_width=8, window_size=48)
+    base = run_baseline(trace, config)
+    vp = run_trace(trace, config, GREAT_MODEL, confidence="real",
+                   update_timing="D")
+    print("speedup:", base.cycles / vp.cycles)
+"""
+
+from repro.core import (
+    GOOD_MODEL,
+    GREAT_MODEL,
+    SUPER_MODEL,
+    LatencyModel,
+    ModelVariables,
+    SpeculativeExecutionModel,
+    ValueState,
+    named_models,
+)
+from repro.engine import (
+    PAPER_CONFIGS,
+    PipelineSimulator,
+    ProcessorConfig,
+    SimulationResult,
+    paper_config,
+    run_baseline,
+    run_speedup,
+    run_trace,
+)
+from repro.programs import KernelSpec, benchmark_suite, kernel, kernel_names
+from repro.trace import TraceRecord, capture_trace, compute_stats, trace_program
+from repro.vp import (
+    ContextValuePredictor,
+    HybridPredictor,
+    LastValuePredictor,
+    OracleConfidence,
+    ResettingConfidenceEstimator,
+    StridePredictor,
+    UpdateTiming,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core model
+    "SpeculativeExecutionModel",
+    "LatencyModel",
+    "ModelVariables",
+    "ValueState",
+    "SUPER_MODEL",
+    "GREAT_MODEL",
+    "GOOD_MODEL",
+    "named_models",
+    # engine
+    "ProcessorConfig",
+    "PAPER_CONFIGS",
+    "paper_config",
+    "PipelineSimulator",
+    "SimulationResult",
+    "run_baseline",
+    "run_trace",
+    "run_speedup",
+    # workloads
+    "KernelSpec",
+    "benchmark_suite",
+    "kernel",
+    "kernel_names",
+    "TraceRecord",
+    "trace_program",
+    "capture_trace",
+    "compute_stats",
+    # value prediction
+    "ContextValuePredictor",
+    "LastValuePredictor",
+    "StridePredictor",
+    "HybridPredictor",
+    "ResettingConfidenceEstimator",
+    "OracleConfidence",
+    "UpdateTiming",
+]

@@ -1,0 +1,38 @@
+"""Workload analysis: value predictability, locality, dependence structure.
+
+The paper's motivation rests on two empirical claims — register dataflow
+values are predictable, and true dependences limit ILP.  This package
+quantifies both for any trace, without running the timing simulator:
+
+* :mod:`repro.analysis.predictability` replays idealized predictors
+  (last-value, stride, order-k FCM) over a trace, per static instruction —
+  the methodology of Sazeides & Smith's "The Predictability of Data
+  Values", the paper's companion work.
+* :mod:`repro.analysis.locality` measures value locality (distinct-value
+  working sets per static instruction).
+* :mod:`repro.analysis.dependence` computes dataflow-dependence distances
+  and the trace's dataflow-limited critical path, the bound value
+  speculation tries to break.
+"""
+
+from repro.analysis.predictability import (
+    PredictabilityReport,
+    analyze_predictability,
+)
+from repro.analysis.locality import LocalityReport, analyze_locality
+from repro.analysis.dependence import DependenceReport, analyze_dependence
+from repro.analysis.limits import LimitPoint, limit_study, render_limit_study
+from repro.analysis.report import render_workload_report
+
+__all__ = [
+    "PredictabilityReport",
+    "analyze_predictability",
+    "LocalityReport",
+    "analyze_locality",
+    "DependenceReport",
+    "analyze_dependence",
+    "LimitPoint",
+    "limit_study",
+    "render_limit_study",
+    "render_workload_report",
+]

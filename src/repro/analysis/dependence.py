@@ -1,0 +1,132 @@
+"""Dataflow-dependence structure of a trace.
+
+"Fundamentally, true dependences limit the amount of ILP that can be
+extracted from a program" (paper Section 1).  This module measures that
+limit: dependence distances (how far back each consumed value was
+produced) and the dataflow-limited critical path — the minimum cycles an
+infinitely wide machine would need, with and without perfectly predicted
+register values.  Their ratio is the theoretical headroom that value
+speculation attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.funits import execution_latency
+from repro.trace.record import TraceRecord
+
+
+@dataclass
+class DependenceReport:
+    """Dataflow statistics for one trace."""
+
+    total: int
+    #: histogram of register dependence distances (producer->consumer, in
+    #: dynamic instructions), bucketed
+    distance_histogram: dict[str, int]
+    mean_distance: float
+    #: dataflow critical path with functional-unit latencies (cycles)
+    critical_path: int
+    #: the same with every register-writing instruction's output available
+    #: at no cost (perfect value prediction): only memory/control edges and
+    #: execution latencies remain
+    critical_path_perfect_vp: int
+    #: average dataflow-limited ILP (instructions / critical path)
+    dataflow_ilp: float
+    max_chain_pc: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def vp_headroom(self) -> float:
+        """Critical-path contraction from perfect value prediction."""
+        if self.critical_path_perfect_vp == 0:
+            return 1.0
+        return self.critical_path / self.critical_path_perfect_vp
+
+
+_BUCKETS = ((1, "1"), (2, "2"), (4, "3-4"), (8, "5-8"), (16, "9-16"),
+            (64, "17-64"), (float("inf"), ">64"))
+
+
+def _bucket(distance: int) -> str:
+    for bound, label in _BUCKETS:
+        if distance <= bound:
+            return label
+    return ">64"
+
+
+def analyze_dependence(trace: list[TraceRecord]) -> DependenceReport:
+    """Measure dependence distances and dataflow critical paths."""
+    last_writer_seq: dict[int, int] = {}
+    finish: dict[int, int] = {}  # seq -> dataflow finish time
+    finish_vp: dict[int, int] = {}
+    #: finish time of the last store covering each 8-byte-aligned chunk,
+    #: for the memory dependence edges that survive perfect value
+    #: prediction (a load's value flows from the store that produced it)
+    store_finish: dict[int, int] = {}
+    store_finish_vp: dict[int, int] = {}
+    histogram: dict[str, int] = {}
+    distance_sum = 0
+    distance_count = 0
+    critical = 0
+    critical_vp = 0
+    load_access = 2  # L1D hit time on top of address generation
+
+    for index, rec in enumerate(trace):
+        ready = 0
+        ready_vp = 0
+        for reg in rec.src_regs:
+            producer = last_writer_seq.get(reg)
+            if producer is None:
+                continue
+            distance = index - producer
+            histogram[_bucket(distance)] = histogram.get(_bucket(distance), 0) + 1
+            distance_sum += distance
+            distance_count += 1
+            ready = max(ready, finish[producer])
+            # perfect VP removes the register edge entirely
+        chunks: tuple[int, ...] = ()
+        if rec.is_memory and rec.mem_addr is not None:
+            first = rec.mem_addr >> 3
+            last = (rec.mem_addr + (rec.mem_size or 1) - 1) >> 3
+            chunks = tuple(range(first, last + 1))
+        if rec.is_load:
+            for chunk in chunks:
+                ready = max(ready, store_finish.get(chunk, 0))
+                ready_vp = max(ready_vp, store_finish_vp.get(chunk, 0))
+        latency = execution_latency(rec.opclass)
+        if rec.is_load:
+            latency += load_access
+        done = ready + latency
+        done_vp = ready_vp + latency
+        finish[index] = done
+        finish_vp[index] = done_vp
+        critical = max(critical, done)
+        critical_vp = max(critical_vp, done_vp)
+        if rec.is_store:
+            for chunk in chunks:
+                store_finish[chunk] = done
+                store_finish_vp[chunk] = done_vp
+        if rec.writes_register:
+            last_writer_seq[rec.dest_reg] = index
+
+    mean_distance = distance_sum / distance_count if distance_count else 0.0
+    total = len(trace)
+    return DependenceReport(
+        total=total,
+        distance_histogram=dict(
+            sorted(histogram.items(), key=lambda kv: _order(kv[0]))
+        ),
+        mean_distance=mean_distance,
+        critical_path=critical,
+        critical_path_perfect_vp=critical_vp,
+        dataflow_ilp=(total / critical if critical else 0.0),
+    )
+
+
+def _order(label: str) -> int:
+    for position, (__, name) in enumerate(_BUCKETS):
+        if name == label:
+            return position
+    return len(_BUCKETS)

@@ -1,0 +1,158 @@
+"""Window-constrained ILP limit study.
+
+The classic limit-study methodology behind the paper's motivation (and
+behind "Exceeding the dataflow limit via value prediction"): replay a
+trace through an idealized scheduler that honours only
+
+* true register dependences (optionally dissolved by perfect value
+  prediction),
+* memory dependences (store → overlapping load; never dissolved —
+  the loaded value still comes from somewhere),
+* functional-unit latencies,
+* an instruction window of ``window`` entries with in-order entry/exit
+  (instruction *i* cannot issue before instruction *i − window* has
+  finished), and
+* an issue width of ``width`` per cycle,
+
+with perfect caches, perfect branch prediction and unlimited functional
+units.  The resulting cycle counts bound what any real machine of that
+window/width could do, and the perfect-VP variant bounds what value
+speculation could ever add at that geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.funits import execution_latency
+from repro.trace.record import TraceRecord
+
+_LOAD_ACCESS = 2  # idealized L1 hit on top of address generation
+
+
+@dataclass(frozen=True)
+class LimitPoint:
+    """The limit study's answer for one (window, width) geometry."""
+
+    window: int
+    width: int
+    cycles: int
+    cycles_perfect_vp: int
+    instructions: int
+
+    @property
+    def ilp(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def ilp_perfect_vp(self) -> float:
+        if not self.cycles_perfect_vp:
+            return 0.0
+        return self.instructions / self.cycles_perfect_vp
+
+    @property
+    def vp_speedup_bound(self) -> float:
+        """Upper bound on value-speculation speedup at this geometry."""
+        if not self.cycles_perfect_vp:
+            return 1.0
+        return self.cycles / self.cycles_perfect_vp
+
+
+def _schedule(
+    trace: list[TraceRecord],
+    window: int,
+    width: int,
+    *,
+    perfect_vp: bool,
+) -> int:
+    """Greedy in-order-dispatch list scheduling; returns total cycles."""
+    finish: list[int] = [0] * len(trace)
+    last_writer: dict[int, int] = {}
+    store_finish: dict[int, int] = {}
+    issued_in_cycle: dict[int, int] = {}
+
+    for index, rec in enumerate(trace):
+        ready = 0
+        if not perfect_vp:
+            for reg in rec.src_regs:
+                producer = last_writer.get(reg)
+                if producer is not None:
+                    ready = max(ready, finish[producer])
+        else:
+            # Perfect VP dissolves register edges into *register-writing*
+            # producers only: a branch/store consuming a value still needs
+            # it, but it arrives predicted — free — so no edge either.
+            # Memory edges below still apply.
+            pass
+        chunks: tuple[int, ...] = ()
+        if rec.is_memory and rec.mem_addr is not None:
+            first = rec.mem_addr >> 3
+            last = (rec.mem_addr + (rec.mem_size or 1) - 1) >> 3
+            chunks = tuple(range(first, last + 1))
+        if rec.is_load:
+            for chunk in chunks:
+                ready = max(ready, store_finish.get(chunk, 0))
+        # window constraint: entry i needs entry i-window gone
+        if index >= window:
+            ready = max(ready, finish[index - window])
+        # width constraint: find the first cycle >= ready with a free slot
+        cycle = ready
+        while issued_in_cycle.get(cycle, 0) >= width:
+            cycle += 1
+        issued_in_cycle[cycle] = issued_in_cycle.get(cycle, 0) + 1
+        latency = execution_latency(rec.opclass)
+        if rec.is_load:
+            latency += _LOAD_ACCESS
+        finish[index] = cycle + latency
+        if rec.is_store:
+            for chunk in chunks:
+                store_finish[chunk] = finish[index]
+        if rec.writes_register:
+            last_writer[rec.dest_reg] = index
+    return max(finish, default=0)
+
+
+def limit_study(
+    trace: list[TraceRecord],
+    geometries: tuple[tuple[int, int], ...] = (
+        (24, 4),
+        (48, 8),
+        (96, 16),
+        (512, 64),
+    ),
+) -> list[LimitPoint]:
+    """Compute base and perfect-VP ILP limits for each (window, width)."""
+    if not geometries:
+        raise ValueError("no geometries given")
+    points = []
+    for window, width in geometries:
+        if window <= 0 or width <= 0:
+            raise ValueError("window and width must be positive")
+        points.append(
+            LimitPoint(
+                window=window,
+                width=width,
+                cycles=_schedule(trace, window, width, perfect_vp=False),
+                cycles_perfect_vp=_schedule(
+                    trace, window, width, perfect_vp=True
+                ),
+                instructions=len(trace),
+            )
+        )
+    return points
+
+
+def render_limit_study(points: list[LimitPoint], label: str = "") -> str:
+    """Text table of the limit study."""
+    lines = []
+    if label:
+        lines.append(f"ILP limit study: {label}")
+    lines.append(
+        f"{'window/width':>14s} {'ILP':>8s} {'ILP+VP':>8s} {'VP bound':>9s}"
+    )
+    for point in points:
+        lines.append(
+            f"{point.window:>8d}/{point.width:<5d} {point.ilp:8.2f} "
+            f"{point.ilp_perfect_vp:8.2f} {point.vp_speedup_bound:8.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Value locality measurement [Lipasti et al. 1996].
+
+Value locality is "the likelihood of a previously-seen value recurring" —
+measured here as hit rates against per-instruction last-N-value windows,
+plus distinct-value working-set sizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.trace.record import TraceRecord
+
+
+@dataclass
+class LocalityReport:
+    """Value-locality summary for one trace."""
+
+    eligible: int
+    #: hit rate against the most recent N distinct values, for each N
+    window_hit_rates: dict[int, float]
+    #: number of static instructions producing exactly one distinct value
+    constant_pcs: int
+    #: mean distinct values per static instruction
+    mean_distinct_values: float
+    distinct_by_pc: dict[int, int] = field(default_factory=dict)
+
+
+def analyze_locality(
+    trace: list[TraceRecord], windows: tuple[int, ...] = (1, 4, 16)
+) -> LocalityReport:
+    """Measure value locality over ``trace`` for the given history windows."""
+    if not windows or any(w < 1 for w in windows):
+        raise ValueError("windows must be positive")
+    max_window = max(windows)
+    recent: dict[int, deque[int]] = {}
+    distinct: dict[int, set[int]] = {}
+    hits = {w: 0 for w in windows}
+    eligible = 0
+
+    for rec in trace:
+        if not rec.writes_register:
+            continue
+        eligible += 1
+        pc, value = rec.pc, rec.dest_value
+        history = recent.get(pc)
+        if history is None:
+            history = deque(maxlen=max_window)
+            recent[pc] = history
+            distinct[pc] = set()
+        items = list(history)
+        for w in windows:
+            if value in items[-w:]:
+                hits[w] += 1
+        # keep the window as *distinct* recent values, most recent last
+        if value in history:
+            history.remove(value)
+        history.append(value)
+        distinct[pc].add(value)
+
+    distinct_counts = {pc: len(values) for pc, values in distinct.items()}
+    constant_pcs = sum(1 for count in distinct_counts.values() if count == 1)
+    mean_distinct = (
+        sum(distinct_counts.values()) / len(distinct_counts)
+        if distinct_counts
+        else 0.0
+    )
+    return LocalityReport(
+        eligible=eligible,
+        window_hit_rates={
+            w: (hits[w] / eligible if eligible else 0.0) for w in windows
+        },
+        constant_pcs=constant_pcs,
+        mean_distinct_values=mean_distinct,
+        distinct_by_pc=distinct_counts,
+    )

@@ -1,0 +1,184 @@
+"""Idealized value-predictability measurement.
+
+Replays three reference predictors over a trace with immediate, perfect
+update — the predictability *ceiling* for each model class:
+
+* **last-value**: predicts the previous dynamic value of the same static
+  instruction,
+* **stride**: previous value + last confirmed delta (two-delta rule),
+* **fcm(k)**: an order-k finite-context-method predictor with unbounded
+  tables — what the paper's context-based predictor would achieve with no
+  table aliasing or update-timing effects.
+
+Results are reported overall, per operation class and per static
+instruction, so kernels can be characterized the way Sazeides & Smith
+characterized SPECint95.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord
+
+
+@dataclass
+class _PCStats:
+    """Per-static-instruction outcome counters."""
+
+    opclass: OpClass
+    count: int = 0
+    last_hits: int = 0
+    stride_hits: int = 0
+    fcm_hits: int = 0
+
+
+@dataclass
+class PredictabilityReport:
+    """Predictability ceilings for one trace."""
+
+    total: int
+    eligible: int
+    last_value_rate: float
+    stride_rate: float
+    fcm_rate: float
+    best_rate: float  # per-instance oracle over the three models
+    fcm_order: int
+    by_class: dict[OpClass, tuple[int, float, float, float]] = field(
+        default_factory=dict
+    )
+    by_pc: dict[int, _PCStats] = field(default_factory=dict)
+
+    def classify_pc(self, pc: int) -> str:
+        """Coarse behavioural class of one static instruction."""
+        stats = self.by_pc[pc]
+        if stats.count < 4:
+            return "rare"
+        last = stats.last_hits / stats.count
+        stride = stats.stride_hits / stats.count
+        fcm = stats.fcm_hits / stats.count
+        if last > 0.9:
+            return "constant"
+        if stride > 0.9:
+            return "stride"
+        if fcm > 0.8:
+            return "periodic"
+        if max(last, stride, fcm) < 0.2:
+            return "unpredictable"
+        return "mixed"
+
+
+class _IdealStride:
+    __slots__ = ("last", "stride", "pending")
+
+    def __init__(self) -> None:
+        self.last = None
+        self.stride = 0
+        self.pending = None
+
+    def predict(self):
+        if self.last is None:
+            return None
+        return (self.last + self.stride) & ((1 << 64) - 1)
+
+    def update(self, actual: int) -> None:
+        if self.last is not None:
+            delta = (actual - self.last) & ((1 << 64) - 1)
+            if delta == self.stride:
+                self.pending = None
+            elif self.pending == delta:
+                self.stride = delta
+                self.pending = None
+            else:
+                self.pending = delta
+        self.last = actual
+
+
+def analyze_predictability(
+    trace: list[TraceRecord], fcm_order: int = 4
+) -> PredictabilityReport:
+    """Measure predictability ceilings over ``trace``.
+
+    The FCM model uses exact (hashless, unbounded) context lookup, so it
+    upper-bounds any finite implementation of the same order.
+    """
+    if fcm_order < 1:
+        raise ValueError("fcm_order must be >= 1")
+    last_values: dict[int, int] = {}
+    strides: dict[int, _IdealStride] = {}
+    histories: dict[int, tuple[int, ...]] = {}
+    fcm_table: dict[tuple[int, tuple[int, ...]], int] = {}
+
+    by_pc: dict[int, _PCStats] = {}
+    eligible = 0
+    last_hits = stride_hits = fcm_hits = best_hits = 0
+
+    for rec in trace:
+        if not rec.writes_register:
+            continue
+        eligible += 1
+        pc, actual = rec.pc, rec.dest_value
+        stats = by_pc.get(pc)
+        if stats is None:
+            stats = _PCStats(rec.opclass)
+            by_pc[pc] = stats
+        stats.count += 1
+
+        hit_any = False
+        if last_values.get(pc) == actual:
+            stats.last_hits += 1
+            last_hits += 1
+            hit_any = True
+        stride = strides.get(pc)
+        if stride is None:
+            stride = _IdealStride()
+            strides[pc] = stride
+        if stride.predict() == actual:
+            stats.stride_hits += 1
+            stride_hits += 1
+            hit_any = True
+        history = histories.get(pc, ())
+        if len(history) == fcm_order and fcm_table.get((pc, history)) == actual:
+            stats.fcm_hits += 1
+            fcm_hits += 1
+            hit_any = True
+        if hit_any:
+            best_hits += 1
+
+        # perfect immediate update
+        last_values[pc] = actual
+        stride.update(actual)
+        if len(history) == fcm_order:
+            fcm_table[(pc, history)] = actual
+        histories[pc] = (history + (actual,))[-fcm_order:]
+
+    by_class: dict[OpClass, tuple[int, float, float, float]] = {}
+    for stats in by_pc.values():
+        entry = by_class.get(stats.opclass, (0, 0.0, 0.0, 0.0))
+        by_class[stats.opclass] = (
+            entry[0] + stats.count,
+            entry[1] + stats.last_hits,
+            entry[2] + stats.stride_hits,
+            entry[3] + stats.fcm_hits,
+        )
+    by_class = {
+        cls: (n, lh / n, sh / n, fh / n)
+        for cls, (n, lh, sh, fh) in by_class.items()
+        if n
+    }
+
+    def rate(hits: int) -> float:
+        return hits / eligible if eligible else 0.0
+
+    return PredictabilityReport(
+        total=len(trace),
+        eligible=eligible,
+        last_value_rate=rate(last_hits),
+        stride_rate=rate(stride_hits),
+        fcm_rate=rate(fcm_hits),
+        best_rate=rate(best_hits),
+        fcm_order=fcm_order,
+        by_class=by_class,
+        by_pc=by_pc,
+    )

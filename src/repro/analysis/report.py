@@ -1,0 +1,67 @@
+"""Combined workload-characterization report."""
+
+from __future__ import annotations
+
+from repro.analysis.dependence import analyze_dependence
+from repro.analysis.locality import analyze_locality
+from repro.analysis.predictability import analyze_predictability
+from repro.trace.record import TraceRecord
+from repro.trace.stats import compute_stats
+
+
+def render_workload_report(trace: list[TraceRecord], label: str = "") -> str:
+    """Full characterization of one trace: mix, predictability, locality,
+    dependence structure."""
+    stats = compute_stats(trace)
+    predictability = analyze_predictability(trace)
+    locality = analyze_locality(trace)
+    dependence = analyze_dependence(trace)
+
+    lines: list[str] = []
+    if label:
+        lines.append(f"workload: {label}")
+    lines.append(
+        f"  {stats.total} instructions over {stats.unique_pcs} static PCs; "
+        f"{stats.prediction_eligible_fraction:.0%} write a register"
+    )
+    lines.append(
+        f"  mix: {stats.branch_fraction:.0%} branches, "
+        f"{stats.load_fraction:.0%} loads, {stats.store_fraction:.0%} stores"
+    )
+    lines.append("  predictability ceilings (perfect tables/update):")
+    lines.append(
+        f"    last-value {predictability.last_value_rate:6.1%}   "
+        f"stride {predictability.stride_rate:6.1%}   "
+        f"fcm({predictability.fcm_order}) {predictability.fcm_rate:6.1%}   "
+        f"best-of {predictability.best_rate:6.1%}"
+    )
+    classes = {}
+    for pc in predictability.by_pc:
+        kind = predictability.classify_pc(pc)
+        classes[kind] = classes.get(kind, 0) + 1
+    summary = ", ".join(f"{count} {kind}" for kind, count in sorted(classes.items()))
+    lines.append(f"    static instruction classes: {summary}")
+    lines.append("  value locality (hit in last-N distinct values):")
+    lines.append(
+        "    "
+        + "   ".join(
+            f"N={window}: {rate:6.1%}"
+            for window, rate in locality.window_hit_rates.items()
+        )
+    )
+    lines.append(
+        f"    {locality.constant_pcs} constant-output PCs; "
+        f"{locality.mean_distinct_values:.1f} distinct values/PC on average"
+    )
+    lines.append("  dependence structure:")
+    lines.append(
+        f"    mean producer->consumer distance "
+        f"{dependence.mean_distance:.1f} instructions"
+    )
+    lines.append(
+        f"    dataflow critical path {dependence.critical_path} cycles "
+        f"(ILP {dependence.dataflow_ilp:.1f}); with perfect value "
+        f"prediction {dependence.critical_path_perfect_vp} cycles "
+        f"(headroom {dependence.vp_headroom:.2f}x)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Two-pass assembler and disassembler for the VSR ISA."""
+
+from repro.asm.errors import AsmError
+from repro.asm.assembler import Program, assemble
+from repro.asm.disassembler import disassemble, disassemble_program
+
+__all__ = ["AsmError", "Program", "assemble", "disassemble", "disassemble_program"]

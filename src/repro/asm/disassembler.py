@@ -1,0 +1,31 @@
+"""Disassembler: renders instructions (or whole programs) back to text."""
+
+from __future__ import annotations
+
+from repro.asm.assembler import Program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import INSTRUCTION_BYTES
+
+
+def disassemble(instr: Instruction) -> str:
+    """Render a single instruction to canonical assembly text."""
+    return instr.render()
+
+
+def disassemble_program(program: Program) -> str:
+    """Render an assembled program, one instruction per line with addresses.
+
+    Labels defined in the text segment are re-emitted at their addresses so
+    the listing is human-navigable.
+    """
+    labels_at: dict[int, list[str]] = {}
+    for name, address in program.labels.items():
+        labels_at.setdefault(address, []).append(name)
+    lines: list[str] = []
+    address = program.text_base
+    for instr in program.instructions:
+        for name in sorted(labels_at.get(address, ())):
+            lines.append(f"{name}:")
+        lines.append(f"  {address:#08x}:  {instr.render()}")
+        address += INSTRUCTION_BYTES
+    return "\n".join(lines)

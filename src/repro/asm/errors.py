@@ -1,0 +1,16 @@
+"""Assembler error type."""
+
+from __future__ import annotations
+
+
+class AsmError(ValueError):
+    """Raised for any assembly-source problem.
+
+    Carries the source line number (1-based) when known so kernel authors
+    get actionable diagnostics.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list                      list reproducible experiments
+run <id> [options]        run one experiment and print its table/figure
+describe <model>          print a speculative-execution model's two tables
+bench <name> [options]    simulate one benchmark kernel and print counters
+table1 / figure1 / figure3 / figure4   shorthands for ``run <id>``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.model import named_models
+from repro.engine.config import paper_config
+from repro.engine.sim import run_baseline, run_trace
+from repro.harness.experiments import EXPERIMENTS
+from repro.metrics.summary import summarize_counters
+from repro.programs.suite import kernel, kernel_names
+
+
+def _experiment_kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if getattr(args, "max_instructions", None) is not None:
+        kwargs["max_instructions"] = args.max_instructions
+    if getattr(args, "benchmarks", None):
+        kwargs["benchmarks"] = args.benchmarks
+    return kwargs
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for experiment in EXPERIMENTS.values():
+        print(f"{experiment.id:14s} {experiment.paper_ref:22s} {experiment.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = EXPERIMENTS.get(args.id)
+    if experiment is None:
+        print(f"unknown experiment {args.id!r}; try `repro list`", file=sys.stderr)
+        return 2
+    kwargs = _experiment_kwargs(args)
+    if experiment.id in ("figure1",):
+        kwargs = {}  # figure1 takes no workload knobs
+    print(experiment.run(**kwargs))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    models = named_models()
+    model = models.get(args.model)
+    if model is None:
+        print(
+            f"unknown model {args.model!r}; know {sorted(models)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(model.describe())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    spec = kernel(args.name)
+    trace = spec.trace(args.max_instructions)
+    config = paper_config(args.config)
+    base = run_baseline(trace, config)
+    print(summarize_counters(base.counters, f"{spec.name} @ {config.label} (base)"))
+    if args.model != "none":
+        model = named_models()[args.model]
+        result = run_trace(
+            trace,
+            config,
+            model,
+            confidence=args.confidence,
+            update_timing=args.timing,
+        )
+        label = (
+            f"{spec.name} @ {config.label} "
+            f"({model.name}, {result.setting_label})"
+        )
+        print()
+        print(summarize_counters(result.counters, label))
+        print(f"\n  speedup over base       {base.cycles / result.cycles:12.3f}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.harness.export import EXPORTS, export_csv
+
+    if args.id == "--list" or args.id == "list":
+        for key in sorted(EXPORTS):
+            print(key)
+        return 0
+    try:
+        text = export_csv(args.id, args.out, **_experiment_kwargs(args))
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.out is None:
+        print(text, end="")
+    else:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import render_workload_report
+
+    spec = kernel(args.name)
+    trace = spec.trace(args.max_instructions)
+    print(render_workload_report(trace, f"{spec.name} ({spec.input_label})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Modeling Value Speculation' (HPCA 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("id", help="experiment id (see `repro list`)")
+    run_parser.add_argument(
+        "--max-instructions",
+        type=int,
+        default=None,
+        help="truncate each kernel trace (default: experiment-specific)",
+    )
+    run_parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help=f"restrict to a subset of {kernel_names()}",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    for shorthand in ("table1", "figure1", "figure3", "figure4"):
+        p = sub.add_parser(shorthand, help=f"shorthand for `run {shorthand}`")
+        p.add_argument("--max-instructions", type=int, default=None)
+        p.add_argument("--benchmarks", nargs="*", default=None)
+        p.set_defaults(func=_cmd_run, id=shorthand)
+
+    describe_parser = sub.add_parser(
+        "describe", help="print a model's variable/latency tables"
+    )
+    describe_parser.add_argument("model", help="super | great | good")
+    describe_parser.set_defaults(func=_cmd_describe)
+
+    export_parser = sub.add_parser(
+        "export", help="export an experiment's data as CSV"
+    )
+    export_parser.add_argument("id", help="dataset id, or `list` to enumerate")
+    export_parser.add_argument("--out", default=None, help="write to a file")
+    export_parser.add_argument("--max-instructions", type=int, default=None)
+    export_parser.add_argument("--benchmarks", nargs="*", default=None)
+    export_parser.set_defaults(func=_cmd_export)
+
+    analyze_parser = sub.add_parser(
+        "analyze", help="characterize a kernel's values and dependences"
+    )
+    analyze_parser.add_argument("name", choices=kernel_names())
+    analyze_parser.add_argument("--max-instructions", type=int, default=20000)
+    analyze_parser.set_defaults(func=_cmd_analyze)
+
+    bench_parser = sub.add_parser("bench", help="simulate one kernel")
+    bench_parser.add_argument("name", choices=kernel_names())
+    bench_parser.add_argument("--config", default="8/48", help="4/24 | 8/48 | 16/96")
+    bench_parser.add_argument("--model", default="great", help="super|great|good|none")
+    bench_parser.add_argument("--confidence", default="real", help="real | oracle")
+    bench_parser.add_argument("--timing", default="D", help="I | D")
+    bench_parser.add_argument("--max-instructions", type=int, default=10000)
+    bench_parser.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

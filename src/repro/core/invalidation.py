@@ -1,0 +1,38 @@
+"""Invalidation-wave planning for the Section 3.1 schemes."""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, TypeVar
+
+from repro.core.variables import InvalidationScheme
+from repro.core.verification import closure, successor_levels
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def invalidation_waves(
+    scheme: InvalidationScheme,
+    root: Node,
+    successors: Callable[[Node], Iterable[Node]],
+) -> list[set[Node]]:
+    """Which successors are invalidated in which transaction.
+
+    Returns a list of waves; wave ``k`` completes ``k`` transactions after
+    the first (the engine assigns each transaction its cycle cost).
+
+    * ``SELECTIVE_PARALLEL`` — one wave containing the full closure.
+    * ``SELECTIVE_HIERARCHICAL`` — one wave per dependence level.
+    * ``COMPLETE`` — modeled at a different level: complete invalidation
+      squashes all younger instructions regardless of dependence, so the
+      engine handles it like a branch misprediction.  Asking for waves is
+      a caller error.
+    """
+    if scheme is InvalidationScheme.COMPLETE:
+        raise ValueError(
+            "complete invalidation squashes by age, not dependence; "
+            "the engine must take the squash path"
+        )
+    if scheme is InvalidationScheme.SELECTIVE_PARALLEL:
+        everything = closure(root, successors)
+        return [everything] if everything else []
+    return successor_levels(root, successors)

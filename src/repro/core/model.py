@@ -1,0 +1,83 @@
+"""The speculative-execution model: variables + latencies, with the
+consistency checks Section 4 implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.latency import (
+    GOOD_LATENCIES,
+    GREAT_LATENCIES,
+    SUPER_LATENCIES,
+    LatencyModel,
+)
+from repro.core.variables import (
+    PAPER_VARIABLES,
+    BranchResolution,
+    MemoryResolution,
+    ModelVariables,
+)
+
+
+@dataclass(frozen=True)
+class SpeculativeExecutionModel:
+    """A complete, self-consistent description of a value-speculative
+    microarchitecture in the paper's terms.
+
+    "When describing a speculative execution the following information
+    should be provided: a specific list of variables and their values, and
+    manifestations of speculative execution in terms of latency between
+    different microarchitectural events."
+    """
+
+    name: str
+    variables: ModelVariables = PAPER_VARIABLES
+    latencies: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self) -> None:
+        # Latencies that are "not relevant" to a variable assignment must
+        # be zero so a model never silently carries dead parameters
+        # (Section 4: "These latencies are not all relevant to every
+        # speculative execution model").
+        if (
+            self.variables.branch_resolution is BranchResolution.SPECULATIVE_ALLOWED
+            and self.latencies.verification_to_branch
+        ):
+            raise ValueError(
+                "verification_to_branch is irrelevant when branches may "
+                "resolve with speculative operands; set it to 0"
+            )
+        if (
+            self.variables.memory_resolution is MemoryResolution.SPECULATIVE_ALLOWED
+            and self.latencies.verification_addr_to_mem_access
+        ):
+            raise ValueError(
+                "verification_addr_to_mem_access is irrelevant when memory "
+                "may be accessed with speculative addresses; set it to 0"
+            )
+
+    def describe(self) -> str:
+        """Render the two tables of Section 4 for this model."""
+        lines = [f"speculative-execution model: {self.name}", "", "model variables:"]
+        for label, value in self.variables.table_rows():
+            lines.append(f"  {label:<22} {value}")
+        lines.append("")
+        lines.append("latency variables (cycles):")
+        for label, value in self.latencies.table_rows():
+            lines.append(f"  {label:<38} {value}")
+        return "\n".join(lines)
+
+
+#: Section 4.1's example models.  All three share the paper's variable
+#: assignment and differ only in latencies: super is the most optimistic,
+#: good the most pessimistic, great differs from good only in
+#: verification/invalidation latency (1 -> 0).
+SUPER_MODEL = SpeculativeExecutionModel("super", PAPER_VARIABLES, SUPER_LATENCIES)
+GREAT_MODEL = SpeculativeExecutionModel("great", PAPER_VARIABLES, GREAT_LATENCIES)
+GOOD_MODEL = SpeculativeExecutionModel("good", PAPER_VARIABLES, GOOD_LATENCIES)
+
+
+def named_models() -> dict[str, SpeculativeExecutionModel]:
+    """The paper's three models by name."""
+    return {m.name: m for m in (SUPER_MODEL, GREAT_MODEL, GOOD_MODEL)}

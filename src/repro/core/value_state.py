@@ -1,0 +1,81 @@
+"""The four-state value/operand lattice (paper Section 2.2).
+
+"With value-speculation, an input operand may be: speculative, predicted,
+valid, and invalid."
+
+* **INVALID** — no value available; the instruction must wait.
+* **PREDICTED** — the value came directly from the value predictor.
+* **SPECULATIVE** — the value is the result of computation(s) that included
+  a predicted value.
+* **VALID** — the value was read from architected state or computed from
+  only valid inputs; it is architecturally correct.
+
+The lattice order used for issue decisions is
+``INVALID < {PREDICTED, SPECULATIVE} < VALID``: valid dominates, and
+anything touched by prediction sits between unavailable and certain.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class ValueState(enum.Enum):
+    """State of a value held in a reservation-station operand field."""
+
+    INVALID = "invalid"
+    PREDICTED = "predicted"
+    SPECULATIVE = "speculative"
+    VALID = "valid"
+
+    @property
+    def usable(self) -> bool:
+        """Can an instruction execute with this operand (possibly
+        speculatively)?  Everything but INVALID carries a value."""
+        return self is not ValueState.INVALID
+
+    @property
+    def certain(self) -> bool:
+        """Is the value architecturally correct for sure?"""
+        return self is ValueState.VALID
+
+    @property
+    def speculative_kind(self) -> bool:
+        """PREDICTED or SPECULATIVE — carries a value that may be wrong."""
+        return self in (ValueState.PREDICTED, ValueState.SPECULATIVE)
+
+
+def merge_states(states: Iterable[ValueState]) -> ValueState:
+    """Combine operand states into the weakest-link summary.
+
+    Any INVALID input dominates; otherwise any speculative-kind input makes
+    the summary SPECULATIVE; all-VALID stays VALID.  An empty collection is
+    VALID (an instruction with no register sources has certain inputs).
+    """
+    summary = ValueState.VALID
+    for state in states:
+        if state is ValueState.INVALID:
+            return ValueState.INVALID
+        if state.speculative_kind:
+            summary = ValueState.SPECULATIVE
+    return summary
+
+
+def output_state(input_states: Iterable[ValueState], *, predicted: bool) -> ValueState:
+    """State of an instruction's output under the paper's definitions.
+
+    A value is *predicted* if it is obtained directly from the value
+    predictor, *speculative* if it is the result of computation(s) that
+    included a predicted value, and *valid* if it is the result of a
+    computation that involved only valid inputs.  ``predicted`` refers to
+    the output being supplied by the predictor (before execution).
+    """
+    if predicted:
+        return ValueState.PREDICTED
+    merged = merge_states(input_states)
+    if merged is ValueState.INVALID:
+        return ValueState.INVALID
+    if merged.speculative_kind:
+        return ValueState.SPECULATIVE
+    return ValueState.VALID

@@ -1,0 +1,55 @@
+"""Dependence-closure computations behind verification schemes.
+
+A verification transaction must reach the direct and indirect successors
+of a resolved prediction.  The *shape* of the traversal is what separates
+the Section 3.2 schemes: the flattened (parallel) network touches the whole
+closure at once, while hierarchical verification advances one dependence
+level per cycle.  These helpers compute the closure and its levels from a
+successor function, independent of the engine's data structures, so they
+can be tested against plain graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def closure(root: Node, successors: Callable[[Node], Iterable[Node]]) -> set[Node]:
+    """All direct and indirect successors of ``root`` (excluding it)."""
+    seen: set[Node] = set()
+    frontier = list(successors(root))
+    while frontier:
+        node = frontier.pop()
+        if node in seen or node == root:
+            continue
+        seen.add(node)
+        frontier.extend(successors(node))
+    return seen
+
+
+def successor_levels(
+    root: Node, successors: Callable[[Node], Iterable[Node]]
+) -> list[set[Node]]:
+    """Successors of ``root`` grouped by minimum dependence distance.
+
+    ``result[0]`` is the set of direct successors, ``result[1]`` their
+    successors not already reached, and so on — the wave schedule of a
+    hierarchical verification/invalidation that advances one level per
+    transaction.
+    """
+    levels: list[set[Node]] = []
+    seen: set[Node] = {root}
+    frontier = [n for n in successors(root) if n != root]
+    while frontier:
+        level = {n for n in frontier if n not in seen}
+        if not level:
+            break
+        levels.append(level)
+        seen |= level
+        next_frontier: list[Node] = []
+        for node in level:
+            next_frontier.extend(n for n in successors(node) if n not in seen)
+        frontier = next_frontier
+    return levels

@@ -1,0 +1,26 @@
+"""The cycle-level out-of-order timing engine.
+
+Replays a dynamic instruction trace against the Section 2 microarchitecture
+— unified instruction window, wakeup/selection issue, the paper's memory
+hierarchy and front end — with or without value speculation.  When value
+speculation is enabled, all timing of prediction, equality, verification,
+invalidation, reissue and resource release is governed by a
+:class:`~repro.core.model.SpeculativeExecutionModel`.
+"""
+
+from repro.engine.config import ProcessorConfig, PAPER_CONFIGS, paper_config
+from repro.engine.funits import execution_latency
+from repro.engine.pipeline import PipelineSimulator
+from repro.engine.sim import SimulationResult, run_trace, run_baseline, run_speedup
+
+__all__ = [
+    "ProcessorConfig",
+    "PAPER_CONFIGS",
+    "paper_config",
+    "execution_latency",
+    "PipelineSimulator",
+    "SimulationResult",
+    "run_trace",
+    "run_baseline",
+    "run_speedup",
+]

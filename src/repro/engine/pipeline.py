@@ -1,0 +1,1176 @@
+"""The cycle-level out-of-order pipeline with value speculation.
+
+Each simulated cycle advances through five phases — retire, speculation
+events, issue, dispatch, fetch — so that an event effective in cycle *c*
+(a result becoming usable, a verification or invalidation transaction) is
+visible to the issue stage of the same cycle, matching the paper's event
+timing convention: a latency of zero between two events means they complete
+within the same cycle (Figure 1's *super* model packs detection,
+invalidation and reissue into cycle t+1).
+
+Event timestamps follow one rule: the cycle recorded for an event is the
+first cycle in which its effect is actionable.  An instruction issued at
+``t`` with execution latency ``L`` has its result usable in ``t + L``
+(dependents may issue in ``t + L``); its equality outcome is actionable in
+``t + L + exec_to_equality``; verification and invalidation transactions
+are actionable ``equality_to_*`` cycles after that; and so on through the
+:class:`~repro.core.latency.LatencyModel` variables.
+
+Value speculation is simulated through *taint tracking*: every unresolved
+prediction is a speculation source, and every value broadcast carries the
+set of sources it transitively depends on.  An operand is VALID exactly
+when its taint set is empty.  Verification removes a source from all taint
+sets (the flattened network does this for a whole dependence closure in one
+transaction, resolving chained predictions whose speculative equality
+comparisons already succeeded); invalidation delivers the correct value to
+direct consumers, resets (nullifies) every transitively affected
+instruction, and lets dataflow re-execution repair the rest.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.core.latency import LatencyModel
+from repro.core.model import SpeculativeExecutionModel
+from repro.core.variables import (
+    InvalidationScheme,
+    MemoryResolution,
+    ModelVariables,
+    VerificationScheme,
+)
+from repro.core.events import EventLog, SpecEventKind
+from repro.engine.config import ProcessorConfig
+from repro.engine.funits import execution_latency
+from repro.isa.opcodes import OpClass
+from repro.frontend.fetch import FetchedInstruction, FetchEngine
+from repro.frontend.gshare import GsharePredictor
+from repro.mem.hierarchy import MemoryHierarchy, make_paper_hierarchy
+from repro.mem.lsq import LoadStoreQueue
+from repro.mem.ports import PortPool
+from repro.metrics.counters import SimCounters
+from repro.trace.record import TraceRecord
+from repro.vp.base import ValuePredictor
+from repro.vp.confidence import ConfidenceEstimator, ResettingConfidenceEstimator
+from repro.vp.context import ContextValuePredictor
+from repro.vp.update_timing import UpdateTiming
+from repro.window.ruu import InstructionWindow
+from repro.window.selection import select
+from repro.window.station import Operand, Station
+from repro.window.wakeup import can_wake
+
+# Event kinds on the timing heap.
+_RESULT = 0
+_EQUALITY = 1
+_VERIFY = 2
+_INVALIDATE = 3
+_WAVE_VERIFY = 4
+_WAVE_INVALIDATE = 5
+_ADDRGEN = 6
+_PROV_INVALIDATE = 7
+
+
+def _make_bpred(config: ProcessorConfig):
+    """Build the configured branch direction predictor."""
+    if config.branch_predictor == "gshare":
+        return GsharePredictor(
+            config.branch_history_bits, config.branch_table_bits
+        )
+    if config.branch_predictor == "bimodal":
+        from repro.frontend.bimodal import BimodalPredictor
+
+        return BimodalPredictor(config.branch_table_bits)
+    if config.branch_predictor == "local":
+        from repro.frontend.local import LocalHistoryPredictor
+
+        return LocalHistoryPredictor()
+    from repro.frontend.tournament import TournamentPredictor
+
+    return TournamentPredictor()
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation cannot make progress."""
+
+
+class PipelineSimulator:
+    """One simulation run: a trace replayed on one configuration."""
+
+    def __init__(
+        self,
+        trace: list[TraceRecord],
+        config: ProcessorConfig,
+        model: SpeculativeExecutionModel | None = None,
+        *,
+        predictor: ValuePredictor | None = None,
+        confidence: ConfidenceEstimator | None = None,
+        update_timing: UpdateTiming = UpdateTiming.DELAYED,
+        hierarchy: MemoryHierarchy | None = None,
+    ):
+        self.trace = trace
+        self.config = config
+        self.model = model
+        self.vp_enabled = model is not None
+        self.latencies: LatencyModel = (
+            model.latencies if model is not None else LatencyModel()
+        )
+        self.variables: ModelVariables = (
+            model.variables if model is not None else ModelVariables()
+        )
+        self.predictor = predictor or (
+            ContextValuePredictor() if self.vp_enabled else None
+        )
+        self.confidence = confidence or (
+            ResettingConfidenceEstimator() if self.vp_enabled else None
+        )
+        self.update_timing = update_timing
+        self.hierarchy = hierarchy or make_paper_hierarchy(
+            perfect=config.perfect_caches
+        )
+        self.bpred = None if config.perfect_branches else _make_bpred(config)
+        btb = ras = None
+        if not config.ideal_branch_targets:
+            from repro.frontend.btb import BranchTargetBuffer
+            from repro.frontend.ras import ReturnAddressStack
+
+            btb = BranchTargetBuffer()
+            ras = ReturnAddressStack()
+        self.fetch_engine = FetchEngine(
+            trace,
+            self.hierarchy.l1i,
+            self.bpred,
+            model_wrong_path=config.model_wrong_path,
+            ideal_branch_targets=config.ideal_branch_targets,
+            btb=btb,
+            ras=ras,
+        )
+        self.window = InstructionWindow(config.window_size)
+        self.lsq = LoadStoreQueue(config.window_size)
+        self.dports = PortPool(config.dcache_ports)
+        self.counters = SimCounters()
+        self.log = EventLog(config.log_events)
+
+        self.cycle = 0
+        self._next_sid = 0
+        self._events: list[tuple[int, int, int, Station, int]] = []
+        self._event_counter = 0
+        self._fetch_queue: deque[tuple[FetchedInstruction, int]] = deque()
+        self._writers: dict[int, list[int]] = {}
+        self._pending_train: dict[int, tuple[int, int, bool, object]] = {}
+        self._pending_branch: Station | None = None
+        #: Loads whose address generation finished and whose memory access
+        #: is pending (valid-address gate / prior stores / ports), as
+        #: (station, epoch) pairs retried every cycle.
+        self._waiting_access: list[tuple[Station, int]] = []
+        self._last_retire_cycle = 0
+        #: Predictions resolved correct, awaiting retirement-based
+        #: propagation (RETIREMENT_BASED / HYBRID verification only).
+        self._retire_verified: set[int] = set()
+        #: (cycle, retired, window_occupancy) samples when
+        #: ``config.sample_interval`` > 0 (see repro.viz).
+        self.samples: list[tuple[int, int, int]] = []
+        self._vp_port_cycle = -1
+        self._vp_ports_used = 0
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+
+    def _schedule(self, cycle: int, kind: int, station: Station) -> None:
+        self._event_counter += 1
+        heapq.heappush(
+            self._events, (cycle, self._event_counter, kind, station, station.epoch)
+        )
+
+    def _schedule_wave(
+        self, cycle: int, kind: int, source: Station, wave: list[int]
+    ) -> None:
+        self._event_counter += 1
+        heapq.heappush(
+            self._events,
+            (cycle, self._event_counter, kind, source, source.epoch, wave),  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimCounters:
+        """Simulate until every correct-path instruction has retired."""
+        total = len(self.trace)
+        if total == 0:
+            return self.counters
+        while self.counters.retired < total:
+            if self.cycle > self.config.max_cycles:
+                raise SimulationError(
+                    f"exceeded {self.config.max_cycles} cycles with "
+                    f"{self.counters.retired}/{total} retired — deadlock?"
+                )
+            self._retire()
+            self._process_events()
+            self._issue()
+            self._dispatch()
+            self._fetch()
+            self.counters.window_occupancy_sum += len(self.window)
+            if (
+                self.config.sample_interval
+                and self.cycle % self.config.sample_interval == 0
+            ):
+                self.samples.append(
+                    (self.cycle, self.counters.retired, len(self.window))
+                )
+            self.cycle += 1
+        self.counters.cycles = self._last_retire_cycle + 1
+        self.counters.window_peak = self.window.peak_occupancy
+        return self.counters
+
+    # ------------------------------------------------------------------
+    # fetch & dispatch
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        limit = self.config.fetch_width * (self.config.dispatch_latency + 2)
+        room = limit - len(self._fetch_queue)
+        if room <= 0:
+            return
+        batch = self.fetch_engine.fetch(
+            self.cycle, min(self.config.fetch_width, room)
+        )
+        ready = self.cycle + self.config.dispatch_latency
+        for fetched in batch:
+            self._fetch_queue.append((fetched, ready))
+            if self.log.enabled and not fetched.wrong_path:
+                self.log.emit(fetched.rec.seq, SpecEventKind.FETCH, self.cycle)
+
+    def _dispatch(self) -> None:
+        dispatched = 0
+        while dispatched < self.config.dispatch_width:
+            if not self._fetch_queue:
+                if dispatched == 0 and not self.fetch_engine.exhausted:
+                    self.counters.stall_fetch_empty += 1
+                break
+            fetched, ready = self._fetch_queue[0]
+            if ready > self.cycle:
+                break
+            if self.window.full:
+                if dispatched == 0:
+                    self.counters.stall_window_full += 1
+                break
+            if fetched.rec.is_memory and not fetched.wrong_path and self.lsq.full:
+                if dispatched == 0:
+                    self.counters.stall_lsq_full += 1
+                break
+            self._fetch_queue.popleft()
+            self._dispatch_one(fetched)
+            dispatched += 1
+
+    def _dispatch_one(self, fetched: FetchedInstruction) -> None:
+        rec = fetched.rec
+        sid = self._next_sid
+        self._next_sid += 1
+        station = Station(sid, rec, fetched.wrong_path)
+        station.dispatch_cycle = self.cycle
+        station.min_issue_cycle = self.cycle + 1
+
+        for op_index, reg in enumerate(rec.src_regs):
+            writer_list = self._writers.get(reg)
+            producer_sid = writer_list[-1] if writer_list else None
+            operand = Operand(reg, producer_sid)
+            if producer_sid is not None:
+                producer = self.window.get(producer_sid)
+                if producer is None or producer.retired:
+                    operand.producer_sid = None
+                    operand.ready = True
+                    operand.correct = True
+                else:
+                    producer.consumers.append((sid, op_index))
+                    if producer.out_ready:
+                        # Dispatch-time capture reads the producer's RS
+                        # field directly — no network transaction involved,
+                        # so no Verification–Branch/Memory surcharge.
+                        operand.deliver(
+                            taints=producer.out_taints,
+                            correct=producer.out_correct,
+                            cycle=self.cycle,
+                            from_prediction=(
+                                producer.predicted
+                                and not producer.prediction_resolved
+                                and not producer.prediction_muted
+                            ),
+                            via_network=False,
+                        )
+            station.operands.append(operand)
+
+        if (
+            self.vp_enabled
+            and rec.writes_register
+            and not fetched.wrong_path
+            and self._prediction_eligible(rec)
+            and self._vp_port_available()
+        ):
+            self._predict_value(station)
+
+        if rec.is_branch and not fetched.wrong_path:
+            self.counters.branches += 1
+        if fetched.mispredicted:
+            station.branch_mispredicted = True
+            self._pending_branch = station
+            self.counters.branch_mispredictions += 1
+        if rec.is_memory and not fetched.wrong_path:
+            self.lsq.allocate(sid, rec.is_store)
+            if rec.is_load:
+                self.counters.loads += 1
+            else:
+                self.counters.stores += 1
+        if rec.writes_register:
+            self._writers.setdefault(rec.dest_reg, []).append(sid)
+
+        self.window.insert(station)
+        self.counters.dispatched += 1
+        if fetched.wrong_path:
+            self.counters.dispatched_wrong_path += 1
+        if self.log.enabled and not fetched.wrong_path:
+            self.log.emit(rec.seq, SpecEventKind.DISPATCH, self.cycle)
+
+    _LONG_LATENCY_CLASSES = frozenset(
+        (
+            OpClass.LOAD,
+            OpClass.IMUL,
+            OpClass.IDIV,
+            OpClass.FADD,
+            OpClass.FMUL,
+            OpClass.FDIV,
+        )
+    )
+
+    def _prediction_eligible(self, rec: TraceRecord) -> bool:
+        """Selective value prediction (Calder et al. [8]): restrict which
+        instruction classes are predicted at all."""
+        policy = self.config.predict_classes
+        if policy == "all":
+            return True
+        if policy == "loads":
+            return rec.is_load
+        if policy == "long-latency":
+            return rec.opclass in self._LONG_LATENCY_CLASSES
+        return rec.opclass is OpClass.IALU  # "alu"
+
+    def _vp_port_available(self) -> bool:
+        """Grant one of the per-cycle predictor ports (0 = unlimited)."""
+        if not self.config.vp_ports:
+            return True
+        if self._vp_port_cycle != self.cycle:
+            self._vp_port_cycle = self.cycle
+            self._vp_ports_used = 0
+        if self._vp_ports_used < self.config.vp_ports:
+            self._vp_ports_used += 1
+            return True
+        return False
+
+    def _predict_value(self, station: Station) -> None:
+        rec = station.rec
+        actual = rec.dest_value
+        predicted = self.predictor.predict(rec.pc)
+        pred_correct = predicted == actual
+        if not pred_correct and self.config.equality_ignore_low_bits:
+            # Approximate equality (Section 3.3 extension): the comparators
+            # ignore the low bits, accepting near-miss predictions.  Timing
+            # treats the prediction as correct; architectural results are
+            # unaffected (the trace carries the true value).
+            shift = self.config.equality_ignore_low_bits
+            if (predicted >> shift) == ((actual or 0) >> shift):
+                pred_correct = True
+                self.counters.approximate_matches += 1
+        confident = self.confidence.confident(rec.pc, pred_correct)
+
+        self.counters.predictions += 1
+        if pred_correct:
+            self.counters.predictions_correct += 1
+            if confident:
+                self.counters.correct_high += 1
+            else:
+                self.counters.correct_low += 1
+        elif confident:
+            self.counters.incorrect_high += 1
+        else:
+            self.counters.incorrect_low += 1
+
+        if self.update_timing is UpdateTiming.IMMEDIATE:
+            self.predictor.train(rec.pc, actual)
+            self.confidence.update(rec.pc, pred_correct)
+        else:
+            token = self.predictor.speculate(rec.pc, predicted)
+            self._pending_train[station.sid] = (rec.pc, actual, pred_correct, token)
+
+        if confident:
+            station.predicted = True
+            station.predicted_confident = True
+            station.pred_correct = pred_correct
+            station.out_ready = True
+            station.out_taints = {station.sid}
+            station.out_correct = pred_correct
+            self.counters.speculated += 1
+            if not pred_correct:
+                self.counters.misspeculations += 1
+            if self.log.enabled:
+                self.log.emit(rec.seq, SpecEventKind.PREDICT, self.cycle)
+
+    # ------------------------------------------------------------------
+    # issue
+    # ------------------------------------------------------------------
+
+    def _branch_ready_cycle(self, station: Station) -> int:
+        """Earliest cycle a valid-operand branch may issue, honouring the
+        Verification–Branch latency for network-verified operands."""
+        extra = self.latencies.verification_to_branch
+        ready = station.min_issue_cycle
+        for operand in station.operands:
+            gate = operand.valid_cycle + (extra if operand.via_network else 0)
+            if gate > ready:
+                ready = gate
+        return ready
+
+    def _memory_ready_cycle(self, station: Station) -> int:
+        """Earliest issue cycle honouring Verification-Address–Memory-Access."""
+        extra = self.latencies.verification_addr_to_mem_access
+        ready = station.min_issue_cycle
+        for operand in station.operands:
+            gate = operand.valid_cycle + (extra if operand.via_network else 0)
+            if gate > ready:
+                ready = gate
+        return ready
+
+    def _issue(self) -> None:
+        self._drain_waiting_access()
+        candidates: list[Station] = []
+        for station in self.window:
+            if station.issued or station.executing or station.retired:
+                continue
+            if not can_wake(station, self.variables, self.cycle):
+                continue
+            rec = station.rec
+            if (rec.is_branch or rec.is_indirect) and station.inputs_valid:
+                if self.cycle < self._branch_ready_cycle(station):
+                    continue
+            candidates.append(station)
+        for station in select(candidates, self.config.issue_width, self.variables):
+            self._start_execution(station)
+
+    def _drain_waiting_access(self) -> None:
+        """Retry pending load accesses (they issued already; only cache
+        ports, the valid-address gate and store disambiguation hold them)."""
+        if not self._waiting_access:
+            return
+        still_waiting: list[tuple[Station, int]] = []
+        for station, epoch in self._waiting_access:
+            if station.epoch != epoch or station.retired:
+                continue
+            if not self._try_load_access(station):
+                still_waiting.append((station, epoch))
+        self._waiting_access = still_waiting
+
+    def _try_load_access(self, station: Station) -> bool:
+        """Attempt the memory-access half of a load; True when started."""
+        rec = station.rec
+        cycle = self.cycle
+        if self.variables.memory_resolution is MemoryResolution.VALID_ONLY:
+            if not station.inputs_valid:
+                return False
+            if cycle < self._memory_ready_cycle(station):
+                return False
+        elif not station.inputs_usable:
+            return False
+        if not station.wrong_path:
+            if not self.lsq.prior_store_addresses_known(station.sid):
+                return False
+            if self.lsq.overlapping_older_store(
+                station.sid, rec.mem_addr, rec.mem_size
+            ):
+                return False
+        if not self.dports.try_acquire(cycle):
+            self.counters.dcache_port_conflicts += 1
+            return False
+        latency = self._load_access_latency(station)
+        self._schedule(cycle + latency, _RESULT, station)
+        return True
+
+    def _start_execution(self, station: Station) -> None:
+        rec = station.rec
+        station.issued = True
+        station.executing = True
+        station.issue_cycle = self.cycle
+        if station.speculative_inputs:
+            self.counters.issued_speculative += 1
+        self.counters.issued += 1
+        if station.exec_count > 0:
+            self.counters.reissues += 1
+        latency = execution_latency(rec.opclass)
+        if rec.is_load:
+            # Two-phase memory operation: address generation now; the
+            # access starts when the address is valid (and disambiguated).
+            self._schedule(self.cycle + latency, _ADDRGEN, station)
+        else:
+            self._schedule(self.cycle + latency, _RESULT, station)
+        if self.log.enabled and not station.wrong_path:
+            kind = (
+                SpecEventKind.REISSUE if station.exec_count else SpecEventKind.ISSUE
+            )
+            self.log.emit(rec.seq, kind, self.cycle)
+
+    def _on_addrgen(self, station: Station, cycle: int) -> None:
+        """A load's address generation completed; start (or queue) the
+        memory access."""
+        if not self._try_load_access(station):
+            self._waiting_access.append((station, station.epoch))
+
+    def _load_access_latency(self, station: Station) -> int:
+        rec = station.rec
+        if station.wrong_path:
+            return self.hierarchy.data_access(rec.mem_addr, is_write=False)
+        forwarder = self.lsq.find_forwarder(station.sid, rec.mem_addr, rec.mem_size)
+        if forwarder is not None:
+            self.counters.store_forwards += 1
+            return 1  # single-cycle store-to-load forwarding
+        return self.hierarchy.data_access(rec.mem_addr, is_write=False)
+
+    # ------------------------------------------------------------------
+    # event processing
+    # ------------------------------------------------------------------
+
+    def _process_events(self) -> None:
+        while self._events and self._events[0][0] <= self.cycle:
+            entry = heapq.heappop(self._events)
+            cycle, __, kind, station = entry[0], entry[1], entry[2], entry[3]
+            epoch = entry[4]
+            if kind in (_WAVE_VERIFY, _WAVE_INVALIDATE, _PROV_INVALIDATE):
+                # These transactions outlive nullification of their source:
+                # waves may ripple after the source retires, and a
+                # provisional invalidation must fire even if the source was
+                # itself just invalidated (the paper's Figure 1 packs both
+                # into one cycle).  A squash still kills them: squashed
+                # stations are marked retired with a bumped epoch, and
+                # their consumers died with them.
+                if station.retired and station.epoch != epoch:
+                    continue
+            elif station.epoch != epoch or station.retired:
+                continue
+            if kind == _RESULT:
+                self._on_result(station, cycle)
+            elif kind == _EQUALITY:
+                self._on_equality(station, cycle)
+            elif kind == _VERIFY:
+                self._on_verify(station, cycle)
+            elif kind == _INVALIDATE:
+                self._on_invalidate(station, cycle)
+            elif kind == _WAVE_VERIFY:
+                self._on_wave(station, cycle, entry[5], invalidate=False)
+            elif kind == _WAVE_INVALIDATE:
+                self._on_wave(station, cycle, entry[5], invalidate=True)
+            elif kind == _ADDRGEN:
+                self._on_addrgen(station, cycle)
+            elif kind == _PROV_INVALIDATE:
+                self._on_provisional_invalidate(station, cycle)
+
+    def _on_result(self, station: Station, cycle: int) -> None:
+        # Operand *status* may have improved during execution (verification
+        # transactions clear taints in place); operand *values* cannot have
+        # changed without a nullification, which bumps the epoch and voids
+        # this event.  The result's speculation state is therefore the
+        # operands' current state.
+        valid = station.inputs_valid
+        correct = station.inputs_correct
+        taints: set[int] = set()
+        for operand in station.operands:
+            taints |= operand.taints
+        station.executing = False
+        station.executed = True
+        station.exec_count += 1
+        station.result_cycle = cycle
+        station.exec_valid_inputs = valid
+        rec = station.rec
+
+        live_prediction = (
+            station.predicted
+            and not station.prediction_resolved
+            and not station.prediction_muted
+        )
+        if live_prediction:
+            # Consumers keep the prediction broadcast (tainted only by this
+            # station's own unresolved prediction).  The equality comparator
+            # fires on every writeback: with valid inputs the outcome is
+            # final; with speculative inputs a mismatch provisionally mutes
+            # the prediction and invalidates its consumers (the paper's
+            # Figure 1 detects instruction 2's misprediction from its
+            # wrong-input execution).
+            station.spec_equal = correct and station.pred_correct
+            station.exec_taints = set(taints)
+            if valid:
+                self._schedule(
+                    cycle + self.latencies.exec_to_equality, _EQUALITY, station
+                )
+            elif not station.spec_equal:
+                self._schedule(
+                    cycle
+                    + self.latencies.exec_to_equality
+                    + self.latencies.equality_to_invalidation,
+                    _PROV_INVALIDATE,
+                    station,
+                )
+        else:
+            station.out_ready = True
+            station.out_taints = set(taints)
+            station.out_correct = correct
+            station.exec_taints = set(taints)
+            if not taints:
+                station.out_valid_cycle = cycle
+                station.out_via_network = False
+            self._broadcast(station, cycle)
+            if (
+                station.predicted
+                and not station.prediction_resolved
+                and valid
+            ):
+                # Muted prediction: final equality still needed for the
+                # retirement gate and predictor bookkeeping.
+                self._schedule(
+                    cycle + self.latencies.exec_to_equality, _EQUALITY, station
+                )
+
+        if rec.is_store and not station.wrong_path and valid:
+            self.lsq.set_address(station.sid, rec.mem_addr, rec.mem_size)
+            self.lsq.set_store_data_ready(station.sid)
+        if rec.is_load:
+            station.mem_done = True
+        if (
+            station.branch_mispredicted
+            and not station.wrong_path
+            and valid
+        ):
+            self._resolve_mispredicted_branch(station, cycle)
+        if self.log.enabled and not station.wrong_path:
+            self.log.emit(rec.seq, SpecEventKind.WRITE, cycle)
+
+    def _broadcast(self, station: Station, cycle: int) -> None:
+        """Deliver the current (non-prediction) output to all consumers."""
+        for consumer_sid, op_index in station.consumers:
+            consumer = self.window.get(consumer_sid)
+            if consumer is None or consumer.retired:
+                continue
+            operand = consumer.operands[op_index]
+            operand.deliver(
+                taints=station.out_taints,
+                correct=station.out_correct,
+                cycle=cycle,
+                from_prediction=False,
+                via_network=False,
+            )
+
+    # -- equality / verification / invalidation -------------------------
+
+    def _on_equality(self, station: Station, cycle: int) -> None:
+        if station.prediction_resolved:
+            return
+        station.equality_cycle = cycle
+        if self.log.enabled:
+            self.log.emit(station.rec.seq, SpecEventKind.EQUALITY, cycle)
+        if station.pred_correct:
+            self._schedule(
+                cycle + self.latencies.equality_to_verification, _VERIFY, station
+            )
+        else:
+            self._schedule(
+                cycle + self.latencies.equality_to_invalidation, _INVALIDATE, station
+            )
+
+    def _consumer_closure(self, roots: list[Station]) -> list[Station]:
+        """All in-flight stations reachable through consumer edges."""
+        seen: set[int] = {s.sid for s in roots}
+        out: list[Station] = []
+        frontier = list(roots)
+        while frontier:
+            current = frontier.pop()
+            for consumer_sid, __ in current.consumers:
+                if consumer_sid in seen:
+                    continue
+                seen.add(consumer_sid)
+                consumer = self.window.get(consumer_sid)
+                if consumer is None or consumer.retired:
+                    continue
+                out.append(consumer)
+                frontier.append(consumer)
+        return out
+
+    def _on_verify(self, source: Station, cycle: int) -> None:
+        if source.prediction_resolved:
+            return
+        scheme = self.variables.verification
+        if scheme is VerificationScheme.PARALLEL_NETWORK:
+            self._verify_parallel(source, cycle)
+        elif scheme is VerificationScheme.HIERARCHICAL:
+            self._verify_hierarchical(source, cycle)
+        else:  # RETIREMENT_BASED and HYBRID
+            self._verify_retirement_based(source, cycle, scheme)
+
+    def _resolve_correct(self, station: Station, cycle: int) -> None:
+        station.prediction_resolved = True
+        station.verify_cycle = cycle
+        station.out_taints.discard(station.sid)
+        station.out_correct = True
+        if not station.out_taints:
+            station.out_valid_cycle = cycle
+            station.out_via_network = True
+        self.counters.verification_events += 1
+        if self.log.enabled:
+            self.log.emit(station.rec.seq, SpecEventKind.VERIFY, cycle)
+
+    def _verify_parallel(self, source: Station, cycle: int) -> None:
+        """Flattened-hierarchical verification: one transaction validates
+        the full dependence closure, folding in chained predictions whose
+        speculative equality comparisons already succeeded."""
+        resolved: list[Station] = [source]
+        resolved_sids: set[int] = {source.sid}
+        self._resolve_correct(source, cycle)
+        # Transitively resolve chained predictions.
+        changed = True
+        while changed:
+            changed = False
+            for candidate in self._consumer_closure(resolved):
+                if (
+                    candidate.predicted
+                    and not candidate.prediction_resolved
+                    and candidate.executed
+                    and not candidate.executing
+                ):
+                    exec_taints = candidate.exec_taints
+                    if exec_taints and exec_taints <= resolved_sids:
+                        if candidate.spec_equal:
+                            self._resolve_correct(candidate, cycle)
+                            resolved.append(candidate)
+                            resolved_sids.add(candidate.sid)
+                            changed = True
+                        else:
+                            candidate.equality_cycle = cycle
+                            self._schedule(
+                                cycle + self.latencies.equality_to_invalidation,
+                                _INVALIDATE,
+                                candidate,
+                            )
+                            # Guard double scheduling.
+                            candidate.prediction_resolved = True
+                            candidate.verify_cycle = (
+                                cycle + self.latencies.equality_to_invalidation
+                            )
+        self._clear_taints(resolved, resolved_sids, cycle)
+
+    def _clear_taints(
+        self, resolved: list[Station], resolved_sids: set[int], cycle: int
+    ) -> None:
+        """Remove resolved sources from every reachable taint set (the
+        resolved stations themselves included: a chain-resolved station's
+        operands are tainted by its resolved predecessors)."""
+        for station in resolved + self._consumer_closure(resolved):
+            for operand in station.operands:
+                if operand.taints & resolved_sids:
+                    operand.taints -= resolved_sids
+                    if operand.ready and not operand.taints:
+                        operand.valid_cycle = cycle
+                        operand.via_network = True
+            if station.out_taints & resolved_sids:
+                station.out_taints -= resolved_sids
+                if (
+                    station.out_ready
+                    and not station.out_taints
+                    and not (
+                        station.predicted
+                        and not station.prediction_resolved
+                        and not station.prediction_muted
+                    )
+                ):
+                    station.out_valid_cycle = cycle
+                    station.out_via_network = True
+            if station.exec_taints:
+                station.exec_taints -= resolved_sids
+            self._maybe_publish_store_address(station)
+            self._maybe_resolve_branch(station, cycle)
+            self._maybe_chain_equality(station, cycle)
+
+    def _maybe_resolve_branch(self, station: Station, cycle: int) -> None:
+        """A mispredicted branch that executed speculatively (resolution
+        policy permitting) resolves once its operands prove valid — the
+        computed outcome is then trustworthy and fetch can redirect."""
+        if (
+            station.branch_mispredicted
+            and not station.wrong_path
+            and station.executed
+            and not station.executing
+            and station.inputs_valid
+        ):
+            self._resolve_mispredicted_branch(station, cycle)
+
+    def _maybe_publish_store_address(self, station: Station) -> None:
+        """A store whose address generation ran speculatively publishes its
+        address to the LSQ once the operands prove valid."""
+        if (
+            station.rec.is_store
+            and not station.wrong_path
+            and station.executed
+            and station.inputs_valid
+        ):
+            entry = self.lsq.get(station.sid)
+            if entry is not None and entry.address is None:
+                self.lsq.set_address(
+                    station.sid, station.rec.mem_addr, station.rec.mem_size
+                )
+                self.lsq.set_store_data_ready(station.sid)
+
+    def _maybe_chain_equality(self, station: Station, cycle: int) -> None:
+        """Under non-flattened schemes a predicted instruction whose inputs
+        just became valid resolves through a fresh equality event."""
+        if (
+            self.variables.verification is not VerificationScheme.PARALLEL_NETWORK
+            and station.predicted
+            and not station.prediction_resolved
+            and station.executed
+            and not station.executing
+            and station.inputs_valid
+        ):
+            self._schedule(
+                cycle + self.latencies.exec_to_equality, _EQUALITY, station
+            )
+
+    def _verify_hierarchical(self, source: Station, cycle: int) -> None:
+        """One dependence level per transaction (per cycle).  Frontiers are
+        recomputed when each wave fires so consumers that captured a
+        tainted value after the transaction started are still reached."""
+        self._resolve_correct(source, cycle)
+        self._schedule_wave(
+            cycle, _WAVE_VERIFY, source, [c for c, __ in source.consumers]
+        )
+
+    def _on_wave(
+        self, source: Station, cycle: int, wave: list[int], *, invalidate: bool
+    ) -> None:
+        """One hierarchical (in)validation transaction: handle the current
+        frontier, then schedule the next dependence level one cycle later.
+        The next frontier is the frontier's current consumers, computed at
+        fire time so late captures of tainted values are still covered."""
+        stations = [
+            s
+            for sid in wave
+            if (s := self.window.get(sid)) is not None and not s.retired
+        ]
+        sid = source.sid
+        next_frontier: set[int] = set()
+
+        def extend_frontier(station: Station) -> None:
+            for consumer_sid, __ in station.consumers:
+                next_frontier.add(consumer_sid)
+
+        if invalidate:
+            affected = []
+            for station in stations:
+                carried = (
+                    any(sid in op.taints for op in station.operands)
+                    or sid in station.out_taints
+                    or sid in station.exec_taints
+                )
+                if carried:
+                    affected.append(station)
+                    extend_frontier(station)
+            self._apply_invalidation(source, affected, cycle)
+        else:
+            sids = {sid}
+            for station in stations:
+                touched = False
+                for operand in station.operands:
+                    if operand.taints & sids:
+                        operand.taints -= sids
+                        touched = True
+                        if operand.ready and not operand.taints:
+                            operand.valid_cycle = cycle
+                            operand.via_network = True
+                if station.out_taints & sids:
+                    station.out_taints -= sids
+                    touched = True
+                    if (
+                        station.out_ready
+                        and not station.out_taints
+                        and not (
+                            station.predicted
+                            and not station.prediction_resolved
+                            and not station.prediction_muted
+                        )
+                    ):
+                        station.out_valid_cycle = cycle
+                        station.out_via_network = True
+                if sid in station.exec_taints:
+                    station.exec_taints.discard(sid)
+                    touched = True
+                if touched:
+                    extend_frontier(station)
+                    self._maybe_publish_store_address(station)
+                    self._maybe_resolve_branch(station, cycle)
+                    self._maybe_chain_equality(station, cycle)
+        if next_frontier:
+            kind = _WAVE_INVALIDATE if invalidate else _WAVE_VERIFY
+            self._schedule_wave(cycle + 1, kind, source, sorted(next_frontier))
+
+    def _verify_retirement_based(
+        self, source: Station, cycle: int, scheme: VerificationScheme
+    ) -> None:
+        """Resolution is known (EQ comparator fired); propagation to
+        successors happens only through the retirement window (and, for
+        HYBRID, additionally through hierarchical broadcast)."""
+        self._resolve_correct(source, cycle)
+        self._retire_verified.add(source.sid)
+        if scheme is VerificationScheme.HYBRID:
+            self._schedule_wave(
+                cycle + 1, _WAVE_VERIFY, source, [c for c, __ in source.consumers]
+            )
+
+    def _retirement_based_validate(self) -> None:
+        """Per-cycle retirement-window validation pass (Section 3.2's
+        retirement-based scheme: only the w oldest instructions can be
+        validated each cycle)."""
+        for station in self.window.oldest(self.config.retire_width):
+            changed = False
+            for operand in station.operands:
+                if operand.ready and operand.taints:
+                    if operand.taints <= self._retire_verified:
+                        operand.taints = set()
+                        operand.valid_cycle = self.cycle
+                        operand.via_network = True
+                        changed = True
+            if (
+                station.out_taints
+                and (station.prediction_resolved or not station.predicted)
+                and station.out_taints <= self._retire_verified
+            ):
+                station.out_taints = set()
+                if station.out_ready:
+                    station.out_valid_cycle = self.cycle
+                    station.out_via_network = True
+            if changed:
+                self._maybe_publish_store_address(station)
+                self._maybe_resolve_branch(station, self.cycle)
+                self._maybe_chain_equality(station, self.cycle)
+
+    def _on_provisional_invalidate(self, source: Station, cycle: int) -> None:
+        """A speculative-input execution of a predicted instruction
+        mismatched its prediction.  The outcome is not final (the inputs
+        were themselves unverified), but the paper's design acts on it:
+        the prediction is muted, its consumers are invalidated, and the
+        station broadcasts computed results from now on.  Final equality
+        still happens at the first valid-input execution (or through chain
+        resolution), restoring correctness bookkeeping either way."""
+        if source.prediction_resolved or source.prediction_muted:
+            return
+        if source.retired:
+            return
+        source.prediction_muted = True
+        self.counters.provisional_invalidations += 1
+        if self.log.enabled:
+            self.log.emit(source.rec.seq, SpecEventKind.INVALIDATE, cycle)
+        reissue_at = cycle + self.latencies.invalidation_to_reissue
+        sid = source.sid
+        for station in self._consumer_closure([source]):
+            touched = False
+            for operand in station.operands:
+                if sid in operand.taints:
+                    operand.reset_pending()
+                    touched = True
+            if not touched:
+                continue
+            if station.issued or station.executing or station.executed:
+                station.nullify(reissue_at)
+                if station.rec.is_memory and not station.wrong_path:
+                    if self.lsq.get(station.sid) is not None:
+                        self.lsq.clear_address(station.sid)
+                if self.log.enabled and not station.wrong_path:
+                    self.log.emit(station.rec.seq, SpecEventKind.INVALIDATE, cycle)
+        # Re-expose the station's latest computed result (if any still
+        # stands) so consumers wait on real dataflow from here on.
+        if source.executed and not source.executing:
+            source.out_ready = True
+            source.out_taints = set(source.exec_taints)
+            source.out_correct = source.inputs_correct
+            self._broadcast(source, cycle)
+        else:
+            source.out_ready = False
+            source.out_taints = set()
+
+    def _on_invalidate(self, source: Station, cycle: int) -> None:
+        source.prediction_resolved = True
+        source.verify_cycle = cycle
+        # The source executed with valid inputs: its exec result is the
+        # architecturally correct value, delivered with the invalidation.
+        source.out_ready = True
+        source.out_taints = set()
+        source.out_correct = True
+        source.out_valid_cycle = cycle
+        source.out_via_network = True
+        self.counters.invalidation_events += 1
+        if self.log.enabled:
+            self.log.emit(source.rec.seq, SpecEventKind.INVALIDATE, cycle)
+
+        if self.variables.invalidation is InvalidationScheme.COMPLETE:
+            self._complete_invalidation(source, cycle)
+            return
+        if self.variables.invalidation is InvalidationScheme.SELECTIVE_PARALLEL:
+            closure = self._consumer_closure([source])
+            self._apply_invalidation(source, closure, cycle)
+        else:  # SELECTIVE_HIERARCHICAL
+            self._schedule_wave(
+                cycle, _WAVE_INVALIDATE, source, [c for c, __ in source.consumers]
+            )
+
+    def _apply_invalidation(
+        self, source: Station, affected: list[Station], cycle: int
+    ) -> None:
+        """Selective invalidation of everything tainted by ``source``."""
+        sid = source.sid
+        reissue_at = cycle + self.latencies.invalidation_to_reissue
+        for station in affected:
+            touched = False
+            for operand in station.operands:
+                if sid in operand.taints:
+                    if operand.producer_sid == sid:
+                        operand.deliver(
+                            taints=source.out_taints,
+                            correct=True,
+                            cycle=cycle,
+                            from_prediction=False,
+                            via_network=True,
+                        )
+                    else:
+                        operand.reset_pending()
+                    touched = True
+            if not touched:
+                continue
+            if station.issued or station.executing or station.executed:
+                station.nullify(reissue_at)
+                if station.rec.is_memory and not station.wrong_path:
+                    entry = self.lsq.get(station.sid)
+                    if entry is not None:
+                        self.lsq.clear_address(station.sid)
+                if self.log.enabled and not station.wrong_path:
+                    self.log.emit(station.rec.seq, SpecEventKind.INVALIDATE, cycle)
+
+    def _complete_invalidation(self, source: Station, cycle: int) -> None:
+        """Treat the value misprediction like a branch misprediction
+        (Section 3.1): squash everything younger and refetch."""
+        self._squash_younger(source.sid)
+        self._fetch_queue.clear()
+        self.fetch_engine.rewind_to(
+            source.rec.seq + 1, cycle, penalty=self.config.redirect_penalty
+        )
+        self._pending_branch = None
+
+    # ------------------------------------------------------------------
+    # branches
+    # ------------------------------------------------------------------
+
+    def _resolve_mispredicted_branch(self, branch: Station, cycle: int) -> None:
+        self._squash_younger(branch.sid)
+        self._fetch_queue.clear()
+        self.fetch_engine.redirect(cycle, penalty=self.config.redirect_penalty)
+        if self._pending_branch is branch:
+            self._pending_branch = None
+        branch.branch_mispredicted = False  # resolved; don't squash again
+
+    def _squash_younger(self, sid: int) -> None:
+        removed = self.window.squash_younger_than(sid)
+        for station in removed:
+            station.epoch += 1
+            station.retired = True  # dead: events and broadcasts skip it
+            rec = station.rec
+            if rec.writes_register:
+                writer_list = self._writers.get(rec.dest_reg)
+                if writer_list and station.sid in writer_list:
+                    writer_list.remove(station.sid)
+            pending = self._pending_train.pop(station.sid, None)
+            if pending is not None:
+                # The speculative history entry for this prediction will
+                # never be reconciled at retirement; drop the PC's
+                # speculative history wholesale.
+                self.predictor.flush_speculative(pending[0])
+        self.lsq.squash_after(sid)
+        self.counters.squashed += len(removed)
+        if self._pending_branch is not None and self._pending_branch.sid > sid:
+            self._pending_branch = None
+
+    # ------------------------------------------------------------------
+    # retire
+    # ------------------------------------------------------------------
+
+    def _speculation_involved(self, station: Station) -> bool:
+        if station.predicted:
+            return True
+        return any(op.via_network for op in station.operands)
+
+    def _release_delay(self, station: Station) -> int:
+        if self.model is None or not self._speculation_involved(station):
+            return 1  # base rule: one cycle after completion
+        return max(
+            self.latencies.verification_to_free_issue,
+            self.latencies.verification_to_free_retirement,
+        )
+
+    def _finality_cycle(self, station: Station) -> int:
+        final = station.result_cycle
+        for operand in station.operands:
+            if operand.valid_cycle > final:
+                final = operand.valid_cycle
+        if station.predicted:
+            final = max(final, station.verify_cycle)
+        if station.rec.writes_register:
+            final = max(final, station.out_valid_cycle)
+        return final
+
+    def _retire(self) -> None:
+        if self.variables.verification in (
+            VerificationScheme.RETIREMENT_BASED,
+            VerificationScheme.HYBRID,
+        ):
+            self._retirement_based_validate()
+        retired = 0
+        while retired < self.config.retire_width:
+            head = self.window.head()
+            if head is None or head.wrong_path:
+                break
+            if not head.executed or head.executing:
+                break
+            if not head.inputs_valid:
+                break
+            if head.predicted and not head.prediction_resolved:
+                break
+            if head.rec.writes_register and head.out_taints:
+                break
+            if self.cycle < self._finality_cycle(head) + self._release_delay(head):
+                break
+            self._retire_one(head)
+            retired += 1
+
+    def _retire_one(self, head: Station) -> None:
+        self.window.release_head()
+        head.retired = True
+        rec = head.rec
+        if rec.is_store:
+            self.hierarchy.data_access(rec.mem_addr, is_write=True)
+        self.lsq.release(head.sid)
+        if rec.writes_register:
+            writer_list = self._writers.get(rec.dest_reg)
+            if writer_list and writer_list[0] == head.sid:
+                writer_list.pop(0)
+            elif writer_list and head.sid in writer_list:
+                writer_list.remove(head.sid)
+        pending = self._pending_train.pop(head.sid, None)
+        if pending is not None:
+            pc, actual, pred_correct, token = pending
+            self.predictor.train(pc, actual, token)
+            self.confidence.update(pc, pred_correct)
+        self.counters.retired += 1
+        self._last_retire_cycle = self.cycle
+        if self.log.enabled:
+            self.log.emit(rec.seq, SpecEventKind.RETIRE, self.cycle)

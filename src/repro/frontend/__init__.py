@@ -1,0 +1,29 @@
+"""Front-end models: branch prediction and fetch.
+
+The paper's configuration (Section 5.1): a gshare predictor hashing 16 bits
+of global history with the low 16 bits of the branch PC into a 64K-entry
+table of 2-bit counters, updated with correct information after each
+prediction; unconditional and direct jumps always predicted correctly;
+conditional-branch targets correct whenever the direction is correct; an
+ideal fetch engine that can read and align past multiple basic blocks per
+cycle as long as predictions are correct and fetches hit in the L1 I-cache.
+"""
+
+from repro.frontend.gshare import GsharePredictor
+from repro.frontend.bimodal import BimodalPredictor
+from repro.frontend.local import LocalHistoryPredictor
+from repro.frontend.tournament import TournamentPredictor
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.fetch import FetchEngine, FetchedInstruction
+
+__all__ = [
+    "GsharePredictor",
+    "BimodalPredictor",
+    "LocalHistoryPredictor",
+    "TournamentPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "FetchEngine",
+    "FetchedInstruction",
+]

@@ -1,0 +1,50 @@
+"""Bimodal (PC-indexed 2-bit counter) branch predictor.
+
+Not used by the paper's configuration, but provided as the natural baseline
+for branch-predictor ablations: the gap between bimodal and gshare controls
+how often value speculation runs under wrong-path fetch.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import INSTRUCTION_BYTES
+
+
+class BimodalPredictor:
+    """Classic per-PC saturating 2-bit counter table [Smith 1981]."""
+
+    def __init__(self, table_bits: int = 12):
+        if table_bits <= 0:
+            raise ValueError("table_bits must be > 0")
+        self.table_bits = table_bits
+        self._index_mask = (1 << table_bits) - 1
+        self.table = bytearray([1] * (1 << table_bits))
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        index = self._index(pc)
+        predicted_taken = self.table[index] >= 2
+        counter = self.table[index]
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+        self.predictions += 1
+        correct = predicted_taken == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions

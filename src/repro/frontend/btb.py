@@ -1,0 +1,43 @@
+"""Branch target buffer.
+
+The paper assumes conditional-branch targets are predicted correctly
+whenever the direction is correct, so the headline configuration does not
+need a BTB.  The model is provided for ablations that relax that
+assumption (``ProcessorConfig.ideal_branch_targets = False``), where
+taken branches missing in the BTB cost a fetch redirect.
+"""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """Direct-mapped tagged target buffer."""
+
+    def __init__(self, entries_bits: int = 11):
+        if entries_bits <= 0:
+            raise ValueError("entries_bits must be > 0")
+        self.entries_bits = entries_bits
+        self._index_mask = (1 << entries_bits) - 1
+        self._tags: list[int | None] = [None] * (1 << entries_bits)
+        self._targets: list[int] = [0] * (1 << entries_bits)
+        self.hits = 0
+        self.misses = 0
+
+    def _index_tag(self, pc: int) -> tuple[int, int]:
+        word = pc >> 3
+        return word & self._index_mask, word >> self.entries_bits
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the predicted target for ``pc``, or ``None`` on a miss."""
+        index, tag = self._index_tag(pc)
+        if self._tags[index] == tag:
+            self.hits += 1
+            return self._targets[index]
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target for a taken control transfer."""
+        index, tag = self._index_tag(pc)
+        self._tags[index] = tag
+        self._targets[index] = target

@@ -1,0 +1,226 @@
+"""The fetch engine.
+
+Implements the paper's ideal fetch assumption: "provided instruction
+references hit in the cache and branches are predicted correctly, the
+fetch engine can read and align from multiple basic blocks in the same
+cycle."  Fetch is therefore limited only by fetch width, I-cache misses,
+and branch mispredictions.
+
+On a conditional-branch direction misprediction the engine switches to
+wrong-path mode: it synthesizes a deterministic stream of wrong-path
+instructions ("Wrong path instructions are executed and their side effects
+are modeled") that occupy window slots, issue bandwidth and D-cache ports
+until the timing engine resolves the branch and calls :meth:`redirect`.
+Wrong-path *data* side effects are approximated: wrong-path loads touch the
+data cache (pollution), but wrong-path memory operations do not enter the
+load/store queue (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import INSTRUCTION_BYTES, Opcode
+from repro.mem.cache import Cache
+from repro.trace.record import TraceRecord
+
+_MASK64 = (1 << 64) - 1
+_WRONG_PATH_SEQ = -1
+
+
+def _mix(state: int) -> int:
+    state = (state ^ (state >> 33)) * 0xFF51AFD7ED558CCD & _MASK64
+    return (state ^ (state >> 33)) & _MASK64
+
+
+@dataclass(frozen=True)
+class FetchedInstruction:
+    """One instruction leaving the fetch stage."""
+
+    rec: TraceRecord
+    wrong_path: bool = False
+    #: True for a correct-path conditional branch whose direction the
+    #: branch predictor got wrong — fetch goes wrong-path after it.
+    mispredicted: bool = False
+
+
+class _WrongPathGenerator:
+    """Deterministic synthetic wrong-path instruction stream."""
+
+    def __init__(self, seed: int, start_pc: int, data_base: int = 0x600000):
+        self._state = _mix(seed | 1)
+        self._pc = start_pc
+        self._data_base = data_base
+
+    def next(self) -> TraceRecord:
+        self._state = _mix(self._state)
+        roll = self._state % 100
+        pc = self._pc
+        self._pc += INSTRUCTION_BYTES
+        dest = 8 + (self._state >> 8) % 8
+        src = 8 + (self._state >> 16) % 8
+        if roll < 70:
+            opcode, mem_addr, mem_size = Opcode.ADD, None, None
+        elif roll < 85:
+            opcode = Opcode.LD
+            mem_addr = self._data_base + ((self._state >> 24) & 0xFFF) * 8
+            mem_size = 8
+        elif roll < 90:
+            opcode, mem_addr, mem_size = Opcode.MUL, None, None
+        else:
+            # Wrong-path branch: executes but never redirects fetch.
+            return TraceRecord(
+                seq=_WRONG_PATH_SEQ,
+                pc=pc,
+                opcode=Opcode.BNE,
+                src_regs=(src,),
+                branch_taken=bool(self._state & 1),
+                next_pc=self._pc,
+            )
+        return TraceRecord(
+            seq=_WRONG_PATH_SEQ,
+            pc=pc,
+            opcode=opcode,
+            src_regs=(src,),
+            dest_reg=dest,
+            dest_value=self._state & 0xFFFF,
+            mem_addr=mem_addr,
+            mem_size=mem_size,
+            next_pc=self._pc,
+        )
+
+
+class FetchEngine:
+    """Trace replay with branch-prediction and I-cache timing."""
+
+    def __init__(
+        self,
+        trace: list[TraceRecord],
+        icache: Cache | None,
+        branch_predictor,
+        *,
+        model_wrong_path: bool = True,
+        ideal_branch_targets: bool = True,
+        btb=None,
+        ras=None,
+        seed: int = 7,
+    ):
+        self.trace = trace
+        self.icache = icache
+        self.branch_predictor = branch_predictor
+        self.model_wrong_path = model_wrong_path
+        self.ideal_branch_targets = ideal_branch_targets
+        self.btb = btb
+        self.ras = ras
+        self._seed = seed
+        self._index = 0
+        self._stall_until = 0
+        self._wrong_path_gen: _WrongPathGenerator | None = None
+        self._last_block: int | None = None
+        self.fetched_correct = 0
+        self.fetched_wrong_path = 0
+        self.icache_stall_cycles = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """Correct path fully delivered and not stuck on a wrong path."""
+        return self._index >= len(self.trace) and self._wrong_path_gen is None
+
+    @property
+    def on_wrong_path(self) -> bool:
+        return self._wrong_path_gen is not None
+
+    def _icache_ready(self, pc: int, cycle: int) -> bool:
+        """Model the I-cache access for the block holding ``pc``."""
+        if self.icache is None:
+            return True
+        block = pc // self.icache.block_bytes
+        if block == self._last_block:
+            return True
+        latency = self.icache.access(pc)
+        self._last_block = block
+        if latency > self.icache.hit_latency:
+            self._stall_until = cycle + latency
+            self.icache_stall_cycles += latency - self.icache.hit_latency
+            return False
+        return True
+
+    def _predict_direction(self, rec: TraceRecord) -> bool:
+        """Predict and (immediately) train; returns direction-correct."""
+        if self.branch_predictor is None:
+            return True
+        self.branch_predictor.predict(rec.pc)
+        return self.branch_predictor.update(rec.pc, bool(rec.branch_taken))
+
+    def _target_correct(self, rec: TraceRecord) -> bool:
+        """Target prediction under the configured frontend idealism."""
+        if self.ideal_branch_targets:
+            return True
+        if rec.opcode in (Opcode.JR,):
+            predicted = self.ras.pop() if self.ras is not None else None
+            return predicted == rec.next_pc
+        if self.btb is not None and (rec.branch_taken or rec.is_indirect):
+            predicted = self.btb.lookup(rec.pc)
+            self.btb.update(rec.pc, rec.next_pc)
+            return predicted == rec.next_pc
+        return True
+
+    def fetch(self, cycle: int, max_count: int) -> list[FetchedInstruction]:
+        """Fetch up to ``max_count`` instructions in ``cycle``."""
+        if cycle < self._stall_until or max_count <= 0:
+            return []
+        out: list[FetchedInstruction] = []
+        while len(out) < max_count:
+            if self._wrong_path_gen is not None:
+                rec = self._wrong_path_gen.next()
+                if not self._icache_ready(rec.pc, cycle):
+                    break
+                out.append(FetchedInstruction(rec, wrong_path=True))
+                self.fetched_wrong_path += 1
+                continue
+            if self._index >= len(self.trace):
+                break
+            rec = self.trace[self._index]
+            if not self._icache_ready(rec.pc, cycle):
+                break
+            self._index += 1
+            mispredicted = False
+            if rec.is_branch:
+                direction_ok = self._predict_direction(rec)
+                mispredicted = not direction_ok or not self._target_correct(rec)
+            elif rec.is_control:
+                if self.ras is not None and rec.opcode in (Opcode.JAL, Opcode.JALR):
+                    self.ras.push(rec.pc + INSTRUCTION_BYTES)
+                mispredicted = not self._target_correct(rec)
+            out.append(FetchedInstruction(rec, mispredicted=mispredicted))
+            self.fetched_correct += 1
+            if mispredicted:
+                if self.model_wrong_path:
+                    self._wrong_path_gen = _WrongPathGenerator(
+                        self._seed ^ rec.seq, rec.next_pc + 0x4000
+                    )
+                else:
+                    self._stall_until = 1 << 60  # wait for redirect
+                break
+        return out
+
+    def redirect(self, cycle: int, *, penalty: int = 1) -> None:
+        """Resume correct-path fetch after a resolved misprediction.
+
+        ``penalty`` cycles pass before the first correct-path fetch (the
+        redirect bubble); correct-path state (``_index``) already points at
+        the instruction after the branch because the trace is the correct
+        path by construction.
+        """
+        self._wrong_path_gen = None
+        self._stall_until = cycle + penalty
+        self._last_block = None
+
+    def rewind_to(self, seq: int, cycle: int, *, penalty: int = 1) -> None:
+        """Restart correct-path fetch from trace position ``seq`` — used by
+        complete value-misspeculation invalidation, which refetches like a
+        branch misprediction."""
+        self._index = seq
+        self._wrong_path_gen = None
+        self._stall_until = cycle + penalty
+        self._last_block = None

@@ -1,0 +1,62 @@
+"""Gshare conditional branch direction predictor [McFarling 1993].
+
+Paper configuration: 16 bits of global history XORed with the 16 low-order
+bits of the branch PC index a 64K-entry table of saturating 2-bit counters.
+"The branch predictor is updated with correct information following each
+prediction" — i.e. history and counters always reflect actual outcomes
+(no delayed/speculative-history modeling for the branch predictor).
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import INSTRUCTION_BYTES
+
+
+class GsharePredictor:
+    """Global-history XOR PC indexed pattern-history table."""
+
+    def __init__(self, history_bits: int = 16, table_bits: int = 16):
+        if history_bits < 0 or table_bits <= 0:
+            raise ValueError("history_bits must be >= 0 and table_bits > 0")
+        self.history_bits = history_bits
+        self.table_bits = table_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._index_mask = (1 << table_bits) - 1
+        # 2-bit saturating counters, initialized weakly not-taken (01).
+        self.table = bytearray([1] * (1 << table_bits))
+        self.history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        word_pc = pc // INSTRUCTION_BYTES
+        return ((self.history & self._history_mask) ^ word_pc) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for a conditional branch at ``pc``."""
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the actual outcome; returns True if it was predicted
+        correctly.  Also shifts the outcome into the global history."""
+        index = self._index(pc)
+        predicted_taken = self.table[index] >= 2
+        counter = self.table[index]
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        else:
+            if counter > 0:
+                self.table[index] = counter - 1
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+        self.predictions += 1
+        correct = predicted_taken == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions

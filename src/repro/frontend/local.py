@@ -1,0 +1,56 @@
+"""Two-level local-history (PAg) branch predictor.
+
+Per-branch history registers indexing a shared pattern table — the
+per-address half of McFarling's combining predictor.  Captures short
+per-branch patterns (loop trip counts) that global history dilutes.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import INSTRUCTION_BYTES
+
+
+class LocalHistoryPredictor:
+    """BHT of per-branch histories over a shared 2-bit-counter PHT."""
+
+    def __init__(self, history_bits: int = 10, bht_bits: int = 10):
+        if history_bits <= 0 or bht_bits <= 0:
+            raise ValueError("history_bits and bht_bits must be positive")
+        self.history_bits = history_bits
+        self.bht_bits = bht_bits
+        self._bht_mask = (1 << bht_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._histories = [0] * (1 << bht_bits)
+        self._pht = bytearray([1] * (1 << history_bits))
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _bht_index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & self._bht_mask
+
+    def predict(self, pc: int) -> bool:
+        history = self._histories[self._bht_index(pc)]
+        return self._pht[history] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        index = self._bht_index(pc)
+        history = self._histories[index]
+        predicted = self._pht[history] >= 2
+        counter = self._pht[history]
+        if taken:
+            if counter < 3:
+                self._pht[history] = counter + 1
+        elif counter > 0:
+            self._pht[history] = counter - 1
+        self._histories[index] = ((history << 1) | int(taken)) & self._history_mask
+        self.predictions += 1
+        correct = predicted == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions

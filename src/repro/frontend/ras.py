@@ -1,0 +1,39 @@
+"""Return address stack for predicting ``jr ra`` targets.
+
+Like the BTB this is not needed under the paper's ideal-target assumption;
+it backs the relaxed-frontend ablation.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address predictor stack."""
+
+    def __init__(self, depth: int = 16):
+        if depth <= 0:
+            raise ValueError("depth must be > 0")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Record a call's return address."""
+        self._stack.append(return_address)
+        self.pushes += 1
+        if len(self._stack) > self.depth:
+            # Oldest entry falls off the bottom, as in hardware.
+            self._stack.pop(0)
+
+    def pop(self) -> int | None:
+        """Predict a return target; ``None`` when the stack is empty."""
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

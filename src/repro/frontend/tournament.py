@@ -1,0 +1,71 @@
+"""McFarling combining (tournament) branch predictor [24].
+
+The paper uses plain gshare; this is the combining predictor from the
+same tech report — gshare and a local-history component arbitrated by a
+chooser of 2-bit counters indexed by PC — provided for front-end
+ablations.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.gshare import GsharePredictor
+from repro.frontend.local import LocalHistoryPredictor
+from repro.isa.opcodes import INSTRUCTION_BYTES
+
+
+class TournamentPredictor:
+    """gshare + local-history with a per-PC chooser."""
+
+    def __init__(
+        self,
+        global_history_bits: int = 12,
+        global_table_bits: int = 12,
+        local_history_bits: int = 10,
+        local_bht_bits: int = 10,
+        chooser_bits: int = 12,
+    ):
+        if chooser_bits <= 0:
+            raise ValueError("chooser_bits must be positive")
+        self.gshare = GsharePredictor(global_history_bits, global_table_bits)
+        self.local = LocalHistoryPredictor(local_history_bits, local_bht_bits)
+        self._chooser_mask = (1 << chooser_bits) - 1
+        # >= 2 selects gshare
+        self._chooser = bytearray([2] * (1 << chooser_bits))
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & self._chooser_mask
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser[self._chooser_index(pc)] >= 2:
+            return self.gshare.predict(pc)
+        return self.local.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        index = self._chooser_index(pc)
+        use_gshare = self._chooser[index] >= 2
+        gshare_pred = self.gshare.predict(pc)
+        local_pred = self.local.predict(pc)
+        predicted = gshare_pred if use_gshare else local_pred
+        # train the components (they also record their own accuracy)
+        self.gshare.update(pc, taken)
+        self.local.update(pc, taken)
+        gshare_right = gshare_pred == taken
+        local_right = local_pred == taken
+        counter = self._chooser[index]
+        if gshare_right and not local_right and counter < 3:
+            self._chooser[index] = counter + 1
+        elif local_right and not gshare_right and counter > 0:
+            self._chooser[index] = counter - 1
+        self.predictions += 1
+        correct = predicted == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions

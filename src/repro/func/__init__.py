@@ -1,0 +1,12 @@
+"""Functional (architectural) simulator for VSR programs.
+
+Executes an assembled :class:`~repro.asm.assembler.Program` instruction by
+instruction, maintaining architected register and memory state.  It is the
+golden reference for instruction semantics and the producer of the dynamic
+instruction traces replayed by the timing simulator.
+"""
+
+from repro.func.memory_image import MemoryImage
+from repro.func.machine import Machine, MachineError, StepResult
+
+__all__ = ["MemoryImage", "Machine", "MachineError", "StepResult"]

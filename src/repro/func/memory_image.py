@@ -1,0 +1,71 @@
+"""Sparse byte-addressable memory for the functional simulator."""
+
+from __future__ import annotations
+
+_CHUNK_BITS = 12
+_CHUNK_SIZE = 1 << _CHUNK_BITS
+
+
+class MemoryImage:
+    """Sparse memory image backed by fixed-size bytearray chunks.
+
+    Reads of untouched memory return zero, so ``.space`` regions and the
+    stack need no explicit initialization.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: dict[int, bytearray] = {}
+
+    def _chunk_for(self, address: int) -> tuple[bytearray, int]:
+        base = address >> _CHUNK_BITS
+        chunk = self._chunks.get(base)
+        if chunk is None:
+            chunk = bytearray(_CHUNK_SIZE)
+            self._chunks[base] = chunk
+        return chunk, address & (_CHUNK_SIZE - 1)
+
+    def load_bytes(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``address``."""
+        if address < 0 or size < 0:
+            raise ValueError(f"bad memory read: addr={address:#x} size={size}")
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            chunk, offset = self._chunk_for(address + pos)
+            take = min(size - pos, _CHUNK_SIZE - offset)
+            out[pos : pos + take] = chunk[offset : offset + take]
+            pos += take
+        return bytes(out)
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address``."""
+        if address < 0:
+            raise ValueError(f"bad memory write: addr={address:#x}")
+        pos = 0
+        while pos < len(data):
+            chunk, offset = self._chunk_for(address + pos)
+            take = min(len(data) - pos, _CHUNK_SIZE - offset)
+            chunk[offset : offset + take] = data[pos : pos + take]
+            pos += take
+
+    def load_uint(self, address: int, size: int) -> int:
+        """Read a ``size``-byte little-endian unsigned integer."""
+        return int.from_bytes(self.load_bytes(address, size), "little")
+
+    def store_uint(self, address: int, value: int, size: int) -> None:
+        """Write a ``size``-byte little-endian unsigned integer."""
+        self.store_bytes(address, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    def load_cstring(self, address: int, limit: int = 4096) -> str:
+        """Read a NUL-terminated string (debug/inspection helper)."""
+        raw = bytearray()
+        for i in range(limit):
+            byte = self.load_uint(address + i, 1)
+            if byte == 0:
+                break
+            raw.append(byte)
+        return raw.decode("latin-1")
+
+    def touched_chunks(self) -> int:
+        """Number of backing chunks allocated (memory-footprint metric)."""
+        return len(self._chunks)

@@ -1,0 +1,40 @@
+"""Experiment harness: one module per paper table/figure, plus sweeps.
+
+Every artifact in the paper's evaluation has a ``run_*`` function here
+that regenerates it and a renderer that prints the same rows/series the
+paper reports (see DESIGN.md's experiment index and EXPERIMENTS.md for
+paper-vs-measured results).
+"""
+
+from repro.harness.table1 import Table1Row, run_table1, render_table1
+from repro.harness.figure1 import Figure1Scenario, run_figure1, render_figure1
+from repro.harness.figure3 import Figure3Cell, run_figure3, render_figure3
+from repro.harness.figure4 import Figure4Cell, run_figure4, render_figure4
+from repro.harness.sweeps import (
+    latency_sensitivity_sweep,
+    verification_scheme_sweep,
+    invalidation_scheme_sweep,
+    predictor_sweep,
+)
+from repro.harness.experiments import EXPERIMENTS, Experiment
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "render_table1",
+    "Figure1Scenario",
+    "run_figure1",
+    "render_figure1",
+    "Figure3Cell",
+    "run_figure3",
+    "render_figure3",
+    "Figure4Cell",
+    "run_figure4",
+    "render_figure4",
+    "latency_sensitivity_sweep",
+    "verification_scheme_sweep",
+    "invalidation_scheme_sweep",
+    "predictor_sweep",
+    "EXPERIMENTS",
+    "Experiment",
+]

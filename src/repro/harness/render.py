@@ -1,0 +1,46 @@
+"""Plain-text table rendering shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {columns}: {row!r}"
+            )
+    cells = [[_format(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(columns)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_bar(fraction: float, width: int = 30, fill: str = "#") -> str:
+    """An ASCII bar for figure-style output (fraction in [0, 1+])."""
+    clamped = max(0.0, fraction)
+    filled = round(min(clamped, 1.0) * width)
+    overflow = "+" if clamped > 1.0 else ""
+    return fill * filled + "." * (width - filled) + overflow

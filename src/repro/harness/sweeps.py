@@ -1,0 +1,560 @@
+"""Design-space sweeps beyond the paper's headline figures.
+
+These regenerate the ablations DESIGN.md indexes: per-latency-variable
+sensitivity (ABL-L), the Section 3.2 verification-scheme comparison
+(ABL-V), the Section 3.1 invalidation-scheme comparison (ABL-I), and a
+value-predictor comparison (extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.latency import GREAT_LATENCIES, LatencyModel
+from repro.core.model import GREAT_MODEL, SpeculativeExecutionModel
+from repro.core.variables import (
+    BranchResolution,
+    InvalidationScheme,
+    MemoryResolution,
+    ModelVariables,
+    VerificationScheme,
+)
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import run_baseline, run_trace
+from repro.metrics.speedup import harmonic_mean
+from repro.programs.suite import benchmark_suite
+from repro.trace.record import TraceRecord
+from repro.vp.base import ValuePredictor
+from repro.vp.context import ContextValuePredictor
+from repro.vp.hybrid import HybridPredictor
+from repro.vp.last_value import LastValuePredictor
+from repro.vp.stride import StridePredictor
+from repro.vp.tagged import TaggedContextPredictor
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of a sweep."""
+
+    label: str
+    speedup: float
+    detail: dict[str, float]
+
+
+def _traces(
+    max_instructions: int | None, benchmarks: list[str] | None
+) -> dict[str, list[TraceRecord]]:
+    out = {
+        spec.name: spec.trace(max_instructions)
+        for spec in benchmark_suite()
+        if benchmarks is None or spec.name in benchmarks
+    }
+    if not out:
+        raise ValueError(f"no benchmarks selected from {benchmarks!r}")
+    return out
+
+
+def _suite_speedup(
+    traces: dict[str, list[TraceRecord]],
+    base_cycles: dict[str, int],
+    config: ProcessorConfig,
+    model: SpeculativeExecutionModel,
+    *,
+    confidence: str = "R",
+    update_timing: str = "I",
+    predictor_factory=None,
+) -> tuple[float, dict[str, float]]:
+    per_benchmark: dict[str, float] = {}
+    for name, trace in traces.items():
+        predictor = predictor_factory() if predictor_factory else None
+        result = run_trace(
+            trace,
+            config,
+            model,
+            confidence=confidence,
+            update_timing=update_timing,
+            predictor=predictor,
+        )
+        per_benchmark[name] = base_cycles[name] / result.cycles
+    return harmonic_mean(per_benchmark.values()), per_benchmark
+
+
+#: The latency variables the sensitivity sweep perturbs, as LatencyModel
+#: field names mapped to display labels.
+LATENCY_FIELDS: dict[str, str] = {
+    "equality_to_verification": "Exec-Eq-Verification",
+    "equality_to_invalidation": "Exec-Eq-Invalidation",
+    "invalidation_to_reissue": "Invalidation-Reissue",
+    "verification_to_branch": "Verification-Branch",
+    "verification_addr_to_mem_access": "VerifAddr-MemAccess",
+    "verification_to_free_issue": "Verification-FreeRes",
+}
+
+
+def latency_sensitivity_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+    values: tuple[int, ...] = (0, 1, 2),
+    base_latencies: LatencyModel = GREAT_LATENCIES,
+) -> list[SweepPoint]:
+    """ABL-L: vary each latency variable independently around a base model.
+
+    Reproduces the paper's core claim of *non-uniform sensitivity*: fast
+    verification matters; with infrequent misspeculation, invalidation and
+    reissue latency barely do.
+    """
+    config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, config).cycles for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for field_name, label in LATENCY_FIELDS.items():
+        for value in values:
+            overrides = {field_name: value}
+            if field_name == "verification_to_free_issue":
+                overrides["verification_to_free_retirement"] = value
+            latencies = replace(base_latencies, **overrides)
+            model = SpeculativeExecutionModel(
+                f"great[{label}={value}]", GREAT_MODEL.variables, latencies
+            )
+            speedup, detail = _suite_speedup(traces, base_cycles, config, model)
+            points.append(SweepPoint(f"{label}={value}", speedup, detail))
+    return points
+
+
+def verification_scheme_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+) -> list[SweepPoint]:
+    """ABL-V: the Section 3.2 verification approaches under great latencies."""
+    config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, config).cycles for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for scheme in VerificationScheme:
+        model = SpeculativeExecutionModel(
+            f"great-verify-{scheme.value}",
+            ModelVariables(verification=scheme),
+            GREAT_LATENCIES,
+        )
+        speedup, detail = _suite_speedup(traces, base_cycles, config, model)
+        points.append(SweepPoint(scheme.value, speedup, detail))
+    return points
+
+
+def invalidation_scheme_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+    confidence: str = "R",
+) -> list[SweepPoint]:
+    """ABL-I: selective (parallel/hierarchical) vs complete invalidation."""
+    config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, config).cycles for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for scheme in InvalidationScheme:
+        model = SpeculativeExecutionModel(
+            f"great-inval-{scheme.value}",
+            ModelVariables(invalidation=scheme),
+            GREAT_LATENCIES,
+        )
+        speedup, detail = _suite_speedup(
+            traces, base_cycles, config, model, confidence=confidence
+        )
+        points.append(SweepPoint(scheme.value, speedup, detail))
+    return points
+
+
+def resolution_policy_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+) -> list[SweepPoint]:
+    """Section 3.2 follow-up: resolve branches/memory with valid operands
+    only (the paper's choice) versus allowing speculative resolution.
+
+    With speculative resolution allowed, the Verification–Branch and
+    Verification-Address–Memory-Access latencies become irrelevant (the
+    model validator enforces they be zero), so instructions stop waiting
+    for the network at the price of acting on possibly-wrong inputs.
+    """
+    config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, config).cycles for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for label, branch_res, memory_res in (
+        ("valid-only (paper)", BranchResolution.VALID_ONLY,
+         MemoryResolution.VALID_ONLY),
+        ("speculative-branches", BranchResolution.SPECULATIVE_ALLOWED,
+         MemoryResolution.VALID_ONLY),
+        ("speculative-memory", BranchResolution.VALID_ONLY,
+         MemoryResolution.SPECULATIVE_ALLOWED),
+        ("speculative-both", BranchResolution.SPECULATIVE_ALLOWED,
+         MemoryResolution.SPECULATIVE_ALLOWED),
+    ):
+        latencies = replace(
+            GREAT_LATENCIES,
+            verification_to_branch=(
+                0 if branch_res is BranchResolution.SPECULATIVE_ALLOWED
+                else GREAT_LATENCIES.verification_to_branch
+            ),
+            verification_addr_to_mem_access=(
+                0 if memory_res is MemoryResolution.SPECULATIVE_ALLOWED
+                else GREAT_LATENCIES.verification_addr_to_mem_access
+            ),
+        )
+        model = SpeculativeExecutionModel(
+            f"great-{label}",
+            ModelVariables(
+                branch_resolution=branch_res, memory_resolution=memory_res
+            ),
+            latencies,
+        )
+        speedup, detail = _suite_speedup(traces, base_cycles, config, model)
+        points.append(SweepPoint(label, speedup, detail))
+    return points
+
+
+def confidence_strength_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+    counter_bits: tuple[int, ...] = (1, 2, 3, 4),
+) -> list[SweepPoint]:
+    """Section 3.6 follow-up: vary the resetting-counter width.
+
+    Wider counters demand longer correct streaks before speculating:
+    misspeculation falls (toward the oracle's zero) but more correct
+    predictions go unused (the CL set grows) — the coverage/accuracy
+    trade-off behind the paper's real-vs-oracle gap.
+    """
+    from repro.vp.confidence import ResettingConfidenceEstimator
+
+    config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, config).cycles for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for bits in counter_bits:
+        per_benchmark: dict[str, float] = {}
+        for name, trace in traces.items():
+            result = run_trace(
+                trace,
+                config,
+                GREAT_MODEL,
+                confidence=ResettingConfidenceEstimator(counter_bits=bits),
+                update_timing="I",
+            )
+            per_benchmark[name] = base_cycles[name] / result.cycles
+        points.append(
+            SweepPoint(
+                f"{bits}-bit counters",
+                harmonic_mean(per_benchmark.values()),
+                per_benchmark,
+            )
+        )
+    points.append(SweepPoint("oracle", *_oracle_point(traces, base_cycles, config)))
+    return points
+
+
+def approximate_equality_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+    low_bits: tuple[int, ...] = (0, 4, 8, 16),
+) -> list[SweepPoint]:
+    """Section 3.3 extension: non-strict equality.
+
+    "Alternatives that do not require strict equality have been suggested
+    but have not been explored" — this sweep explores them: the EQ
+    comparators ignore the low N bits, accepting near-miss predictions
+    (timing-only tolerance; architectural results are unaffected).
+    """
+    base_config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, base_config).cycles
+        for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for bits in low_bits:
+        variant = base_config.with_overrides(equality_ignore_low_bits=bits)
+        speedup, detail = _suite_speedup(
+            traces, base_cycles, variant, GREAT_MODEL
+        )
+        label = "strict (paper)" if bits == 0 else f"ignore low {bits} bits"
+        points.append(SweepPoint(label, speedup, detail))
+    return points
+
+
+def branch_predictor_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+) -> list[SweepPoint]:
+    """Front-end direction predictors and their interaction with value
+    speculation: each point reports the VP speedup *relative to a base
+    processor with the same branch predictor*, so the column isolates how
+    branch quality modulates what value speculation can add (fewer
+    squashes leave longer stretches of useful speculative work — but also
+    fewer pipeline drains to re-seed the delayed-update predictor)."""
+    base_config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    points: list[SweepPoint] = []
+    for bp in ("bimodal", "local", "gshare", "tournament"):
+        variant = base_config.with_overrides(branch_predictor=bp)
+        base_cycles = {
+            name: run_baseline(trace, variant).cycles
+            for name, trace in traces.items()
+        }
+        speedup, detail = _suite_speedup(
+            traces, base_cycles, variant, GREAT_MODEL
+        )
+        label = f"{bp} (paper)" if bp == "gshare" else bp
+        points.append(SweepPoint(label, speedup, detail))
+    return points
+
+
+def selective_prediction_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+) -> list[SweepPoint]:
+    """Selective value prediction (Calder et al. [8], discussed in the
+    paper's Sections 3.5–3.6): restrict prediction to instruction classes.
+
+    Loads and other long-latency producers are where a correct prediction
+    buys the most; predicting everything buys breadth at the cost of
+    predictor pressure (and, in real designs, ports and power).
+    """
+    base_config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, base_config).cycles
+        for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for policy in ("all", "long-latency", "loads", "alu"):
+        variant = base_config.with_overrides(predict_classes=policy)
+        speedup, detail = _suite_speedup(
+            traces, base_cycles, variant, GREAT_MODEL
+        )
+        points.append(SweepPoint(policy, speedup, detail))
+    return points
+
+
+def vp_ports_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+    ports: tuple[int, ...] = (1, 2, 4, 0),
+) -> list[SweepPoint]:
+    """Predictor-port sensitivity: how many predictions per cycle the
+    dispatch stage may request (0 = unlimited, the paper's assumption)."""
+    base_config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, base_config).cycles
+        for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for count in ports:
+        variant = base_config.with_overrides(vp_ports=count)
+        speedup, detail = _suite_speedup(
+            traces, base_cycles, variant, GREAT_MODEL
+        )
+        label = "unlimited" if count == 0 else f"{count} port(s)"
+        points.append(SweepPoint(label, speedup, detail))
+    return points
+
+
+def width_scaling_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    widths: tuple[int, ...] = (2, 4, 8, 16, 32),
+    window_per_width: int = 6,
+) -> list[SweepPoint]:
+    """Extend the paper's width/window axis beyond its three points.
+
+    Gabbay & Mendelson's argument, which the paper confirms at 4/24–16/96:
+    "wider processors expose more dependences and hence increase the
+    potential of value speculation."  This sweep continues the curve.
+    """
+    if any(w <= 0 for w in widths) or window_per_width <= 0:
+        raise ValueError("widths and window_per_width must be positive")
+    traces = _traces(max_instructions, benchmarks)
+    points: list[SweepPoint] = []
+    for width in widths:
+        config = ProcessorConfig(
+            issue_width=width, window_size=width * window_per_width
+        )
+        base_cycles = {
+            name: run_baseline(trace, config).cycles
+            for name, trace in traces.items()
+        }
+        speedup, detail = _suite_speedup(
+            traces, base_cycles, config, GREAT_MODEL
+        )
+        points.append(
+            SweepPoint(f"{width}/{width * window_per_width}", speedup, detail)
+        )
+    return points
+
+
+def confidence_scheme_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+) -> list[SweepPoint]:
+    """Section 3.6: compare confidence estimation mechanisms.
+
+    The paper evaluates resetting counters against an oracle and points
+    at Calder et al.'s levels and Bekerman et al.'s history scheme as
+    alternatives; this sweep runs all of them under the great model.
+    """
+    from repro.vp.confidence import (
+        HistoryConfidenceEstimator,
+        ResettingConfidenceEstimator,
+        SaturatingConfidenceEstimator,
+    )
+    from repro.vp.oracle import OracleConfidence
+
+    config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, config).cycles for name, trace in traces.items()
+    }
+    schemes = {
+        "resetting (paper)": ResettingConfidenceEstimator,
+        "saturating": SaturatingConfidenceEstimator,
+        "history": HistoryConfidenceEstimator,
+        "oracle": OracleConfidence,
+    }
+    points: list[SweepPoint] = []
+    for label, factory in schemes.items():
+        per_benchmark: dict[str, float] = {}
+        misspeculations = speculated = 0
+        for name, trace in traces.items():
+            result = run_trace(
+                trace,
+                config,
+                GREAT_MODEL,
+                confidence=factory(),
+                update_timing="I",
+            )
+            per_benchmark[name] = base_cycles[name] / result.cycles
+            misspeculations += result.counters.misspeculations
+            speculated += result.counters.speculated
+        detail = dict(per_benchmark)
+        detail["_misspeculation_rate"] = (
+            misspeculations / speculated if speculated else 0.0
+        )
+        points.append(
+            SweepPoint(label, harmonic_mean(per_benchmark.values()), detail)
+        )
+    return points
+
+
+def predictor_size_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+    table_bits: tuple[int, ...] = (8, 10, 12, 16),
+) -> list[SweepPoint]:
+    """Predictor table-size sensitivity (the "tables configuration"
+    dimension the paper defers): shrink the context predictor's level-1
+    and level-2 tables and watch aliasing erode speedup."""
+    config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, config).cycles for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for bits in table_bits:
+        speedup, detail = _suite_speedup(
+            traces,
+            base_cycles,
+            config,
+            GREAT_MODEL,
+            predictor_factory=lambda bits=bits: ContextValuePredictor(
+                history_bits=bits, context_bits=bits
+            ),
+        )
+        points.append(SweepPoint(f"{1 << bits}-entry tables", speedup, detail))
+    return points
+
+
+def frontend_idealism_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+) -> list[SweepPoint]:
+    """Relax the paper's ideal-target front end: control-transfer targets
+    come from a BTB and return-address stack instead of being free."""
+    config = config or ProcessorConfig(issue_width=8, window_size=48)
+    points: list[SweepPoint] = []
+    for label, ideal in (("ideal targets (paper)", True), ("BTB + RAS", False)):
+        variant = config.with_overrides(ideal_branch_targets=ideal)
+        traces = _traces(max_instructions, benchmarks)
+        base_cycles = {
+            name: run_baseline(trace, variant).cycles
+            for name, trace in traces.items()
+        }
+        speedup, detail = _suite_speedup(traces, base_cycles, variant, GREAT_MODEL)
+        points.append(SweepPoint(label, speedup, detail))
+    return points
+
+
+def _oracle_point(traces, base_cycles, config) -> tuple[float, dict[str, float]]:
+    per_benchmark = {}
+    for name, trace in traces.items():
+        result = run_trace(
+            trace, config, GREAT_MODEL, confidence="O", update_timing="I"
+        )
+        per_benchmark[name] = base_cycles[name] / result.cycles
+    return harmonic_mean(per_benchmark.values()), per_benchmark
+
+
+#: Predictor factories for the predictor-comparison sweep.
+PREDICTOR_FACTORIES: dict[str, type[ValuePredictor]] = {
+    "context": ContextValuePredictor,
+    "last-value": LastValuePredictor,
+    "stride": StridePredictor,
+    "hybrid": HybridPredictor,
+    "tagged-context": TaggedContextPredictor,
+}
+
+
+def predictor_sweep(
+    max_instructions: int | None = 5000,
+    benchmarks: list[str] | None = None,
+    config: ProcessorConfig | None = None,
+) -> list[SweepPoint]:
+    """Extension: compare value predictors under the great model."""
+    config = config or ProcessorConfig(issue_width=8, window_size=48)
+    traces = _traces(max_instructions, benchmarks)
+    base_cycles = {
+        name: run_baseline(trace, config).cycles for name, trace in traces.items()
+    }
+    points: list[SweepPoint] = []
+    for label, factory in PREDICTOR_FACTORIES.items():
+        speedup, detail = _suite_speedup(
+            traces,
+            base_cycles,
+            config,
+            GREAT_MODEL,
+            predictor_factory=factory,
+        )
+        points.append(SweepPoint(label, speedup, detail))
+    return points

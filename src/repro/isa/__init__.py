@@ -1,0 +1,53 @@
+"""A small load/store RISC instruction set used as the workload substrate.
+
+The paper evaluates on SPECint95 binaries compiled for the SimpleScalar PISA
+architecture.  Those binaries (and the SimpleScalar gcc toolchain) are not
+available offline, so this package defines a compact RISC ISA — "VSR"
+(Value-Speculation RISC) — with the properties the study depends on:
+
+* fixed-length instructions fetched from an instruction cache,
+* a clear separation of operation classes with distinct execution
+  latencies (simple integer, complex integer, floating point, memory,
+  control transfer),
+* register dataflow that a value predictor can observe and predict.
+
+Benchmark kernels written in VSR assembly (see :mod:`repro.programs`) are
+executed by the functional simulator (:mod:`repro.func`) to produce dynamic
+instruction traces which the timing simulator replays.
+"""
+
+from repro.isa.opcodes import (
+    Opcode,
+    OpClass,
+    FORMAT_BY_OPCODE,
+    OPCLASS_BY_OPCODE,
+    InstrFormat,
+)
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_NAMES,
+    REG_ALIASES,
+    Reg,
+    canonical_reg_name,
+    parse_reg,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.encoding import encode, decode, EncodingError
+
+__all__ = [
+    "Opcode",
+    "OpClass",
+    "InstrFormat",
+    "FORMAT_BY_OPCODE",
+    "OPCLASS_BY_OPCODE",
+    "NUM_REGS",
+    "REG_NAMES",
+    "REG_ALIASES",
+    "Reg",
+    "canonical_reg_name",
+    "parse_reg",
+    "Instruction",
+    "encode",
+    "decode",
+    "EncodingError",
+]

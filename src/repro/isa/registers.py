@@ -1,0 +1,85 @@
+"""Architectural register file naming for the VSR ISA.
+
+There are 32 integer registers.  ``r0`` is hardwired to zero: writes to it
+are discarded, reads always return 0, and instructions whose destination is
+``r0`` are not value-prediction eligible (they produce no observable value).
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+#: Canonical register names, index ``i`` -> ``r{i}``.
+REG_NAMES: tuple[str, ...] = tuple(f"r{i}" for i in range(NUM_REGS))
+
+#: ABI-style aliases accepted by the assembler.
+REG_ALIASES: dict[str, int] = {
+    "zero": 0,
+    "v0": 2,
+    "v1": 3,
+    "a0": 4,
+    "a1": 5,
+    "a2": 6,
+    "a3": 7,
+    "t0": 8,
+    "t1": 9,
+    "t2": 10,
+    "t3": 11,
+    "t4": 12,
+    "t5": 13,
+    "t6": 14,
+    "t7": 15,
+    "s0": 16,
+    "s1": 17,
+    "s2": 18,
+    "s3": 19,
+    "s4": 20,
+    "s5": 21,
+    "s6": 22,
+    "s7": 23,
+    "t8": 24,
+    "t9": 25,
+    "gp": 28,
+    "sp": 29,
+    "fp": 30,
+    "ra": 31,
+}
+
+_NAME_TO_INDEX: dict[str, int] = {name: i for i, name in enumerate(REG_NAMES)}
+_NAME_TO_INDEX.update(REG_ALIASES)
+
+
+class Reg(int):
+    """A register index that prints with its canonical name."""
+
+    def __new__(cls, index: int) -> "Reg":
+        if not 0 <= index < NUM_REGS:
+            raise ValueError(f"register index out of range: {index}")
+        return super().__new__(cls, index)
+
+    def __repr__(self) -> str:
+        return f"Reg({int(self)})"
+
+    def __str__(self) -> str:
+        return REG_NAMES[int(self)]
+
+
+def canonical_reg_name(index: int) -> str:
+    """Return the canonical ``r{i}`` name for a register index."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return REG_NAMES[index]
+
+
+def parse_reg(token: str) -> Reg:
+    """Parse a register token (canonical name or ABI alias) to a :class:`Reg`.
+
+    Raises :class:`ValueError` for unknown tokens.
+    """
+    name = token.strip().lower()
+    if name.startswith("$"):
+        name = name[1:]
+    index = _NAME_TO_INDEX.get(name)
+    if index is None:
+        raise ValueError(f"unknown register: {token!r}")
+    return Reg(index)

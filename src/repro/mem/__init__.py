@@ -1,0 +1,24 @@
+"""Memory-system models: set-associative caches, access ports, and the
+load/store queue.
+
+Paper configuration (Section 5.1): L1I 64KB/32B blocks/4-way/1-cycle hit;
+L1D same geometry but 2-cycle hit and as many ports as half the issue
+width; unified L2 1MB/64B/4-way with 12-cycle hit and 36-cycle miss; a
+load/store queue as large as the instruction window with single-cycle
+store-to-load forwarding.
+"""
+
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.hierarchy import MemoryHierarchy, make_paper_hierarchy
+from repro.mem.ports import PortPool
+from repro.mem.lsq import LoadStoreQueue, LSQEntry
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "MemoryHierarchy",
+    "make_paper_hierarchy",
+    "PortPool",
+    "LoadStoreQueue",
+    "LSQEntry",
+]

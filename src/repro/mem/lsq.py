@@ -1,0 +1,152 @@
+"""Load/store queue model.
+
+The paper: "A load/store queue with size equal to the instruction window is
+used.  Loads can receive a value from a preceding store in the queue in a
+single cycle.  Loads are executed when all preceding store addresses in the
+instruction window are known and hence no memory dependence violations can
+occur."
+
+Entries are keyed by the dynamic sequence number of the owning instruction
+and kept in program order.  The timing engine marks addresses known when a
+memory instruction's address generation executes (with valid operands —
+the model variables forbid speculative addresses) and clears them again if
+value misspeculation forces re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LSQEntry:
+    """One load or store tracked by the queue."""
+
+    seq: int
+    is_store: bool
+    address: int | None = None
+    size: int = 0
+    data_ready: bool = False  # stores only: data operand available
+
+
+class LoadStoreQueue:
+    """Program-ordered queue of in-flight memory operations."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[int, LSQEntry] = {}
+        self._order: list[int] = []  # seqs in program order
+        self.forwards = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, seq: int, is_store: bool) -> LSQEntry:
+        """Add an entry at dispatch; raises when full or out of order."""
+        if self.full:
+            raise RuntimeError("LSQ full")
+        if seq in self._entries:
+            raise ValueError(f"duplicate LSQ seq {seq}")
+        if self._order and seq < self._order[-1]:
+            raise ValueError("LSQ allocation must follow program order")
+        entry = LSQEntry(seq=seq, is_store=is_store)
+        self._entries[seq] = entry
+        self._order.append(seq)
+        return entry
+
+    def get(self, seq: int) -> LSQEntry | None:
+        return self._entries.get(seq)
+
+    def set_address(self, seq: int, address: int, size: int) -> None:
+        """Record a generated address (store data readiness is separate)."""
+        entry = self._entries[seq]
+        entry.address = address
+        entry.size = size
+
+    def set_store_data_ready(self, seq: int, ready: bool = True) -> None:
+        entry = self._entries[seq]
+        if not entry.is_store:
+            raise ValueError(f"seq {seq} is not a store")
+        entry.data_ready = ready
+
+    def clear_address(self, seq: int) -> None:
+        """Forget a previously generated address (invalidation/reissue)."""
+        entry = self._entries[seq]
+        entry.address = None
+        entry.data_ready = False
+
+    def release(self, seq: int) -> None:
+        """Remove an entry at retirement or squash."""
+        if seq in self._entries:
+            del self._entries[seq]
+            self._order.remove(seq)
+
+    def squash_after(self, seq: int) -> list[int]:
+        """Remove every entry younger than ``seq``; returns removed seqs."""
+        removed = [s for s in self._order if s > seq]
+        for s in removed:
+            del self._entries[s]
+        self._order = [s for s in self._order if s <= seq]
+        return removed
+
+    def prior_store_addresses_known(self, seq: int) -> bool:
+        """True when every older store has a generated address.
+
+        This is the paper's load-issue condition: with all prior store
+        addresses known, the load cannot violate a memory dependence.
+        """
+        for other_seq in self._order:
+            if other_seq >= seq:
+                break
+            entry = self._entries[other_seq]
+            if entry.is_store and entry.address is None:
+                return False
+        return True
+
+    def find_forwarder(self, seq: int, address: int, size: int) -> LSQEntry | None:
+        """Youngest older store that fully covers [address, address+size).
+
+        Only exact containment forwards; partial overlap forces the load to
+        wait for the store to retire (handled by the caller treating a
+        partial overlap as "no forwarder" — the addresses-known condition
+        already rules out unknown conflicts).
+        """
+        best: LSQEntry | None = None
+        for other_seq in self._order:
+            if other_seq >= seq:
+                break
+            entry = self._entries[other_seq]
+            if not entry.is_store or entry.address is None:
+                continue
+            if entry.address <= address and address + size <= entry.address + entry.size:
+                best = entry
+        if best is not None and best.data_ready:
+            self.forwards += 1
+            return best
+        return None
+
+    def overlapping_older_store(self, seq: int, address: int, size: int) -> LSQEntry | None:
+        """Oldest older store that overlaps but does not fully cover the load."""
+        for other_seq in self._order:
+            if other_seq >= seq:
+                break
+            entry = self._entries[other_seq]
+            if not entry.is_store or entry.address is None:
+                continue
+            overlap = not (
+                entry.address + entry.size <= address
+                or address + size <= entry.address
+            )
+            covers = (
+                entry.address <= address
+                and address + size <= entry.address + entry.size
+            )
+            if overlap and not covers:
+                return entry
+        return None

@@ -1,0 +1,38 @@
+"""Per-cycle structural port arbitration.
+
+The paper's only resource constraint besides the window is the limited
+number of data-cache ports ("as many ports as half the issue width").
+"""
+
+from __future__ import annotations
+
+
+class PortPool:
+    """Counts port grants per cycle; grants fail once the pool is drained."""
+
+    def __init__(self, ports: int):
+        if ports <= 0:
+            raise ValueError("ports must be positive")
+        self.ports = ports
+        self._cycle = -1
+        self._used = 0
+        self.grants = 0
+        self.conflicts = 0
+
+    def try_acquire(self, cycle: int) -> bool:
+        """Reserve one port for ``cycle``; False when all are in use."""
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._used = 0
+        if self._used < self.ports:
+            self._used += 1
+            self.grants += 1
+            return True
+        self.conflicts += 1
+        return False
+
+    def available(self, cycle: int) -> int:
+        """Ports still free in ``cycle``."""
+        if cycle != self._cycle:
+            return self.ports
+        return self.ports - self._used

@@ -1,0 +1,16 @@
+"""Simulation statistics and the paper's reporting conventions."""
+
+from repro.metrics.counters import SimCounters
+from repro.metrics.speedup import harmonic_mean, arithmetic_mean, speedup
+from repro.metrics.accuracy import AccuracyBreakdown, average_breakdown
+from repro.metrics.summary import summarize_counters
+
+__all__ = [
+    "SimCounters",
+    "harmonic_mean",
+    "arithmetic_mean",
+    "speedup",
+    "AccuracyBreakdown",
+    "average_breakdown",
+    "summarize_counters",
+]

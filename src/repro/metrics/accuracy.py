@@ -1,0 +1,63 @@
+"""Prediction-accuracy breakdown in the Figure 4 format.
+
+Predictions are divided into four sets: correct with high confidence (CH),
+correct with low confidence (CL), incorrect with high confidence (IH) and
+incorrect with low confidence (IL).  CH + CL is the overall prediction
+accuracy; IH is the misspeculation exposure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.metrics.counters import SimCounters
+from repro.metrics.speedup import arithmetic_mean
+
+
+@dataclass(frozen=True)
+class AccuracyBreakdown:
+    """CH/CL/IH/IL as fractions of all predictions."""
+
+    ch: float
+    cl: float
+    ih: float
+    il: float
+
+    @property
+    def correct(self) -> float:
+        return self.ch + self.cl
+
+    @classmethod
+    def from_counters(cls, counters: SimCounters) -> "AccuracyBreakdown":
+        total = (
+            counters.correct_high
+            + counters.correct_low
+            + counters.incorrect_high
+            + counters.incorrect_low
+        )
+        if total == 0:
+            return cls(0.0, 0.0, 0.0, 0.0)
+        return cls(
+            ch=counters.correct_high / total,
+            cl=counters.correct_low / total,
+            ih=counters.incorrect_high / total,
+            il=counters.incorrect_low / total,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {"CH": self.ch, "CL": self.cl, "IH": self.ih, "IL": self.il}
+
+
+def average_breakdown(breakdowns: Iterable[AccuracyBreakdown]) -> AccuracyBreakdown:
+    """Arithmetic-mean the four components (the paper's convention, so each
+    benchmark contributes the same number of predictions)."""
+    items = list(breakdowns)
+    if not items:
+        raise ValueError("no breakdowns to average")
+    return AccuracyBreakdown(
+        ch=arithmetic_mean(b.ch for b in items),
+        cl=arithmetic_mean(b.cl for b in items),
+        ih=arithmetic_mean(b.ih for b in items),
+        il=arithmetic_mean(b.il for b in items),
+    )

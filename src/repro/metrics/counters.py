@@ -1,0 +1,86 @@
+"""Raw event counters collected during one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimCounters:
+    """Everything the harness needs to compute the paper's metrics."""
+
+    cycles: int = 0
+    retired: int = 0  # correct-path instructions retired
+    dispatched: int = 0
+    dispatched_wrong_path: int = 0
+    issued: int = 0
+    issued_speculative: int = 0  # issued with predicted/speculative inputs
+    reissues: int = 0
+    squashed: int = 0
+
+    # -- value prediction ---------------------------------------------------
+    predictions: int = 0  # value predictions made (eligible instrs)
+    predictions_correct: int = 0
+    speculated: int = 0  # predictions actually used (confident)
+    misspeculations: int = 0  # speculated and wrong
+    invalidation_events: int = 0
+    #: Provisional invalidations: speculative-equality mismatches that
+    #: muted a prediction before its final resolution.
+    provisional_invalidations: int = 0
+    #: Predictions accepted only thanks to approximate equality
+    #: (config.equality_ignore_low_bits > 0).
+    approximate_matches: int = 0
+    verification_events: int = 0
+    #: (confidence, outcome) breakdown, the raw material of Figure 4.
+    correct_high: int = 0
+    correct_low: int = 0
+    incorrect_high: int = 0
+    incorrect_low: int = 0
+
+    # -- branches -------------------------------------------------------------
+    branches: int = 0
+    branch_mispredictions: int = 0
+
+    # -- memory ----------------------------------------------------------------
+    loads: int = 0
+    stores: int = 0
+    store_forwards: int = 0
+    dcache_port_conflicts: int = 0
+
+    # -- dispatch stalls, by cause -------------------------------------------
+    stall_window_full: int = 0
+    stall_lsq_full: int = 0
+    stall_fetch_empty: int = 0
+
+    # -- occupancy ---------------------------------------------------------------
+    window_peak: int = 0
+    window_occupancy_sum: int = 0
+
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def prediction_accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.predictions_correct / self.predictions
+
+    @property
+    def misspeculation_rate(self) -> float:
+        """Fraction of *used* predictions that were wrong."""
+        return self.misspeculations / self.speculated if self.speculated else 0.0
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        if not self.branches:
+            return 0.0
+        return self.branch_mispredictions / self.branches
+
+    @property
+    def mean_window_occupancy(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.window_occupancy_sum / self.cycles

@@ -1,0 +1,36 @@
+"""Speedup computation with the paper's averaging conventions.
+
+Section 5.1: "Speedup was calculated as a ratio of the performance of a
+configuration with value prediction to an identical configuration without
+value prediction.  For average speedup calculation harmonic mean was used.
+Arithmetic mean was used for reporting average prediction rates."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def speedup(base_cycles: int, vp_cycles: int) -> float:
+    """Cycles ratio: > 1 means value prediction helped."""
+    if vp_cycles <= 0 or base_cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    return base_cycles / vp_cycles
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean (the paper's average for speedups)."""
+    items = list(values)
+    if not items:
+        raise ValueError("harmonic mean of no values")
+    if any(v <= 0 for v in items):
+        raise ValueError("harmonic mean requires positive values")
+    return len(items) / sum(1.0 / v for v in items)
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (the paper's average for prediction rates)."""
+    items = list(values)
+    if not items:
+        raise ValueError("arithmetic mean of no values")
+    return sum(items) / len(items)

@@ -1,0 +1,56 @@
+"""Human-readable summaries of simulation counters."""
+
+from __future__ import annotations
+
+from repro.metrics.counters import SimCounters
+
+
+def summarize_counters(counters: SimCounters, label: str = "") -> str:
+    """Multi-line textual summary of one run (CLI / example output)."""
+    lines: list[str] = []
+    if label:
+        lines.append(label)
+    lines.append(f"  cycles                  {counters.cycles:>12}")
+    lines.append(f"  instructions retired    {counters.retired:>12}")
+    lines.append(f"  IPC                     {counters.ipc:>12.3f}")
+    lines.append(
+        f"  branches                {counters.branches:>12}"
+        f"  (mispredict rate {counters.branch_misprediction_rate:.2%})"
+    )
+    lines.append(
+        f"  loads / stores          {counters.loads:>6} / {counters.stores:<6}"
+        f" (forwards {counters.store_forwards})"
+    )
+    if counters.predictions:
+        lines.append(
+            f"  value predictions       {counters.predictions:>12}"
+            f"  (accuracy {counters.prediction_accuracy:.2%})"
+        )
+        lines.append(
+            f"  speculated / missp.     {counters.speculated:>6} /"
+            f" {counters.misspeculations:<6}"
+            f" (missp. rate {counters.misspeculation_rate:.2%})"
+        )
+        lines.append(f"  reissues                {counters.reissues:>12}")
+        if counters.provisional_invalidations:
+            lines.append(
+                f"  provisional invalid.    "
+                f"{counters.provisional_invalidations:>12}"
+            )
+    stalls = (
+        counters.stall_window_full
+        + counters.stall_lsq_full
+        + counters.stall_fetch_empty
+    )
+    if stalls:
+        lines.append(
+            f"  dispatch stalls         {stalls:>12}"
+            f"  (window {counters.stall_window_full},"
+            f" lsq {counters.stall_lsq_full},"
+            f" fetch {counters.stall_fetch_empty})"
+        )
+    lines.append(
+        f"  window peak / mean      {counters.window_peak:>6} /"
+        f" {counters.mean_window_occupancy:<8.1f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Benchmark kernels: SPECint95 stand-ins written in VSR assembly.
+
+The paper evaluates SPECint95 (Table 1).  Those binaries are unavailable
+offline, so each benchmark is represented by a kernel exercising the
+behaviour class that drives its value predictability and branch behaviour
+(see DESIGN.md, substitutions).  Every kernel prints a checksum before
+halting so functional tests can pin its architectural behaviour.
+"""
+
+from repro.programs.suite import (
+    KernelSpec,
+    benchmark_suite,
+    kernel,
+    kernel_names,
+    PAPER_TABLE1,
+)
+from repro.programs.micro import MICRO_KERNELS, micro_kernel
+
+__all__ = [
+    "KernelSpec",
+    "benchmark_suite",
+    "kernel",
+    "kernel_names",
+    "PAPER_TABLE1",
+    "MICRO_KERNELS",
+    "micro_kernel",
+]

@@ -1,0 +1,88 @@
+"""compress stand-in: LZW-style hash-table text compression loop.
+
+Behaviour class: byte-stream scanning over repetitive text (predictable
+loads), multiplicative hashing (short-period values), hash-table probing
+with data-dependent hit/miss branches, and code emission through stores.
+SPEC's compress ratio of predicted instructions: 70.5%.
+"""
+
+SOURCE = """
+# compress: LZW-ish dictionary compression of a repetitive text buffer.
+.data
+input:   .asciiz "the quick brown fox jumps over the lazy dog the quick brown fox jumps over the lazy dog the quick brown fox jumps again and again and again the lazy dog sleeps the quick brown fox jumps over the lazy dog again"
+.align 3
+htab:    .space 8192          # 1024 hash buckets: packed (key<<16)|code
+codes:   .space 4096          # emitted code stream
+nstate:  .word 256            # next free code
+
+.text
+main:
+    la   s0, input            # s0 = input cursor
+    la   s1, htab
+    la   s2, codes            # s2 = output cursor
+    li   s3, 0                # s3 = current prefix code
+    li   s4, 0                # s4 = emitted count
+    li   s7, 0                # s7 = checksum
+    li   t9, 3                # outer passes over the text
+pass:
+    la   s0, input
+scan:
+    lbu  t0, 0(s0)            # next byte
+    beqz t0, endpass
+    # key = (prefix << 8) | byte
+    slli t1, s3, 8
+    or   t1, t1, t0
+    # hash = (key * 2654435761) >> 22, 10 bits
+    li   t2, 40503
+    mul  t3, t1, t2
+    srli t3, t3, 6
+    andi t3, t3, 1023
+probe:
+    slli t4, t3, 3
+    add  t4, t4, s1
+    ld   t5, 0(t4)            # bucket: (key<<16)|code, 0 = empty
+    beqz t5, miss
+    srli t6, t5, 16
+    bne  t6, t1, collide
+    # hit: extend prefix
+    andi s3, t5, 0xffff
+    j    next
+collide:
+    addi t3, t3, 1            # linear probe
+    andi t3, t3, 1023
+    j    probe
+miss:
+    # install new code, emit prefix
+    la   t6, nstate
+    ld   t7, 0(t6)
+    slli t5, t1, 16
+    or   t5, t5, t7
+    sd   t5, 0(t4)
+    addi t7, t7, 1
+    andi t7, t7, 0xffff
+    sd   t7, 0(t6)
+    # emit current prefix code
+    slli t8, s4, 2
+    andi t8, t8, 4095
+    add  t8, t8, s2
+    sw   s3, 0(t8)
+    add  s7, s7, s3           # checksum accumulates emitted codes
+    inc  s4
+    mv   s3, t0               # restart prefix from this byte
+next:
+    # run-length and repeated-character checks (pure comparisons, like
+    # compress's special-casing of character runs)
+    beq  t0, s3, rl1
+rl1:
+    inc  s0
+    j    scan
+endpass:
+    # emit trailing prefix
+    add  s7, s7, s3
+    li   s3, 0
+    dec  t9
+    bnez t9, pass
+    print s7
+    print s4
+    halt
+"""

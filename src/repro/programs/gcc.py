@@ -1,0 +1,147 @@
+"""gcc stand-in: table-driven expression evaluator (compiler-style dispatch).
+
+Behaviour class: a bytecode-like IR walked with table dispatch — indirect
+control flow, per-opcode short computations, a virtual register file in
+memory, and moderately predictable values (constants and repeating
+temporaries).  SPEC's gcc predicted-instruction fraction: 67.3%.
+"""
+
+SOURCE = """
+# gcc: evaluate a stream of three-address IR operations over a virtual
+# register file, with a handler table indexed by opcode.
+.data
+# IR op format: (op<<24)|(dst<<16)|(srcA<<8)|srcB, ops: 0=li(dst,imm8=srcB)
+# 1=add 2=sub 3=mul-lo 4=and 5=or 6=xor 7=shl1
+ir:
+    .word 0x00000007, 0x00010003, 0x01020001, 0x02030201, 0x03040302
+    .word 0x04050403, 0x05060004, 0x06070605, 0x07010700, 0x01020103
+    .word 0x02030201, 0x03040302, 0x00050005, 0x01060504, 0x05070606
+    .word 0x06010700, 0x01020001, 0x02030102, 0x03040203, 0x04050304
+    .word 0x00060002, 0x01070605, 0x02010706, 0x03020107, 0x04030201
+    .word 0x05040302, 0x06050403, 0x07060500, 0x00070006, 0x01010700
+nir:    .word 30
+vregs:  .space 64             # 8 virtual registers
+handlers:
+    .word 0, 0, 0, 0, 0, 0, 0, 0   # patched at runtime with label addrs
+
+.text
+main:
+    # build the handler table (compilers do this via relocations)
+    la   t0, handlers
+    la   t1, op_li
+    sd   t1, 0(t0)
+    la   t1, op_add
+    sd   t1, 8(t0)
+    la   t1, op_sub
+    sd   t1, 16(t0)
+    la   t1, op_mul
+    sd   t1, 24(t0)
+    la   t1, op_and
+    sd   t1, 32(t0)
+    la   t1, op_or
+    sd   t1, 40(t0)
+    la   t1, op_xor
+    sd   t1, 48(t0)
+    la   t1, op_shl
+    sd   t1, 56(t0)
+
+    li   s5, 0                # pass counter
+    li   s6, 40               # passes
+    li   s7, 0                # checksum
+passes:
+    la   s0, ir               # instruction pointer
+    la   t0, nir
+    ld   s1, 0(t0)            # remaining ops
+step:
+    beqz s1, endpass
+    ld   t0, 0(s0)            # fetch IR word
+    srli t1, t0, 24
+    andi t1, t1, 0xff         # opcode
+    srli t2, t0, 16
+    andi t2, t2, 0xff         # dst
+    srli t3, t0, 8
+    andi t3, t3, 0xff         # srcA
+    andi t4, t0, 0xff         # srcB / imm
+    # load virtual source registers
+    la   t5, vregs
+    slli t6, t3, 3
+    add  t6, t6, t5
+    ld   a0, 0(t6)            # A value
+    slli t6, t4, 3
+    andi t6, t6, 63
+    add  t6, t6, t5
+    ld   a1, 0(t6)            # B value
+    # dispatch through the handler table
+    la   t5, handlers
+    slli t6, t1, 3
+    add  t6, t6, t5
+    ld   t7, 0(t6)
+    jr   t7
+op_li:
+    mv   a2, t4
+    j    writeback
+op_add:
+    add  a2, a0, a1
+    j    writeback
+op_sub:
+    sub  a2, a0, a1
+    j    writeback
+op_mul:
+    mul  a2, a0, a1
+    andi a2, a2, 0xffff
+    j    writeback
+op_and:
+    and  a2, a0, a1
+    j    writeback
+op_or:
+    or   a2, a0, a1
+    j    writeback
+op_xor:
+    xor  a2, a0, a1
+    j    writeback
+op_shl:
+    slli a2, a0, 1
+    andi a2, a2, 0xffff
+writeback:
+    la   t5, vregs
+    slli t6, t2, 3
+    add  t6, t6, t5
+    sd   a2, 0(t6)
+    # condition-code bookkeeping: branchy flag checks like a compiler's
+    # constant-folding and dead-code tests
+    beqz a2, zflag
+    bltz a2, nflag
+    andi a3, a2, 1
+    beqz a3, evenflag
+    j    ccdone
+zflag:
+    j    ccdone
+nflag:
+    j    ccdone
+evenflag:
+    beqz t3, ccdone
+    bnez t4, ccdone
+ccdone:
+    # common-subexpression and range checks (pure comparisons)
+    beq  a0, a1, cse1
+    bltz a0, cse1
+cse1:
+    beq  a2, a0, cse2
+    bgez a1, cse2
+cse2:
+    bne  t2, t3, cse3
+cse3:
+    # spill the result to a trace buffer (register-allocator spill traffic;
+    # t5 still holds the vregs base from writeback)
+    sd   a2, 0(t5)
+    add  s7, s7, a2
+    addi s0, s0, 8
+    dec  s1
+    j    step
+endpass:
+    inc  s5
+    blt  s5, s6, passes
+    andi s7, s7, 0xfffff
+    print s7
+    halt
+"""

@@ -1,0 +1,117 @@
+"""go stand-in: board scanning with branchy positional heuristics.
+
+Behaviour class: 2-D array walks, neighbour inspection with many
+data-dependent (poorly predictable) branches, and small-integer scoring
+arithmetic.  SPEC's go predicted-instruction fraction: 78.7%, with the
+suite's worst branch behaviour.
+"""
+
+SOURCE = """
+# go: score a 19x19 board by counting liberties of each stone and applying
+# pattern bonuses, several evaluation passes with a mutating board.
+.data
+board:  .space 2888           # 19*19 cells, 8 bytes each (0 empty 1 black 2 white)
+.text
+main:
+    li   s7, 0                # checksum / total score
+    li   s5, 0                # pass
+    li   s6, 6                # passes
+    # seed the board with a deterministic pattern:
+    # cell(x, y) = (x*7 + y*13 + 5) mod 3 == (x + y + 2) mod 3,
+    # tracked incrementally (+1 mod 3 per step in x and in y)
+    la   t8, board            # write cursor
+    li   t3, 0                # y
+    li   t7, 2                # row-start cell value
+seedy:
+    li   t4, 0                # x
+    mv   t6, t7
+seedx:
+    sd   t6, 0(t8)
+    addi t8, t8, 8
+    inc  t6
+    li   t5, 3
+    blt  t6, t5, seednx
+    li   t6, 0
+seednx:
+    inc  t4
+    li   t5, 19
+    blt  t4, t5, seedx
+    inc  t7
+    li   t5, 3
+    blt  t7, t5, seedny
+    li   t7, 0
+seedny:
+    inc  t3
+    li   t5, 19
+    blt  t3, t5, seedy
+
+passes:
+    li   s0, 1                # y in 1..17 (skip edges)
+yloop:
+    li   s1, 1                # x
+xloop:
+    # idx = y*19 + x
+    li   t0, 19
+    mul  t1, s0, t0
+    add  t1, t1, s1
+    slli t2, t1, 3
+    la   t3, board
+    add  t2, t2, t3
+    ld   t4, 0(t2)            # stone
+    beqz t4, nextx            # empty: no score
+    # count empty neighbours (liberties)
+    li   a0, 0                # liberties
+    ld   t5, -8(t2)           # west
+    bnez t5, n1
+    inc  a0
+n1: ld   t5, 8(t2)            # east
+    bnez t5, n2
+    inc  a0
+n2: ld   t5, -152(t2)         # north (19*8)
+    bnez t5, n3
+    inc  a0
+n3: ld   t5, 152(t2)          # south
+    bnez t5, n4
+    inc  a0
+n4:
+    # score: stones in atari (1 liberty) matter most
+    li   t6, 1
+    bne  a0, t6, notatari
+    slli a1, t4, 2            # atari bonus by colour
+    add  s7, s7, a1
+    # flip stones in atari (board mutates across passes)
+    li   t7, 3
+    sub  t7, t7, t4
+    sd   t7, 0(t2)
+    j    scored
+notatari:
+    add  s7, s7, a0           # liberties feed the score
+    beqz a0, dead
+    # positional bonus: centre-weighted influence (pure arithmetic)
+    li   a2, 9
+    sub  a3, s0, a2           # dy from centre
+    sub  t5, s1, a2           # dx from centre
+    mul  a3, a3, a3
+    mul  t5, t5, t5
+    add  a3, a3, t5
+    li   t5, 81
+    sub  a3, t5, a3
+    mul  a3, a3, t4           # scaled by stone colour
+    srai a3, a3, 4
+    add  s7, s7, a3
+    j    scored
+dead:
+    sd   r0, 0(t2)            # no liberties: remove
+scored:
+nextx:
+    inc  s1
+    li   t0, 18
+    blt  s1, t0, xloop
+    inc  s0
+    li   t0, 18
+    blt  s0, t0, yloop
+    inc  s5
+    blt  s5, s6, passes
+    print s7
+    halt
+"""

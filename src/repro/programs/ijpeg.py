@@ -1,0 +1,89 @@
+"""ijpeg stand-in: fixed-point DCT-like multiply-accumulate kernel.
+
+Behaviour class: dense arithmetic over 8x8 blocks with a constant
+coefficient table — long strings of register-writing instructions,
+few branches (all loop-closing and well-predicted), highly repetitive
+load values.  SPEC's ijpeg has the suite's highest predicted-instruction
+fraction: 82.0%.
+"""
+
+SOURCE = """
+# ijpeg: 1-D DCT-ish transform applied to rows of an 8x8 block, repeated
+# over a stream of blocks with periodically repeating content.
+.data
+coeff:  .word 64, 89, 83, 75, 64, 50, 36, 18
+block:  .space 512            # 8x8 input (filled per block)
+out:    .space 512
+.text
+main:
+    li   s0, 0                # block index
+    li   s1, 24               # number of blocks
+    li   s7, 0                # checksum
+blocks:
+    # fill the block with a period-4 pattern: v = (r*8+c+blk) & 3
+    la   t0, block
+    li   t1, 0                # linear index
+fill:
+    add  t2, t1, s0
+    andi t2, t2, 3
+    slli t3, t1, 3
+    add  t3, t3, t0
+    sd   t2, 0(t3)
+    inc  t1
+    slti t4, t1, 64
+    bnez t4, fill
+
+    # transform each row: out[r][k] = sum_c coeff[c] * block[r][c] (k folded)
+    li   t1, 0                # row
+rows:
+    slli t5, t1, 6            # row offset (8 entries * 8 bytes)
+    la   t6, block
+    add  t6, t6, t5
+    la   t7, out
+    add  t7, t7, t5
+    la   t8, coeff
+    # unrolled 8-tap multiply-accumulate
+    ld   a0, 0(t6)
+    ld   a1, 0(t8)
+    mul  s2, a0, a1
+    ld   a0, 8(t6)
+    ld   a1, 8(t8)
+    mul  a2, a0, a1
+    add  s2, s2, a2
+    ld   a0, 16(t6)
+    ld   a1, 16(t8)
+    mul  a2, a0, a1
+    add  s2, s2, a2
+    ld   a0, 24(t6)
+    ld   a1, 24(t8)
+    mul  a2, a0, a1
+    add  s2, s2, a2
+    ld   a0, 32(t6)
+    ld   a1, 32(t8)
+    mul  a2, a0, a1
+    add  s2, s2, a2
+    ld   a0, 40(t6)
+    ld   a1, 40(t8)
+    mul  a2, a0, a1
+    add  s2, s2, a2
+    ld   a0, 48(t6)
+    ld   a1, 48(t8)
+    mul  a2, a0, a1
+    add  s2, s2, a2
+    ld   a0, 56(t6)
+    ld   a1, 56(t8)
+    mul  a2, a0, a1
+    add  s2, s2, a2
+    # descale and store
+    srai s2, s2, 3
+    sd   s2, 0(t7)
+    add  s7, s7, s2
+    inc  t1
+    slti t4, t1, 8
+    bnez t4, rows
+
+    inc  s0
+    blt  s0, s1, blocks
+    print s7
+    halt
+"""

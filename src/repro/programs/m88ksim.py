@@ -1,0 +1,131 @@
+"""m88ksim stand-in: an instruction-set interpreter interpreting a loop.
+
+Behaviour class: the classic fetch-decode-execute interpreter — field
+extraction (shifts/masks produce highly repetitive values because the
+interpreted program is itself a loop), a decode branch chain, and a
+memory-resident guest register file.  SPEC's m88ksim predicted fraction:
+70.6%.
+"""
+
+SOURCE = """
+# m88ksim: interpret a tiny RISC guest.  Guest ops (op<<12)|(rd<<8)|(ra<<4)|rb:
+# 0 halt, 1 li (rd, imm=rb), 2 add, 3 sub, 4 and, 5 beqz-back (ra, offset rb)
+.data
+guest:
+    # guest program: r1=7; r2=0; r3=12; loop: r2=r2+r1; r3=r3-1(via r4=1);
+    # if r3 != 0 goto loop ... encoded below
+    .word 0x1117              # li  r1, 7
+    .word 0x1200              # li  r2, 0
+    .word 0x130c              # li  r3, 12
+    .word 0x1401              # li  r4, 1
+    .word 0x2221              # add r2, r2, r1
+    .word 0x3334              # sub r3, r3, r4
+    .word 0x5032              # beqz r3 -> fallthrough else loop back 2 (to add)
+    .word 0x0000              # halt
+gregs:  .space 128            # 16 guest registers
+.text
+main:
+    li   s5, 0                # outer reruns of the guest
+    li   s6, 60
+    li   s7, 0                # checksum
+rerun:
+    li   s0, 0                # guest pc (word index)
+    # clear guest registers
+    la   t0, gregs
+    li   t1, 0
+clrg:
+    slli t2, t1, 3
+    add  t2, t2, t0
+    sd   r0, 0(t2)
+    inc  t1
+    li   t3, 16
+    blt  t1, t3, clrg
+fetch:
+    slli t0, s0, 3
+    la   t1, guest
+    add  t0, t0, t1
+    ld   t2, 0(t0)            # guest instruction word
+    srli t3, t2, 12
+    andi t3, t3, 0xf          # opcode
+    srli t4, t2, 8
+    andi t4, t4, 0xf          # rd
+    srli t5, t2, 4
+    andi t5, t5, 0xf          # ra
+    andi t6, t2, 0xf          # rb / imm
+    la   t7, gregs
+    # decode chain (branch ladder, mostly predictable)
+    beqz t3, ghalt
+    li   t8, 1
+    beq  t3, t8, gli
+    li   t8, 2
+    beq  t3, t8, gadd
+    li   t8, 3
+    beq  t3, t8, gsub
+    li   t8, 4
+    beq  t3, t8, gand
+    j    gbeqz
+gli:
+    slli a0, t4, 3
+    add  a0, a0, t7
+    sd   t6, 0(a0)
+    j    adv
+gadd:
+    slli a0, t5, 3
+    add  a0, a0, t7
+    ld   a1, 0(a0)
+    slli a0, t6, 3
+    add  a0, a0, t7
+    ld   a2, 0(a0)
+    add  a3, a1, a2
+    slli a0, t4, 3
+    add  a0, a0, t7
+    sd   a3, 0(a0)
+    add  s7, s7, a3
+    j    adv
+gsub:
+    slli a0, t5, 3
+    add  a0, a0, t7
+    ld   a1, 0(a0)
+    slli a0, t6, 3
+    add  a0, a0, t7
+    ld   a2, 0(a0)
+    sub  a3, a1, a2
+    slli a0, t4, 3
+    add  a0, a0, t7
+    sd   a3, 0(a0)
+    j    adv
+gand:
+    slli a0, t5, 3
+    add  a0, a0, t7
+    ld   a1, 0(a0)
+    slli a0, t6, 3
+    add  a0, a0, t7
+    ld   a2, 0(a0)
+    and  a3, a1, a2
+    slli a0, t4, 3
+    add  a0, a0, t7
+    sd   a3, 0(a0)
+    j    adv
+gbeqz:
+    # beqz guest-style: if greg[ra]==0 fall through, else jump back rb words
+    slli a0, t5, 3
+    add  a0, a0, t7
+    ld   a1, 0(a0)
+    beqz a1, adv
+    sub  s0, s0, t6
+    j    fetch
+adv:
+    # exception / watchpoint checks after every guest instruction
+    bltz s0, ghalt            # guest pc underflow guard
+    li   t8, 64
+    bge  s0, t8, ghalt        # guest pc overflow guard
+    la   t8, gregs
+    sd   t2, 120(t8)          # last-executed-instruction register
+    inc  s0
+    j    fetch
+ghalt:
+    inc  s5
+    blt  s5, s6, rerun
+    print s7
+    halt
+"""

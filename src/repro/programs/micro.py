@@ -1,0 +1,252 @@
+"""Parameterized micro-kernels for controlled experiments.
+
+Unlike the SPECint95 stand-ins (fixed programs with realistic mixes),
+these generators produce minimal workloads that isolate one behaviour —
+a serial reduction, a pointer chase, independent streaming arithmetic,
+recursion, or the canonical value-predictable periodic chain — with the
+knobs tests and ablations need.
+
+Every generator returns VSR assembly source; assemble/trace it with
+:func:`repro.trace.trace_program`.
+"""
+
+from __future__ import annotations
+
+
+def reduction(n: int = 200, op: str = "add") -> str:
+    """A serial dependence chain: ``acc = acc <op> i`` for ``n`` steps.
+
+    The accumulator values are non-repeating, so value prediction cannot
+    break this chain — the control workload for VP studies.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if op not in ("add", "xor", "mul"):
+        raise ValueError(f"unsupported op {op!r}")
+    # Exactly one chain operation per iteration: a second operation that
+    # reproduces the accumulator's value (e.g. a mask) would itself become
+    # predictable through level-2 context sharing and halve the chain.
+    return f"""
+.text
+main:
+    li   t0, 0                # i
+    li   t1, {n}
+    li   t2, 1                # acc (1 so mul chains stay nonzero)
+loop:
+    bge  t0, t1, done
+    {op}  t2, t2, t0
+    inc  t0
+    j    loop
+done:
+    andi t2, t2, 0xffff
+    print t2
+    halt
+"""
+
+
+def periodic_chain(
+    period: int = 4, iterations: int = 200, chain_ops: int = 3
+) -> str:
+    """The canonical VP-friendly loop: a period-``period`` loop-carried
+    value feeding a chain of ``chain_ops`` dependent operations.
+
+    Correct value prediction of the table load collapses the chain; the
+    super/great/good gap on this kernel is the latency model in isolation.
+    """
+    if period < 1 or iterations < 1 or chain_ops < 1:
+        raise ValueError("period, iterations and chain_ops must be positive")
+    values = ", ".join(str(17 + 10 * i) for i in range(period))
+    # The chain restarts from the predicted value each iteration (t6 = t5
+    # then chain_ops dependent steps), so a correct prediction of the
+    # table load collapses the whole chain; only the s7 accumulation is
+    # loop-carried.
+    chain = "    mv   t6, t5\n" + "\n".join(
+        "    add  t6, t6, t5" if i % 2 == 0 else "    xor  t6, t6, t5"
+        for i in range(chain_ops)
+    )
+    return f"""
+.data
+table: .word {values}
+.text
+main:
+    li   t0, 0
+    li   t1, {iterations}
+    li   t6, 0
+    li   s7, 0
+loop:
+    bge  t0, t1, done
+    li   t2, {period}
+    rem  t3, t0, t2
+    slli t3, t3, 3
+    la   t4, table
+    add  t4, t4, t3
+    ld   t5, 0(t4)            # the predictable producer
+{chain}
+    add  s7, s7, t6
+    andi s7, s7, 0xffffff
+    inc  t0
+    j    loop
+done:
+    print s7
+    halt
+"""
+
+
+def pointer_chase(nodes: int = 32, iterations: int = 30) -> str:
+    """Traverse a ring of linked nodes: serial loads with constant (hence
+    perfectly predictable) pointer values — prediction turns a
+    load-latency-bound walk into parallel execution."""
+    if nodes < 2 or iterations < 1:
+        raise ValueError("nodes must be >= 2 and iterations positive")
+    return f"""
+.data
+ring: .space {nodes * 16}
+.text
+main:
+    # build the ring: node i -> node i+1, payload i; last -> first
+    la   t0, ring
+    li   t1, 0
+build:
+    slli t2, t1, 4
+    add  t2, t2, t0
+    addi t3, t1, 1
+    li   t4, {nodes}
+    blt  t3, t4, notwrap
+    li   t3, 0
+notwrap:
+    slli t5, t3, 4
+    add  t5, t5, t0
+    sd   t5, 0(t2)            # next pointer
+    sd   t1, 8(t2)            # payload
+    inc  t1
+    blt  t1, t4, build
+
+    li   s0, 0                # iteration
+    li   s1, {iterations}
+    li   s7, 0                # checksum
+    la   t6, ring
+walk:
+    bge  s0, s1, done
+    li   t1, 0
+step:
+    ld   t7, 8(t6)            # payload
+    add  s7, s7, t7
+    ld   t6, 0(t6)            # chase
+    inc  t1
+    li   t2, {nodes}
+    blt  t1, t2, step
+    inc  s0
+    j    walk
+done:
+    andi s7, s7, 0xffffff
+    print s7
+    halt
+"""
+
+
+def streaming(n: int = 64, passes: int = 6) -> str:
+    """Independent element-wise arithmetic over an array (daxpy-like):
+    abundant ILP without prediction, so value speculation gains little —
+    the upper-bound control."""
+    if n < 1 or passes < 1:
+        raise ValueError("n and passes must be positive")
+    return f"""
+.data
+src: .space {n * 8}
+dst: .space {n * 8}
+.text
+main:
+    # initialize src[i] = i * 3
+    la   t0, src
+    li   t1, 0
+init:
+    li   t2, 3
+    mul  t3, t1, t2
+    slli t4, t1, 3
+    add  t4, t4, t0
+    sd   t3, 0(t4)
+    inc  t1
+    li   t5, {n}
+    blt  t1, t5, init
+
+    li   s0, 0
+    li   s1, {passes}
+    li   s7, 0
+pass_loop:
+    bge  s0, s1, done
+    li   t1, 0
+elem:
+    slli t4, t1, 3
+    la   t0, src
+    add  t0, t0, t4
+    ld   t2, 0(t0)
+    slli t3, t2, 1
+    add  t3, t3, s0
+    la   t6, dst
+    add  t6, t6, t4
+    sd   t3, 0(t6)
+    add  s7, s7, t3
+    inc  t1
+    li   t5, {n}
+    blt  t1, t5, elem
+    inc  s0
+    j    pass_loop
+done:
+    andi s7, s7, 0xffffff
+    print s7
+    halt
+"""
+
+
+def fib(n: int = 13) -> str:
+    """Naive recursive Fibonacci: deep call trees, stack traffic, and
+    return values with strong locality at the leaves."""
+    if not 1 <= n <= 25:
+        raise ValueError("n must be in 1..25 (exponential work)")
+    return f"""
+.text
+main:
+    li   a0, {n}
+    call fib
+    print v0
+    halt
+
+fib:
+    li   t0, 2
+    blt  a0, t0, base
+    addi sp, sp, -24
+    sd   ra, 0(sp)
+    sd   a0, 8(sp)
+    addi a0, a0, -1
+    call fib
+    sd   v0, 16(sp)
+    ld   a0, 8(sp)
+    addi a0, a0, -2
+    call fib
+    ld   t1, 16(sp)
+    add  v0, v0, t1
+    ld   ra, 0(sp)
+    addi sp, sp, 24
+    ret
+base:
+    mv   v0, a0
+    ret
+"""
+
+
+#: Generator registry for tests and tooling.
+MICRO_KERNELS = {
+    "reduction": reduction,
+    "periodic_chain": periodic_chain,
+    "pointer_chase": pointer_chase,
+    "streaming": streaming,
+    "fib": fib,
+}
+
+
+def micro_kernel(name: str, **params) -> str:
+    """Generate a micro-kernel's assembly by name."""
+    generator = MICRO_KERNELS.get(name)
+    if generator is None:
+        raise KeyError(f"unknown micro-kernel {name!r}; know {sorted(MICRO_KERNELS)}")
+    return generator(**params)

@@ -1,0 +1,108 @@
+"""perl stand-in: string hashing and associative-array lookups.
+
+Behaviour class: byte-granularity string walks (text loads are highly
+repetitive), polynomial hash accumulation, bucket-chain searches with
+data-dependent exits, and frequent calls.  SPEC's perl predicted
+fraction: 63.9%.
+"""
+
+SOURCE = """
+# perl: hash a word list into an associative array, then re-look-up every
+# word several times and tally hit bucket depths.
+.data
+words:
+    .asciiz "foreach"
+    .asciiz "my"
+    .asciiz "sub"
+    .asciiz "return"
+    .asciiz "print"
+    .asciiz "if"
+    .asciiz "else"
+    .asciiz "while"
+    .asciiz "push"
+    .asciiz "shift"
+    .asciiz "local"
+    .asciiz "defined"
+.align 3
+nwords: .word 12
+table:  .space 1024           # 128 buckets of (hash<<8)|count
+.text
+main:
+    li   s5, 0
+    li   s6, 25               # lookup passes
+    li   s7, 0                # checksum
+
+    # build: hash every word, bump its bucket
+    la   s0, words
+    la   t0, nwords
+    ld   s1, 0(t0)
+build:
+    beqz s1, lookups
+    call hashword             # a0 <- hash, s0 advances past NUL
+    andi t1, a0, 127
+    slli t1, t1, 3
+    la   t2, table
+    add  t1, t1, t2
+    ld   t3, 0(t1)
+    inc  t3
+    sd   t3, 0(t1)
+    dec  s1
+    j    build
+
+lookups:
+    la   s0, words
+    la   t0, nwords
+    ld   s1, 0(t0)
+lkloop:
+    beqz s1, endpass
+    call hashword
+    andi t1, a0, 127
+    slli t1, t1, 3
+    la   t2, table
+    add  t1, t1, t2
+    ld   t3, 0(t1)            # bucket count = chain depth
+    beqz t3, misskey          # defined() check
+    add  s7, s7, t3
+    # classify the hash (perl's string-vs-number dispatch is branchy)
+    andi t4, a0, 3
+    beqz t4, lkacct
+    bnez t3, lkacct
+lkacct:
+    add  s7, s7, a0
+    andi s7, s7, 0xffffff
+    sd   s7, 0(t1)            # memoize back into the bucket
+    ld   t3, 0(t1)            # and re-read (tie/magic fetch)
+    bnez t3, lknext
+misskey:
+    inc  s7
+lknext:
+    dec  s1
+    j    lkloop
+endpass:
+    inc  s5
+    blt  s5, s6, lookups
+    print s7
+    halt
+
+# hashword: polynomial hash of NUL-terminated string at s0; returns hash in
+# a0 and leaves s0 pointing past the terminator.
+hashword:
+    li   a0, 5381
+hwloop:
+    lbu  t5, 0(s0)
+    inc  s0
+    beqz t5, hwdone
+    # case classification (perl string ops branch per character class)
+    li   t7, 97
+    blt  t5, t7, hwmix        # below 'a'
+    li   t7, 122
+    bgt  t5, t7, hwmix        # above 'z'
+hwmix:
+    slli t6, a0, 5
+    add  a0, a0, t6           # h = h * 33
+    add  a0, a0, t5           # + c
+    andi a0, a0, 0xffffff
+    j    hwloop
+hwdone:
+    ret
+"""

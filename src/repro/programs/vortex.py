@@ -1,0 +1,77 @@
+"""vortex stand-in: object-database record traversal and field updates.
+
+Behaviour class: linked-record walks (pointer loads are constant once the
+database is built — strong value locality), field reads/writes, and
+validation branches.  SPEC's vortex predicted fraction: 61.9%.
+"""
+
+SOURCE = """
+# vortex: build a linked list of fixed-layout records, then run query
+# transactions that walk the list, filter on a field, and update another.
+# record layout: [0]=next ptr, [8]=id, [16]=kind, [24]=balance
+.data
+heap:   .space 8192           # bump-allocated records (32 bytes each)
+headp:  .word 0
+.text
+main:
+    # build 48 records, kinds cycling 0..3, balance = id * 10
+    la   s0, heap
+    li   s1, 0                # id
+    li   t6, 0                # previous record (0 = nil)
+build:
+    slli t0, s1, 5            # record offset
+    add  t0, t0, s0
+    sd   t6, 0(t0)            # next = previous (list grows backwards)
+    sd   s1, 8(t0)
+    andi t1, s1, 3
+    sd   t1, 16(t0)
+    li   t2, 10
+    mul  t3, s1, t2
+    sd   t3, 24(t0)
+    mv   t6, t0
+    inc  s1
+    li   t4, 48
+    blt  s1, t4, build
+    la   t5, headp
+    sd   t6, 0(t5)
+
+    li   s5, 0                # transaction counter
+    li   s6, 40
+    li   s7, 0                # checksum
+txn:
+    # walk the list; records of kind (txn & 3) get a balance credit
+    andi s2, s5, 3            # target kind
+    la   t5, headp
+    ld   t0, 0(t5)            # cursor
+walk:
+    beqz t0, endtxn
+    # audit every record: id-weighted running total (field arithmetic)
+    ld   t7, 8(t0)            # id
+    ld   t8, 24(t0)           # balance
+    slli a0, t7, 1
+    add  a1, a0, t8
+    xor  a2, a1, s5
+    andi a2, a2, 0xffff
+    add  s7, s7, a2
+    # integrity checks: schema validation is branch-heavy in vortex
+    bltz t7, skip             # id must be non-negative
+    bltz t8, skip             # balance must be non-negative
+    ld   t1, 16(t0)           # kind
+    bltz t1, skip
+    li   a3, 4
+    bge  t1, a3, skip         # kind in range
+    bne  t1, s2, skip
+    addi t2, t8, 3
+    sd   t2, 24(t0)
+    sd   t7, 8(t0)            # touch the id field (write-back audit)
+    add  s7, s7, t2
+skip:
+    ld   t0, 0(t0)            # next
+    j    walk
+endtxn:
+    inc  s5
+    blt  s5, s6, txn
+    andi s7, s7, 0xffffff
+    print s7
+    halt
+"""

@@ -1,0 +1,53 @@
+"""Dynamic instruction traces.
+
+The timing simulator is trace-driven: the functional simulator executes a
+benchmark kernel and captures one :class:`TraceRecord` per architecturally
+executed instruction; the out-of-order engine then replays the record stream
+against the microarchitecture model.  Trace-driven timing simulation is the
+standard methodology for this class of study — the paper's own simulator
+(a modified SimpleScalar ``sim-outorder``) derives timing from the same
+per-instruction facts captured here.
+"""
+
+from repro.trace.record import TraceRecord
+from repro.trace.capture import capture_trace, trace_program
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.writer import write_trace, dumps_trace
+from repro.trace.reader import read_trace, loads_trace
+from repro.trace.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.trace.transform import (
+    concatenate,
+    loop_region,
+    region_of_interest,
+    renumber,
+    skip_warmup,
+)
+from repro.trace.binary import (
+    dumps_trace_binary,
+    loads_trace_binary,
+    read_trace_binary,
+    write_trace_binary,
+)
+
+__all__ = [
+    "TraceRecord",
+    "capture_trace",
+    "trace_program",
+    "TraceStats",
+    "compute_stats",
+    "write_trace",
+    "dumps_trace",
+    "read_trace",
+    "loads_trace",
+    "SyntheticTraceConfig",
+    "generate_synthetic_trace",
+    "renumber",
+    "skip_warmup",
+    "region_of_interest",
+    "concatenate",
+    "loop_region",
+    "dumps_trace_binary",
+    "loads_trace_binary",
+    "read_trace_binary",
+    "write_trace_binary",
+]

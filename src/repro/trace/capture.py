@@ -1,0 +1,60 @@
+"""Trace capture: run the functional simulator and record every instruction."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.asm.assembler import Program, assemble
+from repro.func.machine import Machine
+from repro.trace.record import TraceRecord
+
+
+def capture_trace(
+    machine: Machine,
+    max_instructions: int | None = None,
+) -> list[TraceRecord]:
+    """Run ``machine`` to completion (or the instruction budget) and return
+    the dynamic trace.
+
+    The trace always ends at either program HALT or exactly
+    ``max_instructions`` records — truncation is how the experiment harness
+    bounds simulation cost on the pure-Python cycle-level engine.
+    """
+    return list(iter_trace(machine, max_instructions))
+
+
+def iter_trace(
+    machine: Machine,
+    max_instructions: int | None = None,
+) -> Iterator[TraceRecord]:
+    """Yield trace records as the machine executes."""
+    seq = 0
+    while not machine.halted:
+        if max_instructions is not None and seq >= max_instructions:
+            return
+        step = machine.step()
+        instr = step.instr
+        yield TraceRecord(
+            seq=seq,
+            pc=step.pc,
+            opcode=instr.opcode,
+            src_regs=instr.source_regs(),
+            dest_reg=step.dest_reg if step.dest_reg not in (None, 0) else None,
+            dest_value=step.dest_value if step.dest_reg not in (None, 0) else None,
+            mem_addr=step.mem_addr,
+            mem_size=step.mem_size,
+            branch_taken=step.branch_taken,
+            next_pc=step.next_pc,
+        )
+        seq += 1
+
+
+def trace_program(
+    source: str,
+    max_instructions: int | None = None,
+) -> tuple[Program, list[TraceRecord]]:
+    """Assemble ``source``, execute it, and return (program, trace)."""
+    program = assemble(source)
+    machine = Machine(program)
+    trace = capture_trace(machine, max_instructions)
+    return program, trace

@@ -1,0 +1,78 @@
+"""Trace deserialization (inverse of :mod:`repro.trace.writer`)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, TextIO
+
+from repro.isa.opcodes import Opcode
+from repro.trace.record import TraceRecord
+from repro.trace.writer import HEADER
+
+_OPCODES_BY_MNEMONIC = {op.mnemonic: op for op in Opcode}
+
+
+class TraceFormatError(ValueError):
+    """Raised when trace text is malformed."""
+
+
+def _parse_field(token: str) -> int | None:
+    return None if token == "-" else int(token)
+
+
+def _parse_bool(token: str) -> bool | None:
+    if token == "-":
+        return None
+    if token == "T":
+        return True
+    if token == "F":
+        return False
+    raise TraceFormatError(f"bad boolean field: {token!r}")
+
+
+def _parse_line(line: str, lineno: int) -> TraceRecord:
+    fields = line.split()
+    if len(fields) != 10:
+        raise TraceFormatError(f"line {lineno}: expected 10 fields, got {len(fields)}")
+    opcode = _OPCODES_BY_MNEMONIC.get(fields[2])
+    if opcode is None:
+        raise TraceFormatError(f"line {lineno}: unknown opcode {fields[2]!r}")
+    srcs = (
+        tuple(int(r) for r in fields[3].split(",")) if fields[3] != "-" else ()
+    )
+    return TraceRecord(
+        seq=int(fields[0]),
+        pc=int(fields[1], 16),
+        opcode=opcode,
+        src_regs=srcs,
+        dest_reg=_parse_field(fields[4]),
+        dest_value=_parse_field(fields[5]),
+        mem_addr=_parse_field(fields[6]),
+        mem_size=_parse_field(fields[7]),
+        branch_taken=_parse_bool(fields[8]),
+        next_pc=int(fields[9], 16),
+    )
+
+
+def parse_trace(fp: TextIO) -> Iterator[TraceRecord]:
+    """Parse records from an open text file."""
+    first = fp.readline().rstrip("\n")
+    if first != HEADER:
+        raise TraceFormatError(f"missing trace header (got {first!r})")
+    for lineno, line in enumerate(fp, start=2):
+        line = line.strip()
+        if line:
+            yield _parse_line(line, lineno)
+
+
+def loads_trace(text: str) -> list[TraceRecord]:
+    """Parse records from a string."""
+    import io
+
+    return list(parse_trace(io.StringIO(text)))
+
+
+def read_trace(path: str | Path) -> list[TraceRecord]:
+    """Read records from ``path``."""
+    with open(path, "r", encoding="ascii") as fp:
+        return list(parse_trace(fp))

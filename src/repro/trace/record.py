@@ -1,0 +1,117 @@
+"""The dynamic trace record."""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass, Opcode
+
+
+class TraceRecord:
+    """One dynamically executed instruction.
+
+    Attributes
+    ----------
+    seq:
+        Position in the dynamic instruction stream (0-based).
+    pc:
+        Byte address of the instruction.
+    opcode / opclass:
+        Operation identity and functional class.
+    src_regs:
+        Architectural registers read (``r0`` omitted — it never creates a
+        dependence).
+    dest_reg / dest_value:
+        Destination register and the architecturally correct result, or
+        ``None`` when the instruction writes no register.  ``dest_value``
+        is what the value predictor must produce for a correct prediction.
+    mem_addr / mem_size:
+        Effective address and access width for loads and stores.
+    branch_taken / next_pc:
+        Control outcome.  ``next_pc`` is the architecturally correct
+        successor PC for every instruction (fall-through when not a taken
+        control transfer).
+    """
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "opcode",
+        "opclass",
+        "src_regs",
+        "dest_reg",
+        "dest_value",
+        "mem_addr",
+        "mem_size",
+        "branch_taken",
+        "next_pc",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        opcode: Opcode,
+        src_regs: tuple[int, ...] = (),
+        dest_reg: int | None = None,
+        dest_value: int | None = None,
+        mem_addr: int | None = None,
+        mem_size: int | None = None,
+        branch_taken: bool | None = None,
+        next_pc: int = 0,
+    ):
+        self.seq = seq
+        self.pc = pc
+        self.opcode = opcode
+        self.opclass = opcode.opclass
+        self.src_regs = src_regs
+        self.dest_reg = dest_reg
+        self.dest_value = dest_value
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.branch_taken = branch_taken
+        self.next_pc = next_pc
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass.is_memory
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass.is_control
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opclass is OpClass.IJUMP
+
+    @property
+    def writes_register(self) -> bool:
+        """True when the instruction produces a register value — the
+        eligibility condition for value prediction."""
+        return self.dest_reg is not None and self.dest_reg != 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecord(seq={self.seq}, pc={self.pc:#x}, "
+            f"op={self.opcode.mnemonic})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.pc, self.opcode))

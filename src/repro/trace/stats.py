@@ -1,0 +1,69 @@
+"""Static/dynamic trace characteristics (the raw material of Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord
+
+
+@dataclass
+class TraceStats:
+    """Aggregate characteristics of a dynamic instruction trace."""
+
+    total: int = 0
+    by_class: dict[OpClass, int] = field(default_factory=dict)
+    register_writers: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    indirect_jumps: int = 0
+    unique_pcs: int = 0
+
+    @property
+    def prediction_eligible_fraction(self) -> float:
+        """Fraction of dynamic instructions that produce a register value.
+
+        These are the instructions that receive a value prediction; the
+        paper's Table 1 "Instructions Predicted (%)" column is this
+        quantity for the SPECint95 runs (61.7%–82.0%).
+        """
+        return self.register_writers / self.total if self.total else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.total if self.total else 0.0
+
+    @property
+    def load_fraction(self) -> float:
+        return self.loads / self.total if self.total else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        return self.stores / self.total if self.total else 0.0
+
+
+def compute_stats(trace: list[TraceRecord]) -> TraceStats:
+    """Compute aggregate statistics over a trace."""
+    stats = TraceStats()
+    pcs: set[int] = set()
+    for rec in trace:
+        stats.total += 1
+        stats.by_class[rec.opclass] = stats.by_class.get(rec.opclass, 0) + 1
+        pcs.add(rec.pc)
+        if rec.writes_register:
+            stats.register_writers += 1
+        if rec.is_load:
+            stats.loads += 1
+        elif rec.is_store:
+            stats.stores += 1
+        elif rec.is_branch:
+            stats.branches += 1
+            if rec.branch_taken:
+                stats.taken_branches += 1
+        elif rec.is_indirect:
+            stats.indirect_jumps += 1
+    stats.unique_pcs = len(pcs)
+    return stats

@@ -1,0 +1,78 @@
+"""Trace transformation utilities: warmup skipping, regions of interest,
+renumbering, and concatenation.
+
+Standard trace-driven-simulation tooling: long captures are sliced into
+representative regions (skip initialization, keep the steady-state loop)
+before feeding the timing engine.
+"""
+
+from __future__ import annotations
+
+from repro.trace.record import TraceRecord
+
+
+def renumber(records: list[TraceRecord]) -> list[TraceRecord]:
+    """Return the records with ``seq`` rewritten to 0..n-1.
+
+    Every slicing operation must renumber: the timing engine's
+    bookkeeping (and the binary trace format) assume dense sequence
+    numbers starting at zero.
+    """
+    return [
+        TraceRecord(
+            seq=i,
+            pc=r.pc,
+            opcode=r.opcode,
+            src_regs=r.src_regs,
+            dest_reg=r.dest_reg,
+            dest_value=r.dest_value,
+            mem_addr=r.mem_addr,
+            mem_size=r.mem_size,
+            branch_taken=r.branch_taken,
+            next_pc=r.next_pc,
+        )
+        for i, r in enumerate(records)
+    ]
+
+
+def skip_warmup(records: list[TraceRecord], count: int) -> list[TraceRecord]:
+    """Drop the first ``count`` instructions (initialization phase)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return renumber(records[count:])
+
+
+def region_of_interest(
+    records: list[TraceRecord], start: int, length: int
+) -> list[TraceRecord]:
+    """Extract ``length`` instructions starting at dynamic position
+    ``start``."""
+    if start < 0 or length <= 0:
+        raise ValueError("start must be >= 0 and length positive")
+    return renumber(records[start : start + length])
+
+
+def concatenate(*parts: list[TraceRecord]) -> list[TraceRecord]:
+    """Join trace segments into one renumbered trace."""
+    joined: list[TraceRecord] = []
+    for part in parts:
+        joined.extend(part)
+    return renumber(joined)
+
+
+def loop_region(
+    records: list[TraceRecord], head_pc: int, max_iterations: int | None = None
+) -> list[TraceRecord]:
+    """Extract the region spanning executions of the loop headed at
+    ``head_pc``: from its first occurrence through its last (or through
+    ``max_iterations`` occurrences)."""
+    positions = [i for i, r in enumerate(records) if r.pc == head_pc]
+    if not positions:
+        raise ValueError(f"pc {head_pc:#x} never executed")
+    if max_iterations is not None:
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        positions = positions[: max_iterations + 1]
+    start = positions[0]
+    end = positions[-1] if len(positions) > 1 else len(records)
+    return renumber(records[start:end])

@@ -1,0 +1,70 @@
+"""Trace serialization: a compact line-oriented text format.
+
+Each record becomes one line of space-separated fields::
+
+    seq pc opcode srcs dest dest_value mem_addr mem_size taken next_pc
+
+Absent fields are encoded as ``-``.  ``srcs`` is a comma-joined register
+list (or ``-``).  The format round-trips exactly (property-tested) and is
+diff-friendly, which makes failing timing tests easy to inspect.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.trace.record import TraceRecord
+
+HEADER = "#vsr-trace-v1"
+
+
+def _field(value: object) -> str:
+    if value is None:
+        return "-"
+    if value is True:
+        return "T"
+    if value is False:
+        return "F"
+    return str(value)
+
+
+def _record_line(rec: TraceRecord) -> str:
+    srcs = ",".join(str(r) for r in rec.src_regs) if rec.src_regs else "-"
+    return " ".join(
+        (
+            str(rec.seq),
+            format(rec.pc, "x"),
+            rec.opcode.mnemonic,
+            srcs,
+            _field(rec.dest_reg),
+            _field(rec.dest_value),
+            _field(rec.mem_addr),
+            _field(rec.mem_size),
+            _field(rec.branch_taken),
+            format(rec.next_pc, "x"),
+        )
+    )
+
+
+def dump_trace(records: Iterable[TraceRecord], fp: TextIO) -> int:
+    """Write records to an open text file; returns the record count."""
+    fp.write(HEADER + "\n")
+    count = 0
+    for rec in records:
+        fp.write(_record_line(rec) + "\n")
+        count += 1
+    return count
+
+
+def dumps_trace(records: Iterable[TraceRecord]) -> str:
+    """Serialize records to a string."""
+    lines = [HEADER]
+    lines.extend(_record_line(rec) for rec in records)
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(records: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write records to ``path``; returns the record count."""
+    with open(path, "w", encoding="ascii") as fp:
+        return dump_trace(records, fp)

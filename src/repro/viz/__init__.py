@@ -1,0 +1,13 @@
+"""Textual visualization of simulation behaviour.
+
+Terminal-friendly renderings: sparkline time series of IPC and window
+occupancy (from engine samples) and side-by-side run comparisons.
+"""
+
+from repro.viz.timeline import (
+    sparkline,
+    render_timeline,
+    render_ipc_comparison,
+)
+
+__all__ = ["sparkline", "render_timeline", "render_ipc_comparison"]

@@ -1,0 +1,85 @@
+"""Sparkline time-series rendering of engine samples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render values as a unicode sparkline, resampled to ``width``."""
+    if not values:
+        return ""
+    if width < 1:
+        raise ValueError("width must be positive")
+    # resample by bucket means
+    buckets: list[float] = []
+    count = min(width, len(values))
+    for i in range(count):
+        lo = i * len(values) // count
+        hi = max(lo + 1, (i + 1) * len(values) // count)
+        chunk = values[lo:hi]
+        buckets.append(sum(chunk) / len(chunk))
+    top = max(buckets)
+    bottom = min(buckets)
+    span = top - bottom
+    if span <= 0:
+        return _BLOCKS[4] * count
+    out = []
+    for value in buckets:
+        index = int((value - bottom) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def _ipc_series(samples: Sequence[tuple[int, int, int]]) -> list[float]:
+    """Per-interval IPC from cumulative (cycle, retired, occupancy)."""
+    series: list[float] = []
+    prev_cycle = prev_retired = 0
+    for cycle, retired, __ in samples:
+        dc = cycle - prev_cycle
+        if dc > 0:
+            series.append((retired - prev_retired) / dc)
+        prev_cycle, prev_retired = cycle, retired
+    return series
+
+
+def render_timeline(
+    samples: Sequence[tuple[int, int, int]], label: str = "", width: int = 60
+) -> str:
+    """IPC and window-occupancy sparklines for one run's samples."""
+    if not samples:
+        return f"{label}: no samples (set ProcessorConfig.sample_interval)"
+    ipc = _ipc_series(samples)
+    occupancy = [float(s[2]) for s in samples]
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(
+        f"  IPC       [{min(ipc):4.1f}..{max(ipc):4.1f}] "
+        + sparkline(ipc, width)
+    )
+    lines.append(
+        f"  occupancy [{min(occupancy):4.0f}..{max(occupancy):4.0f}] "
+        + sparkline(occupancy, width)
+    )
+    return "\n".join(lines)
+
+
+def render_ipc_comparison(
+    runs: dict[str, Sequence[tuple[int, int, int]]], width: int = 60
+) -> str:
+    """Aligned IPC sparklines for several runs (e.g. base vs models)."""
+    label_width = max((len(label) for label in runs), default=0)
+    lines = []
+    for label, samples in runs.items():
+        ipc = _ipc_series(samples)
+        if not ipc:
+            continue
+        mean = sum(ipc) / len(ipc)
+        lines.append(
+            f"{label.ljust(label_width)}  mean IPC {mean:5.2f}  "
+            + sparkline(ipc, width)
+        )
+    return "\n".join(lines)

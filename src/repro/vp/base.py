@@ -1,0 +1,79 @@
+"""Value-predictor interface shared by every implementation."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass
+class PredictorStats:
+    """Outcome counters for a value predictor."""
+
+    lookups: int = 0
+    correct: int = 0
+    incorrect: int = 0
+
+    @property
+    def resolved(self) -> int:
+        return self.correct + self.incorrect
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.resolved if self.resolved else 0.0
+
+
+class ValuePredictor(abc.ABC):
+    """A PC-indexed predictor of instruction output values.
+
+    The engine drives predictors through three calls, matching the paper's
+    two update-timing policies (Section 5.2):
+
+    * :meth:`predict` at dispatch — returns the predicted output value.
+
+    * Under **immediate** (I) timing the engine calls
+      ``train(pc, actual)`` right away: internal history advances with the
+      correct value and the prediction structures learn instantly.
+
+    * Under **delayed** (D) timing the engine calls
+      ``token = speculate(pc, predicted)`` at dispatch — the history is
+      updated *speculatively with the prediction* (and never repaired) —
+      and ``train(pc, actual, token)`` at retirement, which trains the
+      prediction structures using the context that was live at prediction
+      time without touching the history again.
+
+    ``record_outcome`` is bookkeeping only (accuracy statistics).
+    """
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> int:
+        """Predicted output value for the instruction at ``pc``."""
+
+    @abc.abstractmethod
+    def speculate(self, pc: int, predicted: int) -> object:
+        """Speculatively advance the history for ``pc`` with ``predicted``;
+        returns an opaque token to pass back to :meth:`train` at
+        retirement."""
+
+    @abc.abstractmethod
+    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+        """Train with the architecturally correct value.
+
+        ``token=None`` is immediate timing: the history also advances with
+        ``actual``.  A token from :meth:`speculate` is delayed timing: only
+        the prediction structures are trained (against the saved context);
+        the speculatively-updated history is left as is.
+        """
+
+    def flush_speculative(self, pc: int) -> None:
+        """Hook for squash recovery; predictors whose speculative state
+        self-corrects (the paper's choice) need not override."""
+
+    def record_outcome(self, correct: bool) -> None:
+        if correct:
+            self.stats.correct += 1
+        else:
+            self.stats.incorrect += 1

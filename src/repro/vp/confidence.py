@@ -1,0 +1,188 @@
+"""Confidence estimation for value predictions.
+
+The paper (Section 5.2): "a confidence table is indexed using the PC of the
+predicted instruction and contains resetting counters that are incremented
+by 1 on correct predictions and reset to 0 on incorrect predictions.  A
+prediction is considered confident when the confidence value is at
+maximum."  The evaluated configuration uses 64K entries of 3-bit counters.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.isa.opcodes import INSTRUCTION_BYTES
+
+
+@dataclass
+class ConfidenceStats:
+    """Counts of (confidence, outcome) pairs — the raw material of Fig. 4."""
+
+    correct_high: int = 0  # CH
+    correct_low: int = 0  # CL
+    incorrect_high: int = 0  # IH
+    incorrect_low: int = 0  # IL
+
+    @property
+    def total(self) -> int:
+        return (
+            self.correct_high
+            + self.correct_low
+            + self.incorrect_high
+            + self.incorrect_low
+        )
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total or 1
+        return {
+            "CH": self.correct_high / total,
+            "CL": self.correct_low / total,
+            "IH": self.incorrect_high / total,
+            "IL": self.incorrect_low / total,
+        }
+
+
+class ConfidenceEstimator(abc.ABC):
+    """Assigns high/low confidence to each value prediction."""
+
+    def __init__(self) -> None:
+        self.stats = ConfidenceStats()
+
+    @abc.abstractmethod
+    def confident(self, pc: int, prediction_correct: bool) -> bool:
+        """High confidence for the prediction at ``pc``?
+
+        ``prediction_correct`` is ground truth known to the simulator; a
+        realistic estimator must ignore it (it exists for the oracle).
+        """
+
+    @abc.abstractmethod
+    def update(self, pc: int, correct: bool) -> None:
+        """Learn a resolved prediction outcome."""
+
+    def record(self, confident: bool, correct: bool) -> None:
+        """Accumulate the CH/CL/IH/IL breakdown."""
+        if correct and confident:
+            self.stats.correct_high += 1
+        elif correct:
+            self.stats.correct_low += 1
+        elif confident:
+            self.stats.incorrect_high += 1
+        else:
+            self.stats.incorrect_low += 1
+
+
+class SaturatingConfidenceEstimator(ConfidenceEstimator):
+    """Up/down saturating counters with a confidence threshold.
+
+    The alternative Section 3.6 alludes to via Calder et al.'s confidence
+    levels: instead of resetting to zero on a misprediction, the counter
+    steps down, so a single miss in a long correct run does not forfeit
+    all accumulated confidence.  More coverage, more misspeculation than
+    the resetting scheme.
+    """
+
+    def __init__(
+        self,
+        table_bits: int = 16,
+        counter_bits: int = 3,
+        threshold: int | None = None,
+        down_step: int = 1,
+    ):
+        super().__init__()
+        if table_bits <= 0 or counter_bits <= 0:
+            raise ValueError("table_bits and counter_bits must be positive")
+        if down_step <= 0:
+            raise ValueError("down_step must be positive")
+        self.max_count = (1 << counter_bits) - 1
+        self.threshold = self.max_count if threshold is None else threshold
+        if not 0 < self.threshold <= self.max_count:
+            raise ValueError("threshold must be in (0, max_count]")
+        self.down_step = down_step
+        self._mask = (1 << table_bits) - 1
+        self._counters = bytearray(1 << table_bits)
+
+    def _index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & self._mask
+
+    def counter(self, pc: int) -> int:
+        return self._counters[self._index(pc)]
+
+    def confident(self, pc: int, prediction_correct: bool) -> bool:
+        return self._counters[self._index(pc)] >= self.threshold
+
+    def update(self, pc: int, correct: bool) -> None:
+        index = self._index(pc)
+        if correct:
+            if self._counters[index] < self.max_count:
+                self._counters[index] += 1
+        else:
+            self._counters[index] = max(
+                0, self._counters[index] - self.down_step
+            )
+
+
+class HistoryConfidenceEstimator(ConfidenceEstimator):
+    """Outcome-history confidence in the spirit of Bekerman et al. [2].
+
+    Each entry records the last ``history_bits`` prediction outcomes for
+    the PC; a prediction is confident only when the recent pattern shows
+    no misses.  "Associate with a mispredicted instruction part of the
+    history that lead to it; in the case of future match, a prediction is
+    assigned low confidence" — approximated here pattern-free: any miss in
+    the recorded window blocks confidence until it ages out.
+    """
+
+    def __init__(self, table_bits: int = 16, history_bits: int = 4):
+        super().__init__()
+        if table_bits <= 0 or history_bits <= 0:
+            raise ValueError("table_bits and history_bits must be positive")
+        self.history_bits = history_bits
+        self._full = (1 << history_bits) - 1
+        self._mask = (1 << table_bits) - 1
+        #: per-entry outcome shift register; 1 = correct.  Entries start
+        #: at zero so cold instructions are low-confidence.
+        self._history = bytearray(1 << table_bits)
+
+    def _index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & self._mask
+
+    def confident(self, pc: int, prediction_correct: bool) -> bool:
+        return self._history[self._index(pc)] == self._full
+
+    def update(self, pc: int, correct: bool) -> None:
+        index = self._index(pc)
+        pattern = ((self._history[index] << 1) | int(correct)) & self._full
+        self._history[index] = pattern
+
+
+class ResettingConfidenceEstimator(ConfidenceEstimator):
+    """The paper's realistic estimator: PC-indexed resetting counters."""
+
+    def __init__(self, table_bits: int = 16, counter_bits: int = 3):
+        super().__init__()
+        if table_bits <= 0 or counter_bits <= 0:
+            raise ValueError("table_bits and counter_bits must be positive")
+        self.table_bits = table_bits
+        self.max_count = (1 << counter_bits) - 1
+        self._mask = (1 << table_bits) - 1
+        self._counters = bytearray(1 << table_bits)
+
+    def _index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & self._mask
+
+    def counter(self, pc: int) -> int:
+        """Current counter value for ``pc`` (tests/inspection)."""
+        return self._counters[self._index(pc)]
+
+    def confident(self, pc: int, prediction_correct: bool) -> bool:
+        return self._counters[self._index(pc)] == self.max_count
+
+    def update(self, pc: int, correct: bool) -> None:
+        index = self._index(pc)
+        if correct:
+            if self._counters[index] < self.max_count:
+                self._counters[index] += 1
+        else:
+            self._counters[index] = 0

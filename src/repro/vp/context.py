@@ -1,0 +1,185 @@
+"""Two-level context-based (FCM) value predictor [Sazeides & Smith 1997].
+
+Structure (Section 5.2 of the paper):
+
+* **History table** (level 1): direct-mapped, indexed by instruction PC,
+  untagged — every lookup produces a context, so every register-writing
+  instruction receives a prediction.  Each entry maintains the most recent
+  ``order`` (=4) values produced by the instructions mapping to it.  The
+  *context* is a hash folding those values into ``context_bits`` (=16) bits.
+* **Prediction table** (level 2): indexed by the context alone (so static
+  instructions producing identical sequences share prediction state);
+  each entry holds a 64-bit value and a one-bit counter guiding
+  replacement — a mismatching outcome first clears the counter, and only
+  a second consecutive mismatch replaces the stored value.
+
+Update timing (Section 5.2).  Under *immediate* (I) timing the history
+advances with the correct value and the prediction table trains right
+after each prediction.  Under *delayed* (D) timing the history table is
+updated **speculatively with the prediction**: each level-1 entry keeps a
+committed history plus a queue of outstanding speculative values; the
+prediction context hashes both.  At retirement the prediction table is
+trained against the committed context, the retiring instance's own
+speculative entry is removed (identified by the token handed out at
+prediction time), and — because every younger speculative value was
+chained from it — a mispredicted entry squashes the rest of the queue.
+
+The consequence, visible in the paper's Figure 4, is that delayed update
+predicts correctly only while the speculative chain stays correct: the
+chain re-seeds from the committed history whenever the pipeline drains
+(branch mispredictions, long-latency stalls), so accuracy degrades as
+windows get deeper and drains get rarer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.opcodes import INSTRUCTION_BYTES
+from repro.vp.base import ValuePredictor
+
+_MASK64 = (1 << 64) - 1
+
+
+def fold_value(value: int, bits: int) -> int:
+    """Fold a 64-bit value into ``bits`` bits by XORing chunks."""
+    value &= _MASK64
+    mask = (1 << bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded
+
+
+class _HistoryEntry:
+    """Level-1 entry: committed history plus speculative extension."""
+
+    __slots__ = ("committed", "speculative")
+
+    def __init__(self, order: int):
+        self.committed: deque[int] = deque([0] * order, maxlen=order)
+        #: Outstanding speculative values as (token, value) pairs, oldest
+        #: first.  Values are the *predictions* made for in-flight
+        #: instances of this entry's instructions.
+        self.speculative: list[tuple[int, int]] = []
+
+
+class ContextValuePredictor(ValuePredictor):
+    """The paper's context-based predictor."""
+
+    def __init__(
+        self,
+        history_bits: int = 16,
+        context_bits: int = 16,
+        order: int = 4,
+    ):
+        super().__init__()
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if history_bits <= 0 or context_bits <= 0:
+            raise ValueError("history_bits and context_bits must be positive")
+        self.history_bits = history_bits
+        self.context_bits = context_bits
+        self.order = order
+        self._l1_mask = (1 << history_bits) - 1
+        self._ctx_mask = (1 << context_bits) - 1
+        self._entries: dict[int, _HistoryEntry] = {}
+        self._next_token = 0
+        size = 1 << context_bits
+        self._values = [0] * size
+        self._counters = bytearray(size)
+
+    # -- level-1 helpers ----------------------------------------------------
+
+    def _l1_index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & self._l1_mask
+
+    def _entry(self, pc: int) -> _HistoryEntry:
+        index = self._l1_index(pc)
+        entry = self._entries.get(index)
+        if entry is None:
+            entry = _HistoryEntry(self.order)
+            self._entries[index] = entry
+        return entry
+
+    def _hash(self, values: list[int]) -> int:
+        """The classic select-fold-shift-XOR FCM hash: each value is folded
+        to ``context_bits`` bits and injected with a position-dependent
+        shift so its contribution ages out after ``order`` insertions."""
+        ctx = 0
+        for position, value in enumerate(values[-self.order :]):
+            ctx ^= fold_value(value, self.context_bits) << position
+        return ctx & self._ctx_mask
+
+    def _live_context(self, entry: _HistoryEntry) -> int:
+        values = list(entry.committed) + [v for __, v in entry.speculative]
+        return self._hash(values)
+
+    def _committed_context(self, entry: _HistoryEntry) -> int:
+        return self._hash(list(entry.committed))
+
+    # -- ValuePredictor interface --------------------------------------------
+
+    def predict(self, pc: int) -> int:
+        self.stats.lookups += 1
+        return self._values[self._live_context(self._entry(pc))]
+
+    def speculate(self, pc: int, predicted: int) -> int:
+        """Delayed timing: push the prediction onto the speculative history
+        and return the token identifying this instance's entry."""
+        token = self._next_token
+        self._next_token += 1
+        self._entry(pc).speculative.append((token, predicted & _MASK64))
+        return token
+
+    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+        actual &= _MASK64
+        entry = self._entry(pc)
+        # The training context is the committed one — the context this
+        # instance would have predicted from had the pipeline been empty.
+        self._train_l2(self._committed_context(entry), actual)
+        entry.committed.append(actual)
+        if token is not None:
+            self._consume_speculative(entry, int(token), actual)
+
+    def _consume_speculative(
+        self, entry: _HistoryEntry, token: int, actual: int
+    ) -> None:
+        for position, (spec_token, spec_value) in enumerate(entry.speculative):
+            if spec_token == token:
+                if spec_value == actual:
+                    del entry.speculative[position]
+                else:
+                    # Every younger speculative value chained from a wrong
+                    # one; the chain re-seeds from committed history.
+                    del entry.speculative[position:]
+                return
+            if spec_token > token:
+                break
+        # Token already squashed by an earlier chain clear: nothing to do.
+
+    def _train_l2(self, ctx: int, actual: int) -> None:
+        if self._values[ctx] == actual:
+            self._counters[ctx] = 1
+        elif self._counters[ctx]:
+            self._counters[ctx] = 0
+        else:
+            self._values[ctx] = actual
+
+    def flush_speculative(self, pc: int) -> None:
+        self._entry(pc).speculative.clear()
+
+    # -- introspection --------------------------------------------------------
+
+    def committed_history(self, pc: int) -> tuple[int, ...]:
+        """The committed value history for ``pc`` (tests/debugging)."""
+        return tuple(self._entry(pc).committed)
+
+    def speculative_depth(self, pc: int) -> int:
+        """Number of outstanding speculative history values for ``pc``."""
+        return len(self._entry(pc).speculative)
+
+    def context_of(self, pc: int) -> int:
+        """The context the next prediction for ``pc`` would use."""
+        return self._live_context(self._entry(pc))

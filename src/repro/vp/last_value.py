@@ -1,0 +1,43 @@
+"""Last-value predictor [Lipasti et al. 1996] — ablation baseline.
+
+Predicts that an instruction produces the same value as its previous
+dynamic instance.  The simplest useful value predictor; the gap between it
+and the context-based predictor shows how much context history buys.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import INSTRUCTION_BYTES
+from repro.vp.base import ValuePredictor
+
+_MASK64 = (1 << 64) - 1
+
+
+class LastValuePredictor(ValuePredictor):
+    """Direct-mapped table of most recent values, untagged.
+
+    Under delayed timing the table is updated speculatively with the
+    prediction (which, for a last-value predictor, is a no-op when the
+    prediction equals the stored value) and corrected at retirement.
+    """
+
+    def __init__(self, table_bits: int = 16):
+        super().__init__()
+        if table_bits <= 0:
+            raise ValueError("table_bits must be positive")
+        self._mask = (1 << table_bits) - 1
+        self._values: dict[int, int] = {}
+
+    def _index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & self._mask
+
+    def predict(self, pc: int) -> int:
+        self.stats.lookups += 1
+        return self._values.get(self._index(pc), 0)
+
+    def speculate(self, pc: int, predicted: int) -> None:
+        self._values[self._index(pc)] = predicted & _MASK64
+        return None
+
+    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+        self._values[self._index(pc)] = actual & _MASK64

@@ -1,0 +1,21 @@
+"""Oracle confidence: perfectly identifies correct predictions.
+
+The paper compares realistic confidence (R) against this oracle (O): with
+oracle confidence the processor speculates on every correct prediction and
+never on an incorrect one, bounding what better confidence estimation
+could buy.
+"""
+
+from __future__ import annotations
+
+from repro.vp.confidence import ConfidenceEstimator
+
+
+class OracleConfidence(ConfidenceEstimator):
+    """Confident exactly when the prediction is correct."""
+
+    def confident(self, pc: int, prediction_correct: bool) -> bool:
+        return prediction_correct
+
+    def update(self, pc: int, correct: bool) -> None:
+        """Oracles have nothing to learn."""

@@ -1,0 +1,69 @@
+"""Stride value predictor — ablation baseline.
+
+Predicts ``last + stride`` where the stride is the difference between the
+two most recent values, confirmed by a two-delta policy (the stride only
+changes after it repeats), which avoids thrashing on alternating values.
+Under delayed timing ``last`` advances speculatively with the prediction;
+stride learning happens at retirement from committed values only.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import INSTRUCTION_BYTES
+from repro.vp.base import ValuePredictor
+
+_MASK64 = (1 << 64) - 1
+
+
+class _StrideEntry:
+    __slots__ = ("last", "committed_last", "stride", "pending_stride")
+
+    def __init__(self) -> None:
+        self.last = 0  # speculative front (advanced by predictions)
+        self.committed_last = 0  # architected last value
+        self.stride = 0
+        self.pending_stride: int | None = None
+
+
+class StridePredictor(ValuePredictor):
+    """Two-delta stride predictor with speculative last-value advance."""
+
+    def __init__(self, table_bits: int = 16):
+        super().__init__()
+        if table_bits <= 0:
+            raise ValueError("table_bits must be positive")
+        self._mask = (1 << table_bits) - 1
+        self._table: dict[int, _StrideEntry] = {}
+
+    def _entry(self, pc: int) -> _StrideEntry:
+        index = (pc // INSTRUCTION_BYTES) & self._mask
+        entry = self._table.get(index)
+        if entry is None:
+            entry = _StrideEntry()
+            self._table[index] = entry
+        return entry
+
+    def predict(self, pc: int) -> int:
+        self.stats.lookups += 1
+        entry = self._entry(pc)
+        return (entry.last + entry.stride) & _MASK64
+
+    def speculate(self, pc: int, predicted: int) -> None:
+        self._entry(pc).last = predicted & _MASK64
+        return None
+
+    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+        actual &= _MASK64
+        entry = self._entry(pc)
+        new_stride = (actual - entry.committed_last) & _MASK64
+        if new_stride == entry.stride:
+            entry.pending_stride = None
+        elif entry.pending_stride == new_stride:
+            entry.stride = new_stride
+            entry.pending_stride = None
+        else:
+            entry.pending_stride = new_stride
+        entry.committed_last = actual
+        if token is None:
+            # Immediate timing: the speculative front is the actual value.
+            entry.last = actual

@@ -1,0 +1,165 @@
+"""Tagged, set-associative context predictor tables.
+
+The paper defers "tables configuration, number of ports, hash functions
+and replacement"; this variant explores the replacement/tagging corner:
+both levels are set-associative with partial tags and LRU replacement, so
+small tables degrade by *missing* (no prediction is made) rather than by
+silently aliasing onto another instruction's state like the untagged
+direct-mapped baseline.
+
+A miss returns ``None`` from :meth:`lookup`; the engine wrapper
+:meth:`predict` returns 0 in that case (an always-wrong prediction the
+confidence estimator quickly learns to gate), keeping the
+:class:`~repro.vp.base.ValuePredictor` interface unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import INSTRUCTION_BYTES
+from repro.vp.base import ValuePredictor
+from repro.vp.context import fold_value
+
+_MASK64 = (1 << 64) - 1
+
+
+class _TaggedSet:
+    """One set: tag -> payload, LRU order (index 0 most recent)."""
+
+    __slots__ = ("tags", "payloads")
+
+    def __init__(self) -> None:
+        self.tags: list[int] = []
+        self.payloads: list = []
+
+    def get(self, tag: int):
+        try:
+            position = self.tags.index(tag)
+        except ValueError:
+            return None
+        self.tags.insert(0, self.tags.pop(position))
+        self.payloads.insert(0, self.payloads.pop(position))
+        return self.payloads[0]
+
+    def put(self, tag: int, payload, assoc: int) -> None:
+        try:
+            position = self.tags.index(tag)
+            self.tags.pop(position)
+            self.payloads.pop(position)
+        except ValueError:
+            if len(self.tags) >= assoc:
+                self.tags.pop()
+                self.payloads.pop()
+        self.tags.insert(0, tag)
+        self.payloads.insert(0, payload)
+
+
+class TaggedContextPredictor(ValuePredictor):
+    """Set-associative, tagged two-level context predictor.
+
+    Level 1 maps PC -> value history (order values); level 2 maps the
+    context hash -> (value, 1-bit counter).  Both levels carry partial
+    tags so cross-instruction aliasing is detected instead of silently
+    polluting state.
+    """
+
+    def __init__(
+        self,
+        l1_sets_bits: int = 10,
+        l2_sets_bits: int = 12,
+        assoc: int = 2,
+        order: int = 4,
+        tag_bits: int = 16,
+        context_bits: int = 16,
+    ):
+        super().__init__()
+        if min(l1_sets_bits, l2_sets_bits, assoc, order, tag_bits) <= 0:
+            raise ValueError("all geometry parameters must be positive")
+        self.assoc = assoc
+        self.order = order
+        self.context_bits = context_bits
+        self._l1_bits = l1_sets_bits
+        self._l2_bits = l2_sets_bits
+        self._l1_mask = (1 << l1_sets_bits) - 1
+        self._l2_mask = (1 << l2_sets_bits) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._l1: dict[int, _TaggedSet] = {}
+        self._l2: dict[int, _TaggedSet] = {}
+        self.l1_misses = 0
+        self.l2_misses = 0
+
+    # -- indexing -----------------------------------------------------------
+
+    def _l1_slot(self, pc: int) -> tuple[_TaggedSet, int]:
+        word = pc // INSTRUCTION_BYTES
+        index = word & self._l1_mask
+        # the tag covers the bits above the index, so set-mates with
+        # different PCs always have distinct tags
+        tag = (word >> self._l1_bits) & self._tag_mask
+        bucket = self._l1.get(index)
+        if bucket is None:
+            bucket = _TaggedSet()
+            self._l1[index] = bucket
+        return bucket, tag
+
+    def _context(self, history: tuple[int, ...]) -> int:
+        ctx = 0
+        for position, value in enumerate(history[-self.order :]):
+            ctx ^= fold_value(value, self.context_bits) << position
+        return ctx
+
+    def _l2_slot(self, ctx: int) -> tuple[_TaggedSet, int]:
+        index = ctx & self._l2_mask
+        tag = (ctx >> self._l2_bits) & self._tag_mask
+        bucket = self._l2.get(index)
+        if bucket is None:
+            bucket = _TaggedSet()
+            self._l2[index] = bucket
+        return bucket, tag
+
+    # -- prediction ------------------------------------------------------------
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted value, or None on a table miss."""
+        bucket, tag = self._l1_slot(pc)
+        history = bucket.get(tag)
+        if history is None:
+            self.l1_misses += 1
+            return None
+        l2_bucket, l2_tag = self._l2_slot(self._context(history))
+        payload = l2_bucket.get(l2_tag)
+        if payload is None:
+            self.l2_misses += 1
+            return None
+        return payload[0]
+
+    def predict(self, pc: int) -> int:
+        self.stats.lookups += 1
+        value = self.lookup(pc)
+        return 0 if value is None else value
+
+    def speculate(self, pc: int, predicted: int) -> None:
+        """Delayed-timing speculative history is not modelled for the
+        tagged variant (it exists for table-geometry studies, which run
+        under immediate update)."""
+        return None
+
+    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+        actual &= _MASK64
+        bucket, tag = self._l1_slot(pc)
+        history = bucket.get(tag)
+        if history is None:
+            history = (0,) * self.order
+        ctx = self._context(history)
+        l2_bucket, l2_tag = self._l2_slot(ctx)
+        payload = l2_bucket.get(l2_tag)
+        if payload is None:
+            l2_bucket.put(l2_tag, (actual, 1), self.assoc)
+        else:
+            value, counter = payload
+            if value == actual:
+                l2_bucket.put(l2_tag, (value, 1), self.assoc)
+            elif counter:
+                l2_bucket.put(l2_tag, (value, 0), self.assoc)
+            else:
+                l2_bucket.put(l2_tag, (actual, 1), self.assoc)
+        bucket.put(tag, (history + (actual,))[-self.order :], self.assoc)

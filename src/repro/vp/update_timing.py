@@ -1,0 +1,26 @@
+"""Predictor update-timing policies (the paper's I/D dimension)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class UpdateTiming(enum.Enum):
+    """When the value predictor learns the correct outcome.
+
+    IMMEDIATE ("I"): tables are updated with the correct value immediately
+    after the prediction is made — an idealization that bounds how much
+    performance timely training is worth.
+
+    DELAYED ("D"): tables are updated when the instruction retires; at
+    prediction time the history table is updated *speculatively* with the
+    predicted value (Section 5.2), so in-flight instructions see contexts
+    extended by unverified predictions.
+    """
+
+    IMMEDIATE = "I"
+    DELAYED = "D"
+
+    @property
+    def label(self) -> str:
+        return self.value

@@ -1,0 +1,31 @@
+"""Selection policies (paper Sections 2.1 and 3.5).
+
+Selection chooses which woken instructions issue this cycle.  The paper's
+scheme "assigns highest priority to branch and load instructions and
+prioritizes the rest based on dynamic program order — oldest first.
+Non-speculative instructions are preferred over speculative."
+"""
+
+from __future__ import annotations
+
+from repro.core.variables import ModelVariables, SelectionPolicy
+from repro.window.station import Station
+
+
+def selection_key(station: Station, policy: SelectionPolicy) -> tuple:
+    """Sort key: lower sorts first (is selected earlier)."""
+    priority_type = 0 if (station.rec.is_branch or station.rec.is_load) else 1
+    speculative = 1 if station.speculative_inputs else 0
+    if policy is SelectionPolicy.PAPER:
+        return (priority_type, speculative, station.sid)
+    if policy is SelectionPolicy.SPECULATIVE_EQUAL:
+        return (priority_type, station.sid)
+    return (station.sid,)  # OLDEST_FIRST
+
+
+def select(
+    candidates: list[Station], width: int, variables: ModelVariables
+) -> list[Station]:
+    """Pick up to ``width`` stations to issue, in priority order."""
+    ordered = sorted(candidates, key=lambda s: selection_key(s, variables.selection))
+    return ordered[:width]

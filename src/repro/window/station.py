@@ -1,0 +1,253 @@
+"""Reservation-station state.
+
+A :class:`Station` is the dynamic instance of one instruction occupying a
+window entry.  It carries the fields of the paper's modified reservation
+station (Section 2.2) — per-operand ready state (four-valued, not the base
+processor's single ready bit), tags, the issued/executed flags, and the
+predicted flag and value — plus the simulator-side bookkeeping that makes
+those fields computable: which *speculation sources* (unresolved predicted
+instructions) currently taint each held value, and whether each held value
+is architecturally correct.
+
+The taint machinery is the simulator's realization of the verification
+network's state: an operand is VALID exactly when it holds a value tainted
+by no unresolved prediction; it is PREDICTED when the value came straight
+from a producer's prediction broadcast, and SPECULATIVE when it was
+computed downstream of one.
+"""
+
+from __future__ import annotations
+
+from repro.core.value_state import ValueState
+from repro.trace.record import TraceRecord
+
+
+class Operand:
+    """One source-operand field of a reservation station."""
+
+    __slots__ = (
+        "reg",
+        "producer_sid",
+        "ready",
+        "taints",
+        "correct",
+        "from_prediction",
+        "valid_cycle",
+        "via_network",
+    )
+
+    def __init__(self, reg: int, producer_sid: int | None):
+        self.reg = reg
+        #: Station id of the in-flight producer; None = read from the
+        #: architected register file at dispatch (always VALID).
+        self.producer_sid = producer_sid
+        self.ready = producer_sid is None
+        #: Unresolved speculation sources affecting the held value.
+        self.taints: set[int] = set()
+        #: Is the held value architecturally correct?  (Simulator ground
+        #: truth; the hardware doesn't know this until verification.)
+        self.correct = producer_sid is None
+        #: Did the held value arrive as a producer's prediction broadcast?
+        self.from_prediction = False
+        #: Cycle the operand (most recently) became VALID.
+        self.valid_cycle = 0
+        #: True when validity arrived via a verification-network (or
+        #: invalidation) transaction rather than a plain result broadcast —
+        #: the condition under which the Verification–Branch and
+        #: Verification-Address–Memory-Access latencies apply.
+        self.via_network = False
+
+    @property
+    def state(self) -> ValueState:
+        """The paper's four-valued operand state."""
+        if not self.ready:
+            return ValueState.INVALID
+        if not self.taints:
+            return ValueState.VALID
+        if self.from_prediction:
+            return ValueState.PREDICTED
+        return ValueState.SPECULATIVE
+
+    def deliver(
+        self,
+        *,
+        taints: set[int],
+        correct: bool,
+        cycle: int,
+        from_prediction: bool,
+        via_network: bool = False,
+    ) -> None:
+        """Capture a broadcast value."""
+        self.ready = True
+        self.taints = set(taints)
+        self.correct = correct
+        self.from_prediction = from_prediction
+        if not self.taints:
+            self.valid_cycle = cycle
+            self.via_network = via_network
+
+    def clear_taint(self, sid: int, cycle: int) -> bool:
+        """Remove a resolved speculation source; True if now VALID."""
+        if sid in self.taints:
+            self.taints.discard(sid)
+            if self.ready and not self.taints:
+                self.valid_cycle = cycle
+                self.via_network = True
+                return True
+        return False
+
+    def reset_pending(self) -> None:
+        """Revert to waiting for the producer's (re)broadcast."""
+        self.ready = False
+        self.taints = set()
+        self.correct = False
+        self.from_prediction = False
+        self.via_network = False
+
+
+class Station:
+    """One window entry (unified RS + ROB slot)."""
+
+    __slots__ = (
+        "sid",
+        "rec",
+        "wrong_path",
+        "operands",
+        "consumers",
+        "predicted",
+        "predicted_confident",
+        "pred_correct",
+        "prediction_resolved",
+        "prediction_muted",
+        "spec_equal",
+        "issued",
+        "executing",
+        "executed",
+        "exec_valid_inputs",
+        "exec_count",
+        "out_ready",
+        "out_taints",
+        "out_correct",
+        "exec_taints",
+        "out_valid_cycle",
+        "out_via_network",
+        "dispatch_cycle",
+        "issue_cycle",
+        "result_cycle",
+        "equality_cycle",
+        "verify_cycle",
+        "min_issue_cycle",
+        "epoch",
+        "branch_mispredicted",
+        "mem_done",
+        "retired",
+        "misspeculations",
+    )
+
+    def __init__(self, sid: int, rec: TraceRecord, wrong_path: bool = False):
+        self.sid = sid
+        self.rec = rec
+        self.wrong_path = wrong_path
+        self.operands: list[Operand] = []
+        #: (consumer_sid, operand_index) pairs that captured our output.
+        self.consumers: list[tuple[int, int]] = []
+        # -- value prediction state --
+        self.predicted = False  # prediction broadcast to consumers
+        self.predicted_confident = False
+        self.pred_correct = False  # ground truth (revealed at equality)
+        self.prediction_resolved = False
+        #: A speculative equality mismatch provisionally "turned off" the
+        #: prediction: consumers were invalidated and this station now
+        #: broadcasts computed results like an unpredicted instruction.
+        #: Final resolution (for retirement) still happens at the first
+        #: valid-input execution.
+        self.prediction_muted = False
+        #: Outcome of the speculative equality comparison performed at the
+        #: most recent execution (meaningful once ``executed``).
+        self.spec_equal = False
+        # -- issue/execution state --
+        self.issued = False
+        self.executing = False
+        self.executed = False  # produced a result at least once
+        self.exec_valid_inputs = False  # last execution used all-VALID inputs
+        self.exec_count = 0
+        # -- output state --
+        self.out_ready = False
+        self.out_taints: set[int] = set()
+        self.out_correct = False
+        #: Taints of the inputs consumed by the most recent execution (the
+        #: speculation sources the computed result depends on).
+        self.exec_taints: set[int] = set()
+        self.out_valid_cycle = 0
+        self.out_via_network = False
+        # -- timestamps --
+        self.dispatch_cycle = 0
+        self.issue_cycle = 0
+        self.result_cycle = 0  # cycle the latest result becomes usable
+        self.equality_cycle = 0
+        self.verify_cycle = 0
+        self.min_issue_cycle = 0
+        #: Bumped on every nullification/squash; pending events from older
+        #: epochs are stale and must be ignored.
+        self.epoch = 0
+        self.branch_mispredicted = False
+        self.mem_done = False  # memory access completed (loads)
+        self.retired = False
+        self.misspeculations = 0
+
+    # -- derived state ----------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        return self.rec.seq
+
+    def input_states(self) -> list[ValueState]:
+        return [op.state for op in self.operands]
+
+    @property
+    def inputs_usable(self) -> bool:
+        """All operands carry some value (valid/predicted/speculative)."""
+        return all(op.ready for op in self.operands)
+
+    @property
+    def inputs_valid(self) -> bool:
+        """All operands VALID."""
+        return all(op.ready and not op.taints for op in self.operands)
+
+    @property
+    def inputs_correct(self) -> bool:
+        """Simulator ground truth: all held values correct."""
+        return all(op.ready and op.correct for op in self.operands)
+
+    @property
+    def speculative_inputs(self) -> bool:
+        return any(op.ready and op.taints for op in self.operands)
+
+    def inputs_valid_since(self) -> int:
+        """Latest cycle at which an operand became VALID (0 when none)."""
+        return max((op.valid_cycle for op in self.operands), default=0)
+
+    def nullify(self, min_issue_cycle: int) -> None:
+        """The paper's wakeup nullification semantics (Section 3.4):
+        remove the effects of previous execution and enable a future
+        wakeup by resetting the issued flag."""
+        self.issued = False
+        self.executing = False
+        self.executed = False
+        self.exec_valid_inputs = False
+        # An unmuted prediction broadcast still stands for consumers.
+        live_prediction = self.predicted and not self.prediction_muted
+        self.out_ready = live_prediction
+        self.out_taints = {self.sid} if live_prediction else set()
+        self.out_correct = False
+        self.mem_done = False
+        self.min_issue_cycle = max(self.min_issue_cycle, min_issue_cycle)
+        self.epoch += 1
+        self.misspeculations += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Station(sid={self.sid}, seq={self.rec.seq}, "
+            f"op={self.rec.opcode.mnemonic}, issued={self.issued}, "
+            f"executed={self.executed}, retired={self.retired})"
+        )

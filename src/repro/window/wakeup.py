@@ -1,0 +1,53 @@
+"""Wakeup functions (paper Section 3.4).
+
+The wakeup function decides which unissued instructions become selection
+candidates, filtering on the four-valued ready state of their operands.
+The paper's function: "an instruction can wakeup only when its inputs are
+either valid and/or speculative and the instruction has not yet issued."
+Instructions without predicted or speculative operands therefore wake up
+exactly as fast as on the base processor.
+"""
+
+from __future__ import annotations
+
+from repro.core.variables import (
+    BranchResolution,
+    ModelVariables,
+    WakeupPolicy,
+)
+from repro.window.station import Station
+
+
+def can_wake(station: Station, variables: ModelVariables, cycle: int) -> bool:
+    """May ``station`` be considered for issue in ``cycle``?
+
+    Branch and memory instructions additionally require VALID operands when
+    the resolution variables say so; the extra Verification–Branch /
+    Verification-Address–Memory-Access delays on network-verified operands
+    are applied by the selection stage (they gate *when*, not *whether*).
+    """
+    if station.issued or station.executing or station.retired:
+        return False
+    if cycle < station.min_issue_cycle:
+        return False
+
+    policy = variables.wakeup
+    if policy is WakeupPolicy.VALID_ONLY:
+        if not station.inputs_valid:
+            return False
+    elif policy is WakeupPolicy.VALID_OR_SPECULATIVE:
+        if not station.inputs_usable:
+            return False
+    else:  # ANY_VALUE: usable inputs, speculative status ignored
+        if not station.inputs_usable:
+            return False
+
+    if station.rec.is_branch or station.rec.is_indirect:
+        if variables.branch_resolution is BranchResolution.VALID_ONLY:
+            return station.inputs_valid
+    # Memory instructions are NOT valid-gated at wakeup: the paper splits
+    # them into address generation (which may execute speculatively — the
+    # Verification-Address–Memory-Access latency presupposes "a speculative
+    # address generation") and the memory access, which the engine gates on
+    # operand validity when memory resolution is VALID_ONLY.
+    return True

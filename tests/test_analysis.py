@@ -1,0 +1,182 @@
+"""Workload-analysis tests: predictability, locality, dependence."""
+
+import pytest
+
+from repro.analysis.dependence import analyze_dependence
+from repro.analysis.locality import analyze_locality
+from repro.analysis.predictability import analyze_predictability
+from repro.analysis.report import render_workload_report
+from repro.isa.opcodes import Opcode
+from repro.trace.record import TraceRecord
+
+
+def _writer(seq, pc, value, srcs=(4,), dest=8, opcode=Opcode.ADD):
+    return TraceRecord(seq, pc, opcode, srcs, dest, value, next_pc=pc + 8)
+
+
+def _stream(values, pc=0x1000):
+    return [_writer(i, pc, v) for i, v in enumerate(values)]
+
+
+class TestPredictability:
+    def test_constant_stream(self):
+        report = analyze_predictability(_stream([7] * 20))
+        assert report.last_value_rate > 0.9
+        assert report.classify_pc(0x1000) == "constant"
+
+    def test_stride_stream(self):
+        report = analyze_predictability(_stream(list(range(0, 400, 5))))
+        assert report.stride_rate > 0.8
+        assert report.last_value_rate < 0.1
+        assert report.classify_pc(0x1000) == "stride"
+
+    def test_periodic_stream(self):
+        values = [11, 22, 33, 44] * 30
+        report = analyze_predictability(_stream(values))
+        assert report.fcm_rate > 0.9
+        assert report.classify_pc(0x1000) == "periodic"
+
+    def test_random_stream(self):
+        def mix(i):
+            x = (i * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            return (x ^ (x >> 31)) % (1 << 32)
+
+        values = [mix(i) for i in range(50)]
+        report = analyze_predictability(_stream(values))
+        assert report.best_rate < 0.2
+        assert report.classify_pc(0x1000) == "unpredictable"
+
+    def test_best_of_dominates_components(self):
+        values = [1, 2, 3, 4] * 8 + list(range(100, 200, 3))
+        report = analyze_predictability(_stream(values))
+        assert report.best_rate >= report.last_value_rate
+        assert report.best_rate >= report.stride_rate
+        assert report.best_rate >= report.fcm_rate
+
+    def test_only_register_writers_counted(self):
+        trace = [
+            TraceRecord(0, 0x1000, Opcode.SD, (8, 4), None, None, 0x2000, 8,
+                        None, 0x1008),
+            _writer(1, 0x1008, 5),
+        ]
+        report = analyze_predictability(trace)
+        assert report.total == 2 and report.eligible == 1
+
+    def test_rare_pc_classified(self):
+        report = analyze_predictability(_stream([5, 5]))
+        assert report.classify_pc(0x1000) == "rare"
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            analyze_predictability([], fcm_order=0)
+
+    def test_by_class_breakdown(self):
+        from repro.isa.opcodes import OpClass
+
+        trace = _stream([7] * 10) + [
+            TraceRecord(10 + i, 0x2000, Opcode.LD, (29,), 9, 3, 0x3000, 8,
+                        None, 0x2008)
+            for i in range(10)
+        ]
+        report = analyze_predictability(trace)
+        assert OpClass.IALU in report.by_class
+        assert OpClass.LOAD in report.by_class
+        load_stats = report.by_class[OpClass.LOAD]
+        assert load_stats[0] == 10  # count
+        assert load_stats[1] > 0.8  # constant load: high last-value rate
+
+
+class TestLocality:
+    def test_constant_has_full_locality(self):
+        report = analyze_locality(_stream([7] * 20))
+        assert report.window_hit_rates[1] > 0.9
+        assert report.constant_pcs == 1
+        assert report.mean_distinct_values == 1.0
+
+    def test_periodic_needs_wider_window(self):
+        values = [1, 2, 3, 4] * 10
+        report = analyze_locality(_stream(values), windows=(1, 4))
+        assert report.window_hit_rates[1] < 0.1
+        assert report.window_hit_rates[4] > 0.8
+
+    def test_windows_monotone(self):
+        values = [(i * 7) % 13 for i in range(120)]
+        report = analyze_locality(_stream(values), windows=(1, 4, 16))
+        rates = list(report.window_hit_rates.values())
+        assert rates == sorted(rates)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_locality([], windows=())
+        with pytest.raises(ValueError):
+            analyze_locality([], windows=(0,))
+
+
+class TestDependence:
+    def test_serial_chain(self):
+        trace = []
+        for i in range(10):
+            srcs = (8,) if i else (4,)
+            trace.append(_writer(i, 0x1000 + 8 * i, i, srcs=srcs, dest=8))
+        report = analyze_dependence(trace)
+        assert report.critical_path == 10  # fully serial, 1 cycle each
+        assert report.mean_distance == 1.0
+        assert report.distance_histogram == {"1": 9}
+        # perfect VP dissolves the register chain entirely
+        assert report.critical_path_perfect_vp == 1
+        assert report.vp_headroom == 10.0
+
+    def test_independent_instructions(self):
+        trace = [_writer(i, 0x1000 + 8 * i, i, srcs=(), dest=8 + i % 16)
+                 for i in range(10)]
+        report = analyze_dependence(trace)
+        assert report.critical_path == 1
+        assert report.dataflow_ilp == 10.0
+
+    def test_memory_edge_survives_perfect_vp(self):
+        trace = [
+            TraceRecord(0, 0x1000, Opcode.MUL, (4,), 8, 6, next_pc=0x1008),
+            TraceRecord(1, 0x1008, Opcode.SD, (29, 8), None, None, 0x2000, 8,
+                        None, 0x1010),
+            TraceRecord(2, 0x1010, Opcode.LD, (29,), 9, 6, 0x2000, 8, None,
+                        0x1018),
+            TraceRecord(3, 0x1018, Opcode.SD, (29, 9), None, None, 0x2008, 8,
+                        None, 0x1020),
+        ]
+        report = analyze_dependence(trace)
+        # base chain: mul(3) -> store(1) -> load(3) -> store(1) = 8
+        assert report.critical_path == 8
+        # perfect VP breaks every register edge (mul->store data and
+        # load->store data), but the store->load memory edge remains:
+        # store addr-gen (1) -> load addr-gen + access (3) = 4
+        assert report.critical_path_perfect_vp == 4
+
+    def test_long_latency_dominates(self):
+        trace = [
+            TraceRecord(0, 0x1000, Opcode.FDIV, (4,), 8, 2, next_pc=0x1008),
+        ]
+        report = analyze_dependence(trace)
+        assert report.critical_path == 24
+
+    def test_empty_trace(self):
+        report = analyze_dependence([])
+        assert report.critical_path == 0
+        assert report.dataflow_ilp == 0.0
+
+
+def test_render_workload_report():
+    from repro.programs.suite import kernel
+
+    trace = kernel("perl").trace(max_instructions=2000)
+    text = render_workload_report(trace, "perl")
+    assert "predictability ceilings" in text
+    assert "dataflow critical path" in text
+    assert "value locality" in text
+
+
+def test_cli_analyze(capsys):
+    from repro.cli import main
+
+    assert main(["analyze", "compress", "--max-instructions", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "predictability" in out

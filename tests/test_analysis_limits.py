@@ -1,0 +1,93 @@
+"""Limit-study tests."""
+
+import pytest
+
+from repro.analysis.limits import limit_study, render_limit_study
+from repro.isa.opcodes import Opcode
+from repro.trace.record import TraceRecord
+
+
+def _chain(n):
+    records = []
+    for i in range(n):
+        srcs = (8,) if i else (4,)
+        records.append(
+            TraceRecord(i, 0x1000 + 8 * i, Opcode.ADD, srcs, 8, i,
+                        next_pc=0x1008 + 8 * i)
+        )
+    return records
+
+
+def _independent(n):
+    return [
+        TraceRecord(i, 0x1000 + 8 * i, Opcode.ADD, (), 8 + i % 16, i,
+                    next_pc=0x1008 + 8 * i)
+        for i in range(n)
+    ]
+
+
+def test_serial_chain_limits():
+    points = limit_study(_chain(64), geometries=((16, 4),))
+    point = points[0]
+    assert point.cycles == 64  # fully serial
+    # perfect VP dissolves the chain: bound by window recycling, not deps
+    assert point.cycles_perfect_vp < 64 / 2
+    assert point.vp_speedup_bound > 2.0
+
+
+def test_independent_instructions_width_bound():
+    points = limit_study(_independent(64), geometries=((64, 4), (64, 16)))
+    narrow, wide = points
+    assert narrow.cycles >= 64 / 4
+    assert wide.cycles < narrow.cycles
+    # no register deps: perfect VP changes nothing
+    assert narrow.cycles_perfect_vp == narrow.cycles
+
+
+def test_window_constraint_binds():
+    points = limit_study(_independent(64), geometries=((4, 64), (64, 64)))
+    small_window, big_window = points
+    assert small_window.cycles >= big_window.cycles
+
+
+def test_memory_edge_not_dissolved():
+    trace = [
+        TraceRecord(0, 0x1000, Opcode.SD, (29, 4), None, None, 0x2000, 8,
+                    None, 0x1008),
+        TraceRecord(1, 0x1008, Opcode.LD, (30,), 8, 5, 0x2000, 8, None,
+                    0x1010),
+    ]
+    point = limit_study(trace, geometries=((8, 8),))[0]
+    # the load waits for the store even under perfect VP
+    assert point.cycles_perfect_vp == point.cycles
+    assert point.cycles >= 1 + 1 + 2  # store addr-gen, then load
+
+
+def test_vp_bound_grows_with_geometry_on_kernel():
+    from repro.programs.suite import kernel
+
+    trace = kernel("m88ksim").trace(max_instructions=4000)
+    points = limit_study(trace, geometries=((24, 4), (96, 16)))
+    assert points[1].vp_speedup_bound >= points[0].vp_speedup_bound - 0.05
+    assert points[1].ilp > points[0].ilp
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        limit_study([], geometries=())
+    with pytest.raises(ValueError):
+        limit_study([], geometries=((0, 4),))
+
+
+def test_render():
+    text = render_limit_study(limit_study(_chain(16)), "chain")
+    assert "VP bound" in text and "chain" in text
+
+
+def test_registry_limit_study():
+    from repro.harness.experiments import EXPERIMENTS
+
+    text = EXPERIMENTS["limit-study"].run(
+        max_instructions=800, benchmarks=["perl"]
+    )
+    assert "perl" in text and "VP bound" in text

@@ -1,0 +1,87 @@
+"""Approximate-equality (Section 3.3 extension) tests."""
+
+import pytest
+
+from repro.core.model import GREAT_MODEL
+from repro.engine.config import ProcessorConfig
+from repro.engine.pipeline import PipelineSimulator
+from repro.engine.sim import run_trace
+from repro.harness.figure1 import chain_trace
+from repro.programs.suite import kernel
+from repro.vp.fixed import ConfidentForPCs, FixedValuePredictor
+from repro.vp.update_timing import UpdateTiming
+
+
+def _run_chain(ignore_bits, prediction_offset):
+    """Predict instruction 1 of the chain off by ``prediction_offset``."""
+    trace = chain_trace()
+    config = ProcessorConfig(4, 24, equality_ignore_low_bits=ignore_bits)
+    sim = PipelineSimulator(
+        trace,
+        config,
+        GREAT_MODEL,
+        predictor=FixedValuePredictor({0x1000: 1 + prediction_offset}),
+        confidence=ConfidentForPCs({0x1000}),
+        update_timing=UpdateTiming.IMMEDIATE,
+    )
+    return sim.run()
+
+
+def test_strict_equality_rejects_near_miss():
+    counters = _run_chain(ignore_bits=0, prediction_offset=1)
+    assert counters.misspeculations == 1
+    assert counters.approximate_matches == 0
+
+
+def test_approximate_equality_accepts_near_miss():
+    # prediction differs only in the low bit; 4-bit tolerance accepts it
+    counters = _run_chain(ignore_bits=4, prediction_offset=1)
+    assert counters.misspeculations == 0
+    assert counters.approximate_matches == 1
+    assert counters.reissues == 0
+
+
+def test_approximate_equality_still_rejects_distant_miss():
+    counters = _run_chain(ignore_bits=4, prediction_offset=1 << 10)
+    assert counters.misspeculations == 1
+
+
+def test_exact_match_not_counted_as_approximate():
+    counters = _run_chain(ignore_bits=8, prediction_offset=0)
+    assert counters.approximate_matches == 0
+    assert counters.misspeculations == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="equality_ignore_low_bits"):
+        ProcessorConfig(4, 24, equality_ignore_low_bits=64)
+    with pytest.raises(ValueError, match="equality_ignore_low_bits"):
+        ProcessorConfig(4, 24, equality_ignore_low_bits=-1)
+
+
+def test_tolerance_raises_effective_accuracy_on_kernel():
+    trace = kernel("compress").trace(max_instructions=2500)
+    strict = run_trace(
+        trace, ProcessorConfig(8, 48), GREAT_MODEL,
+        confidence="R", update_timing="I",
+    )
+    loose = run_trace(
+        trace, ProcessorConfig(8, 48, equality_ignore_low_bits=16),
+        GREAT_MODEL, confidence="R", update_timing="I",
+    )
+    assert loose.counters.prediction_accuracy > (
+        strict.counters.prediction_accuracy
+    )
+    assert loose.counters.approximate_matches > 0
+
+
+def test_sweep_and_registry():
+    from repro.harness.experiments import EXPERIMENTS
+    from repro.harness.sweeps import approximate_equality_sweep
+
+    points = approximate_equality_sweep(
+        max_instructions=1000, benchmarks=["compress"], low_bits=(0, 16)
+    )
+    assert points[0].label == "strict (paper)"
+    assert points[1].speedup >= points[0].speedup - 0.02
+    assert "abl-equality" in EXPERIMENTS

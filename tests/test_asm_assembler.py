@@ -1,0 +1,163 @@
+"""Assembler unit tests: directives, labels, pseudo-ops, diagnostics."""
+
+import pytest
+
+from repro.asm import AsmError, assemble
+from repro.asm.assembler import DATA_BASE, TEXT_BASE
+from repro.isa.opcodes import Opcode
+
+
+def test_simple_program_layout():
+    program = assemble("add r1, r2, r3\nsub r4, r5, r6\n")
+    assert len(program.instructions) == 2
+    assert program.text_base == TEXT_BASE
+    assert program.instructions[0].opcode is Opcode.ADD
+    assert program.instructions[1].opcode is Opcode.SUB
+    assert program.instruction_at(TEXT_BASE + 8).opcode is Opcode.SUB
+
+
+def test_labels_resolve_forward_and_backward():
+    program = assemble(
+        """
+        start: addi r1, r1, 1
+        j end
+        j start
+        end: halt
+        """
+    )
+    assert program.labels["start"] == TEXT_BASE
+    jump_forward = program.instructions[1]
+    jump_back = program.instructions[2]
+    assert jump_forward.imm == program.labels["end"]
+    assert jump_back.imm == TEXT_BASE
+
+
+def test_entry_defaults_to_main_label():
+    program = assemble("nop\nmain: halt\n")
+    assert program.entry == TEXT_BASE + 8
+
+
+def test_data_directives():
+    program = assemble(
+        """
+        .data
+        vals: .word 1, 2, -1
+        buf:  .space 16
+        msg:  .asciiz "hi"
+        .align 3
+        more: .word 7
+        .text
+        halt
+        """
+    )
+    assert program.labels["vals"] == DATA_BASE
+    assert program.labels["buf"] == DATA_BASE + 24
+    assert program.labels["msg"] == DATA_BASE + 40
+    data = program.data
+    assert int.from_bytes(data[0:8], "little") == 1
+    assert int.from_bytes(data[16:24], "little") == (1 << 64) - 1  # -1 wraps
+    assert data[40:43] == b"hi\x00"
+    assert program.labels["more"] % 8 == 0
+
+
+def test_pseudo_instructions_expand():
+    program = assemble(
+        """
+        mv r1, r2
+        not r3, r4
+        neg r5, r6
+        inc r7
+        dec r8
+        ret
+        """
+    )
+    mnemonics = [instr.opcode.mnemonic for instr in program.instructions]
+    assert mnemonics == ["or", "nor", "sub", "addi", "addi", "jr"]
+    assert program.instructions[0].rt == 0
+    assert program.instructions[5].rs == 31  # ret = jr ra
+
+
+def test_call_and_bgt_expansion():
+    program = assemble(
+        """
+        main: bgt r1, r2, main
+        call main
+        """
+    )
+    bgt = program.instructions[0]
+    assert bgt.opcode is Opcode.BLT
+    assert (bgt.rs, bgt.rt) == (2, 1)  # operands swapped
+    call = program.instructions[1]
+    assert call.opcode is Opcode.JAL and call.rd == 31
+
+
+def test_memory_operand_with_label_offset():
+    program = assemble(
+        """
+        .data
+        x: .word 42
+        .text
+        ld r1, x(r0)
+        """
+    )
+    assert program.instructions[0].imm == DATA_BASE
+
+
+def test_char_literal_immediates():
+    program = assemble("li r1, 'a'\n")
+    assert program.instructions[0].imm == ord("a")
+
+
+def test_comments_are_ignored():
+    program = assemble("add r1, r2, r3  # comment\n; whole line\n// also\n")
+    assert len(program.instructions) == 1
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AsmError, match="duplicate label"):
+        assemble("x: nop\nx: nop\n")
+
+
+def test_unknown_instruction_reports_line():
+    with pytest.raises(AsmError, match="line 2"):
+        assemble("nop\nfrobnicate r1\n")
+
+
+def test_wrong_operand_count():
+    with pytest.raises(AsmError, match="expects 3"):
+        assemble("add r1, r2\n")
+
+
+def test_unknown_register():
+    with pytest.raises(AsmError, match="unknown register"):
+        assemble("add r1, r2, r99\n")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AsmError, match="bad memory operand"):
+        assemble("ld r1, r2\n")
+
+
+def test_word_outside_data_segment_rejected():
+    with pytest.raises(AsmError, match="only allowed in the data segment"):
+        assemble(".word 1\n")
+
+
+def test_instruction_in_data_segment_rejected():
+    with pytest.raises(AsmError, match="text segment"):
+        assemble(".data\nadd r1, r2, r3\n")
+
+
+def test_unknown_label_in_operand():
+    with pytest.raises(AsmError, match="bad integer literal"):
+        assemble("j nowhere\n")
+
+
+def test_instruction_at_diagnostics():
+    program = assemble("nop\n")
+    with pytest.raises(AsmError, match="misaligned"):
+        program.instruction_at(TEXT_BASE + 3)
+    with pytest.raises(AsmError, match="outside"):
+        program.instruction_at(TEXT_BASE + 800)
+    with pytest.raises(AsmError, match="unknown label"):
+        program.address_of("missing")

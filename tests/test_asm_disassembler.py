@@ -1,0 +1,43 @@
+"""Disassembler tests: listings and assemble/disassemble agreement."""
+
+from repro.asm import assemble, disassemble, disassemble_program
+
+
+def test_disassemble_single():
+    program = assemble("add r1, r2, r3\n")
+    assert disassemble(program.instructions[0]) == "add r1, r2, r3"
+
+
+def test_listing_contains_labels_and_addresses():
+    listing = disassemble_program(
+        assemble("main: nop\nloop: j loop\n")
+    )
+    assert "main:" in listing
+    assert "loop:" in listing
+    assert "0x001000" in listing or "0x1000" in listing.replace("0x00", "0x")
+
+
+def test_reassembling_a_listing_body_round_trips():
+    source = """
+    main:
+        li   r8, 5
+        addi r8, r8, -1
+        bnez r8, main
+        halt
+    """
+    program = assemble(source)
+    # Re-render instructions with labels stripped (absolute targets) and
+    # reassemble.
+    import dataclasses
+
+    body = "\n".join(
+        dataclasses.replace(instr, label=None).render()
+        for instr in program.instructions
+    )
+    program2 = assemble(body)
+    assert [i.opcode for i in program2.instructions] == [
+        i.opcode for i in program.instructions
+    ]
+    assert [i.imm for i in program2.instructions] == [
+        i.imm for i in program.instructions
+    ]

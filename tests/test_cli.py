@@ -1,0 +1,102 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure3" in out and "table1" in out
+
+
+def test_describe(capsys):
+    assert main(["describe", "super"]) == 0
+    out = capsys.readouterr().out
+    assert "Invalidation - Reissue" in out
+
+
+def test_describe_unknown(capsys):
+    assert main(["describe", "amazing"]) == 2
+    assert "unknown model" in capsys.readouterr().err
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "figure9"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1", "--max-instructions", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "Benchmark Characteristics" in out
+    assert "xlisp" in out
+
+
+def test_run_figure1(capsys):
+    assert main(["run", "figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "base" in out and "good/incorrect" in out
+
+
+def test_bench_with_model(capsys):
+    code = main(
+        [
+            "bench", "compress",
+            "--max-instructions", "1500",
+            "--model", "great",
+            "--timing", "I",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "speedup over base" in out
+    assert "value predictions" in out
+
+
+def test_bench_base_only(capsys):
+    assert main(
+        ["bench", "perl", "--max-instructions", "1000", "--model", "none"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "base" in out and "speedup" not in out
+
+
+def test_run_limit_study(capsys):
+    code = main(
+        ["run", "limit-study", "--max-instructions", "600",
+         "--benchmarks", "perl"]
+    )
+    assert code == 0
+    assert "VP bound" in capsys.readouterr().out
+
+
+def test_run_abl_equality(capsys):
+    code = main(
+        ["run", "abl-equality", "--max-instructions", "800",
+         "--benchmarks", "compress"]
+    )
+    assert code == 0
+    assert "strict (paper)" in capsys.readouterr().out
+
+
+def test_every_registered_experiment_is_listed(capsys):
+    from repro.harness.experiments import EXPERIMENTS
+
+    main(["list"])
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_figure4_shorthand(capsys):
+    code = main(
+        [
+            "figure4",
+            "--max-instructions", "800",
+            "--benchmarks", "compress",
+        ]
+    )
+    assert code == 0
+    assert "CH %" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Dependence-closure and wave-planning tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.invalidation import invalidation_waves
+from repro.core.variables import InvalidationScheme
+from repro.core.verification import closure, successor_levels
+
+
+def _graph_successors(edges):
+    adjacency: dict[int, list[int]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, []).append(dst)
+    return lambda node: adjacency.get(node, [])
+
+
+def test_closure_simple_chain():
+    successors = _graph_successors([(1, 2), (2, 3), (3, 4)])
+    assert closure(1, successors) == {2, 3, 4}
+    assert closure(3, successors) == {4}
+    assert closure(4, successors) == set()
+
+
+def test_closure_diamond():
+    successors = _graph_successors([(1, 2), (1, 3), (2, 4), (3, 4)])
+    assert closure(1, successors) == {2, 3, 4}
+
+
+def test_closure_excludes_root_on_cycle():
+    successors = _graph_successors([(1, 2), (2, 1)])
+    assert closure(1, successors) == {2}
+
+
+def test_successor_levels_chain():
+    successors = _graph_successors([(1, 2), (2, 3), (3, 4)])
+    assert successor_levels(1, successors) == [{2}, {3}, {4}]
+
+
+def test_successor_levels_minimum_distance():
+    # node 4 reachable at distance 1 (direct) and 2; it belongs to level 0
+    successors = _graph_successors([(1, 2), (1, 4), (2, 4), (2, 3)])
+    assert successor_levels(1, successors) == [{2, 4}, {3}]
+
+
+def test_successor_levels_empty():
+    assert successor_levels(1, _graph_successors([])) == []
+
+
+def test_invalidation_waves_parallel_is_one_wave():
+    successors = _graph_successors([(1, 2), (2, 3)])
+    waves = invalidation_waves(InvalidationScheme.SELECTIVE_PARALLEL, 1, successors)
+    assert waves == [{2, 3}]
+
+
+def test_invalidation_waves_hierarchical_is_levels():
+    successors = _graph_successors([(1, 2), (2, 3)])
+    waves = invalidation_waves(
+        InvalidationScheme.SELECTIVE_HIERARCHICAL, 1, successors
+    )
+    assert waves == [{2}, {3}]
+
+
+def test_invalidation_waves_complete_rejected():
+    with pytest.raises(ValueError, match="squash"):
+        invalidation_waves(InvalidationScheme.COMPLETE, 1, lambda n: [])
+
+
+def test_no_successors_no_waves():
+    assert (
+        invalidation_waves(
+            InvalidationScheme.SELECTIVE_PARALLEL, 1, _graph_successors([])
+        )
+        == []
+    )
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
+    )
+)
+def test_levels_partition_the_closure(edges):
+    successors = _graph_successors(edges)
+    full = closure(0, successors)
+    levels = successor_levels(0, successors)
+    flattened = set().union(*levels) if levels else set()
+    assert flattened == full
+    # levels are disjoint
+    seen: set[int] = set()
+    for level in levels:
+        assert not (level & seen)
+        seen |= level

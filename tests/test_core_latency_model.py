@@ -1,0 +1,70 @@
+"""Latency-variable model tests, pinned to the paper's Section 4.1 table."""
+
+import pytest
+
+from repro.core.latency import (
+    GOOD_LATENCIES,
+    GREAT_LATENCIES,
+    SUPER_LATENCIES,
+    LatencyModel,
+)
+
+
+def test_paper_model_table_values():
+    """The exact table from Section 4.1."""
+    table = {
+        "super": SUPER_LATENCIES,
+        "great": GREAT_LATENCIES,
+        "good": GOOD_LATENCIES,
+    }
+    expected = {
+        # (exec-eq-inval, exec-eq-verif, free-issue, free-ret, reissue,
+        #  branch, mem)
+        "super": (0, 0, 1, 1, 0, 0, 0),
+        "great": (0, 0, 1, 1, 1, 1, 1),
+        "good": (1, 1, 1, 1, 1, 1, 1),
+    }
+    for name, latencies in table.items():
+        values = tuple(value for __, value in latencies.table_rows())
+        assert values == expected[name], name
+
+
+def test_combined_views():
+    model = LatencyModel(
+        exec_to_equality=1, equality_to_verification=2, equality_to_invalidation=3
+    )
+    assert model.exec_to_verification == 3
+    assert model.exec_to_invalidation == 4
+
+
+def test_from_combined_attributes_to_post_equality():
+    model = LatencyModel.from_combined(
+        exec_eq_invalidation=1, exec_eq_verification=1
+    )
+    assert model.exec_to_equality == 0
+    assert model.equality_to_verification == 1
+    assert model.equality_to_invalidation == 1
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        LatencyModel(exec_to_equality=-1)
+    with pytest.raises(ValueError):
+        LatencyModel(verification_to_branch=-2)
+
+
+def test_non_integer_latency_rejected():
+    with pytest.raises(ValueError):
+        LatencyModel(invalidation_to_reissue=0.5)  # type: ignore[arg-type]
+
+
+def test_table_rows_shape():
+    rows = SUPER_LATENCIES.table_rows()
+    assert len(rows) == 7
+    assert rows[0][0].startswith("Execution")
+
+
+def test_default_is_most_optimistic():
+    default = LatencyModel()
+    assert default.exec_to_verification == 0
+    assert default.verification_to_free_issue == 1

@@ -1,0 +1,77 @@
+"""Speculative-execution model and variables tests."""
+
+import pytest
+
+from repro.core.latency import GREAT_LATENCIES, LatencyModel
+from repro.core.model import (
+    GOOD_MODEL,
+    GREAT_MODEL,
+    SUPER_MODEL,
+    SpeculativeExecutionModel,
+    named_models,
+)
+from repro.core.variables import (
+    PAPER_VARIABLES,
+    BranchResolution,
+    InvalidationScheme,
+    MemoryResolution,
+    ModelVariables,
+    SelectionPolicy,
+    VerificationScheme,
+    WakeupPolicy,
+)
+
+
+def test_paper_variables_defaults():
+    assert PAPER_VARIABLES.wakeup is WakeupPolicy.VALID_OR_SPECULATIVE
+    assert PAPER_VARIABLES.selection is SelectionPolicy.PAPER
+    assert PAPER_VARIABLES.branch_resolution is BranchResolution.VALID_ONLY
+    assert PAPER_VARIABLES.memory_resolution is MemoryResolution.VALID_ONLY
+    assert PAPER_VARIABLES.invalidation is InvalidationScheme.SELECTIVE_PARALLEL
+    assert PAPER_VARIABLES.verification is VerificationScheme.PARALLEL_NETWORK
+
+
+def test_named_models():
+    models = named_models()
+    assert set(models) == {"super", "great", "good"}
+    assert models["great"] is GREAT_MODEL
+    assert SUPER_MODEL.variables is PAPER_VARIABLES
+    assert GOOD_MODEL.latencies.exec_to_verification == 1
+
+
+def test_irrelevant_branch_latency_rejected():
+    """Section 4: irrelevant latencies must not silently linger."""
+    variables = ModelVariables(
+        branch_resolution=BranchResolution.SPECULATIVE_ALLOWED
+    )
+    with pytest.raises(ValueError, match="verification_to_branch"):
+        SpeculativeExecutionModel("bad", variables, GREAT_LATENCIES)
+    # with the latency zeroed it is accepted
+    ok = SpeculativeExecutionModel(
+        "ok",
+        variables,
+        LatencyModel(verification_to_branch=0, verification_addr_to_mem_access=1),
+    )
+    assert ok.name == "ok"
+
+
+def test_irrelevant_memory_latency_rejected():
+    variables = ModelVariables(
+        memory_resolution=MemoryResolution.SPECULATIVE_ALLOWED
+    )
+    with pytest.raises(ValueError, match="verification_addr_to_mem_access"):
+        SpeculativeExecutionModel("bad", variables, GREAT_LATENCIES)
+
+
+def test_describe_renders_both_tables():
+    text = GREAT_MODEL.describe()
+    assert "model variables" in text
+    assert "latency variables" in text
+    assert "valid-or-speculative" in text
+    assert "Invalidation - Reissue" in text
+
+
+def test_variables_table_rows():
+    rows = PAPER_VARIABLES.table_rows()
+    assert len(rows) == 6
+    assert rows[0] == ("WakeUp", "valid-or-speculative")

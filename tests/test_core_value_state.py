@@ -1,0 +1,75 @@
+"""Value-state lattice tests (paper Section 2.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.value_state import ValueState, merge_states, output_state
+
+_states = st.sampled_from(list(ValueState))
+
+
+def test_state_predicates():
+    assert ValueState.VALID.usable and ValueState.VALID.certain
+    assert ValueState.PREDICTED.usable and not ValueState.PREDICTED.certain
+    assert ValueState.SPECULATIVE.usable and ValueState.SPECULATIVE.speculative_kind
+    assert ValueState.PREDICTED.speculative_kind
+    assert not ValueState.INVALID.usable
+    assert not ValueState.VALID.speculative_kind
+
+
+def test_merge_basics():
+    assert merge_states([]) is ValueState.VALID
+    assert merge_states([ValueState.VALID, ValueState.VALID]) is ValueState.VALID
+    assert (
+        merge_states([ValueState.VALID, ValueState.PREDICTED])
+        is ValueState.SPECULATIVE
+    )
+    assert (
+        merge_states([ValueState.SPECULATIVE, ValueState.VALID])
+        is ValueState.SPECULATIVE
+    )
+    assert (
+        merge_states([ValueState.INVALID, ValueState.VALID]) is ValueState.INVALID
+    )
+
+
+@given(states=st.lists(_states, max_size=4))
+def test_merge_invalid_dominates(states):
+    merged = merge_states(states)
+    if ValueState.INVALID in states:
+        assert merged is ValueState.INVALID
+    elif any(s.speculative_kind for s in states):
+        assert merged is ValueState.SPECULATIVE
+    else:
+        assert merged is ValueState.VALID
+
+
+@given(states=st.lists(_states, max_size=4))
+def test_merge_is_order_insensitive(states):
+    assert merge_states(states) is merge_states(list(reversed(states)))
+
+
+def test_output_state_definitions():
+    # "A value is predicted if it is obtained directly from the predictor"
+    assert output_state([ValueState.VALID], predicted=True) is ValueState.PREDICTED
+    # "...speculative if the result of computation(s) that included a
+    # predicted value"
+    assert (
+        output_state([ValueState.PREDICTED], predicted=False)
+        is ValueState.SPECULATIVE
+    )
+    assert (
+        output_state([ValueState.SPECULATIVE, ValueState.VALID], predicted=False)
+        is ValueState.SPECULATIVE
+    )
+    # "...valid if the result of a computation that involved only valid
+    # inputs"
+    assert output_state([ValueState.VALID], predicted=False) is ValueState.VALID
+    assert output_state([], predicted=False) is ValueState.VALID
+    assert (
+        output_state([ValueState.INVALID], predicted=False) is ValueState.INVALID
+    )
+
+
+@given(states=st.lists(_states, max_size=4))
+def test_predicted_output_always_predicted(states):
+    assert output_state(states, predicted=True) is ValueState.PREDICTED

@@ -1,0 +1,66 @@
+"""Branch-predictor selection tests (engine wiring + sweep)."""
+
+import pytest
+
+from repro.engine.config import ProcessorConfig
+from repro.engine.pipeline import PipelineSimulator
+from repro.engine.sim import run_baseline
+from repro.frontend.bimodal import BimodalPredictor
+from repro.frontend.gshare import GsharePredictor
+from repro.frontend.local import LocalHistoryPredictor
+from repro.frontend.tournament import TournamentPredictor
+from repro.programs.suite import kernel
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return kernel("go").trace(max_instructions=3000)
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [
+        ("gshare", GsharePredictor),
+        ("bimodal", BimodalPredictor),
+        ("local", LocalHistoryPredictor),
+        ("tournament", TournamentPredictor),
+    ],
+)
+def test_engine_instantiates_selected_predictor(trace, name, cls):
+    sim = PipelineSimulator(
+        trace, ProcessorConfig(4, 24, branch_predictor=name)
+    )
+    assert isinstance(sim.bpred, cls)
+    counters = sim.run()
+    assert counters.retired == 3000
+
+
+def test_invalid_predictor_rejected():
+    with pytest.raises(ValueError, match="branch_predictor"):
+        ProcessorConfig(4, 24, branch_predictor="perceptron")
+
+
+def test_tournament_beats_bimodal_on_go(trace):
+    bimodal = run_baseline(
+        trace, ProcessorConfig(8, 48, branch_predictor="bimodal")
+    )
+    tournament = run_baseline(
+        trace, ProcessorConfig(8, 48, branch_predictor="tournament")
+    )
+    assert (
+        tournament.counters.branch_mispredictions
+        < bimodal.counters.branch_mispredictions
+    )
+    assert tournament.cycles < bimodal.cycles
+
+
+def test_branch_predictor_sweep():
+    from repro.harness.sweeps import branch_predictor_sweep
+
+    points = branch_predictor_sweep(
+        max_instructions=1500, benchmarks=["go"]
+    )
+    labels = [p.label for p in points]
+    assert labels == ["bimodal", "local", "gshare (paper)", "tournament"]
+    for p in points:
+        assert p.speedup > 0.85

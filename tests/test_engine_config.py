@@ -1,0 +1,55 @@
+"""Processor configuration and functional-unit latency tests."""
+
+import pytest
+
+from repro.engine.config import PAPER_CONFIGS, ProcessorConfig, paper_config
+from repro.engine.funits import LATENCY_BY_CLASS, execution_latency
+from repro.isa.opcodes import OpClass
+
+
+def test_defaults_follow_issue_width():
+    config = ProcessorConfig(issue_width=8, window_size=48)
+    assert config.fetch_width == 8
+    assert config.dispatch_width == 8
+    assert config.retire_width == 8
+    assert config.dcache_ports == 4  # half the issue width
+
+
+def test_paper_configs():
+    labels = [c.label for c in PAPER_CONFIGS]
+    assert labels == ["4/24", "8/48", "16/96"]
+    assert paper_config("8/48").window_size == 48
+    with pytest.raises(KeyError):
+        paper_config("2/12")
+
+
+def test_dcache_ports_minimum_one():
+    config = ProcessorConfig(issue_width=1, window_size=4)
+    assert config.dcache_ports == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ProcessorConfig(issue_width=0, window_size=8)
+    with pytest.raises(ValueError):
+        ProcessorConfig(issue_width=8, window_size=4)  # window < width
+    with pytest.raises(ValueError):
+        ProcessorConfig(issue_width=4, window_size=24, retire_width=0)
+    with pytest.raises(ValueError):
+        ProcessorConfig(issue_width=4, window_size=24, dcache_ports=0)
+
+
+def test_with_overrides():
+    config = ProcessorConfig(issue_width=4, window_size=24)
+    changed = config.with_overrides(window_size=32)
+    assert changed.window_size == 32
+    assert changed.issue_width == 4
+
+
+def test_funit_latencies_match_paper_bands():
+    """Simple integer = 1 cycle; complex/FP between 2 and 24 cycles."""
+    assert execution_latency(OpClass.IALU) == 1
+    for cls in (OpClass.IMUL, OpClass.IDIV, OpClass.FADD, OpClass.FMUL, OpClass.FDIV):
+        assert 2 <= execution_latency(cls) <= 24, cls
+    assert execution_latency(OpClass.FDIV) == 24
+    assert set(LATENCY_BY_CLASS) == set(OpClass)

@@ -1,0 +1,63 @@
+"""Idealization-flag tests: perfect branches/caches, and the cross-check
+that the real engine never beats the analytic dataflow limit."""
+
+import pytest
+
+from repro.analysis.limits import limit_study
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import run_baseline
+from repro.mem.hierarchy import PerfectCache, make_paper_hierarchy
+from repro.programs.suite import kernel
+
+
+@pytest.fixture(scope="module")
+def go_trace():
+    return kernel("go").trace(max_instructions=4000)
+
+
+def test_perfect_branches_eliminate_mispredictions(go_trace):
+    result = run_baseline(
+        go_trace, ProcessorConfig(8, 48, perfect_branches=True)
+    )
+    assert result.counters.branch_mispredictions == 0
+    assert result.counters.dispatched_wrong_path == 0
+
+
+def test_perfect_caches_always_hit(go_trace):
+    hierarchy = make_paper_hierarchy(perfect=True)
+    assert isinstance(hierarchy.l1d, PerfectCache)
+    assert hierarchy.data_access(0xDEAD000, is_write=False) == 2
+    assert hierarchy.l1d.stats.misses == 0
+
+
+def test_idealization_speeds_up(go_trace):
+    config = ProcessorConfig(8, 48)
+    normal = run_baseline(go_trace, config)
+    ideal = run_baseline(
+        go_trace,
+        config.with_overrides(perfect_branches=True, perfect_caches=True),
+    )
+    assert ideal.cycles < normal.cycles
+
+
+def test_engine_respects_the_dataflow_limit(go_trace):
+    """The idealized pipeline (perfect frontend + caches) must never beat
+    the window/width-constrained dataflow limit for the same geometry —
+    the analytic model and the cycle-level engine agree on the bound."""
+    for window, width in ((24, 4), (48, 8)):
+        ideal = run_baseline(
+            go_trace,
+            ProcessorConfig(
+                width, window, perfect_branches=True, perfect_caches=True
+            ),
+        )
+        bound = limit_study(go_trace, geometries=((window, width),))[0]
+        assert ideal.cycles >= bound.cycles, (window, width)
+        # and it should be within a small constant factor of the bound
+        assert ideal.cycles <= bound.cycles * 1.6 + 50, (window, width)
+
+
+def test_perfect_flags_default_off():
+    config = ProcessorConfig(4, 24)
+    assert not config.perfect_branches
+    assert not config.perfect_caches

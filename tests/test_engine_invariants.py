@@ -1,0 +1,114 @@
+"""Property-based engine invariants over randomized synthetic workloads.
+
+Whatever the workload, configuration, model and confidence: the simulation
+must terminate, retire exactly the trace, never exceed structural bounds,
+and be bit-identical when repeated.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.model import GOOD_MODEL, GREAT_MODEL, SUPER_MODEL
+from repro.engine.config import ProcessorConfig
+from repro.engine.pipeline import PipelineSimulator
+from repro.engine.sim import run_baseline, run_trace
+from repro.trace.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+
+_configs = st.builds(
+    ProcessorConfig,
+    issue_width=st.sampled_from([2, 4, 8]),
+    window_size=st.sampled_from([8, 16, 32]),
+)
+
+_workloads = st.builds(
+    SyntheticTraceConfig,
+    length=st.integers(50, 400),
+    chain_length=st.integers(1, 6),
+    predictable_fraction=st.sampled_from([0.0, 0.5, 1.0]),
+    value_period=st.integers(1, 6),
+    load_every=st.sampled_from([0, 4, 9]),
+    branch_every=st.sampled_from([0, 8, 16]),
+    branch_taken_bias=st.sampled_from([0.1, 0.5, 0.9]),
+    seed=st.integers(0, 99),
+)
+
+_slow = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_slow
+@given(workload=_workloads, config=_configs)
+def test_baseline_terminates_and_retires_everything(workload, config):
+    trace = generate_synthetic_trace(workload)
+    result = run_baseline(trace, config)
+    assert result.counters.retired == len(trace)
+    assert result.counters.window_peak <= config.window_size
+    # retirement bandwidth lower-bounds the cycle count
+    assert result.cycles >= len(trace) / config.retire_width
+
+
+@_slow
+@given(
+    workload=_workloads,
+    config=_configs,
+    model=st.sampled_from([SUPER_MODEL, GREAT_MODEL, GOOD_MODEL]),
+    confidence=st.sampled_from(["R", "O"]),
+    timing=st.sampled_from(["I", "D"]),
+)
+def test_speculative_runs_terminate(workload, config, model, confidence, timing):
+    trace = generate_synthetic_trace(workload)
+    result = run_trace(
+        trace, config, model, confidence=confidence, update_timing=timing
+    )
+    assert result.counters.retired == len(trace)
+    assert result.counters.misspeculations <= result.counters.speculated
+    assert result.counters.speculated <= result.counters.predictions
+    if confidence == "O":
+        assert result.counters.misspeculations == 0
+
+
+@_slow
+@given(workload=_workloads, config=_configs)
+def test_simulation_is_deterministic(workload, config):
+    trace = generate_synthetic_trace(workload)
+
+    def run_once():
+        return run_trace(
+            trace, config, GREAT_MODEL, confidence="R", update_timing="D"
+        ).counters
+
+    a, b = run_once(), run_once()
+    assert a.cycles == b.cycles
+    assert a.predictions == b.predictions
+    assert a.misspeculations == b.misspeculations
+    assert a.reissues == b.reissues
+
+
+@_slow
+@given(workload=_workloads)
+def test_oracle_confidence_dominates_never_speculating(workload):
+    """Oracle speculation (only-correct predictions used) must never lose
+    badly to the base processor: misspeculation is impossible, so the only
+    differences are second-order structural effects."""
+    trace = generate_synthetic_trace(workload)
+    config = ProcessorConfig(issue_width=4, window_size=16)
+    base = run_baseline(trace, config)
+    oracle = run_trace(trace, config, SUPER_MODEL, confidence="O",
+                       update_timing="I")
+    assert oracle.cycles <= base.cycles * 1.05 + 5
+
+
+def test_max_cycles_guard_trips():
+    from repro.engine.pipeline import SimulationError
+    from repro.trace.record import TraceRecord
+    from repro.isa.opcodes import Opcode
+
+    trace = [
+        TraceRecord(0, 0x1000, Opcode.ADD, (4,), 8, 1, next_pc=0x1008)
+    ] * 1
+    config = ProcessorConfig(issue_width=4, window_size=8, max_cycles=0)
+    with pytest.raises(SimulationError, match="deadlock"):
+        PipelineSimulator(trace, config).run()

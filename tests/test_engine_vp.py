@@ -1,0 +1,217 @@
+"""Value-speculation engine tests: the Figure 1 scenarios as assertions,
+misprediction recovery, retirement gating, model orderings."""
+
+import pytest
+
+from repro.core.latency import GOOD_LATENCIES, GREAT_LATENCIES, SUPER_LATENCIES
+from repro.core.model import (
+    GOOD_MODEL,
+    GREAT_MODEL,
+    SUPER_MODEL,
+    SpeculativeExecutionModel,
+)
+from repro.core.variables import InvalidationScheme, ModelVariables
+from repro.engine.config import ProcessorConfig
+from repro.engine.pipeline import PipelineSimulator
+from repro.engine.sim import run_baseline, run_trace
+from repro.harness.figure1 import chain_trace, run_figure1
+from repro.isa.opcodes import Opcode
+from repro.trace.record import TraceRecord
+from repro.vp.fixed import AlwaysConfident, ConfidentForPCs, FixedValuePredictor
+from repro.vp.update_timing import UpdateTiming
+
+
+def _cfg(**kwargs):
+    defaults = dict(issue_width=4, window_size=24)
+    defaults.update(kwargs)
+    return ProcessorConfig(**defaults)
+
+
+class TestFigure1Scenarios:
+    """The paper's worked example, pinned cycle by cycle."""
+
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        return {s.label: s for s in run_figure1()}
+
+    def test_base_is_five_cycles(self, scenarios):
+        assert scenarios["base"].cycles == 5
+
+    def test_correct_prediction_speeds_up(self, scenarios):
+        assert scenarios["super/correct"].cycles == 3
+        assert scenarios["great/correct"].cycles == 3
+        # good pays one verification cycle
+        assert scenarios["good/correct"].cycles == 4
+
+    def test_incorrect_prediction_ordering(self, scenarios):
+        super_bad = scenarios["super/incorrect"].cycles
+        great_bad = scenarios["great/incorrect"].cycles
+        good_bad = scenarios["good/incorrect"].cycles
+        # super recovers at base speed; great and good pay progressively
+        assert super_bad == 5
+        assert super_bad < great_bad < good_bad
+        assert good_bad == 7
+
+    def test_good_misprediction_matches_paper_narrative(self, scenarios):
+        """'During t+2 is determined that instruction 2 can reissue.
+        Instruction 2 gets executed during cycle t+3.  At t+3 instruction 3
+        wakes up and is scheduled to execute at t+4.'"""
+        timeline = scenarios["good/incorrect"].timeline
+        assert (1, "EX*") in timeline[3]  # instruction 2 re-executes at t+3
+        assert (2, "EX*") in timeline[4]  # instruction 3 re-executes at t+4
+
+
+class TestNoPredictionEquivalence:
+    def test_vp_engine_with_never_confident_matches_base(self):
+        """With confidence never granting speculation, every model must
+        reproduce base-processor timing exactly (paper Section 4.1: 'when
+        computation does not include predicted values, all models have
+        behavior identical to the base-processor')."""
+        trace = chain_trace()
+        base = run_baseline(trace, _cfg())
+        for model in (SUPER_MODEL, GREAT_MODEL, GOOD_MODEL):
+            sim = PipelineSimulator(
+                trace,
+                _cfg(),
+                model,
+                predictor=FixedValuePredictor({}),
+                confidence=ConfidentForPCs(set()),
+                update_timing=UpdateTiming.IMMEDIATE,
+            )
+            counters = sim.run()
+            assert counters.cycles == base.cycles, model.name
+            assert counters.speculated == 0
+
+
+class TestMispredictionRecovery:
+    def _run(self, model, trace, pcs_to_predict, wrong=True):
+        offset = 1000 if wrong else 0
+        predictor = FixedValuePredictor(
+            {pc: value + offset for pc, value in pcs_to_predict.items()}
+        )
+        sim = PipelineSimulator(
+            trace,
+            _cfg(),
+            model,
+            predictor=predictor,
+            confidence=ConfidentForPCs(set(pcs_to_predict)),
+            update_timing=UpdateTiming.IMMEDIATE,
+        )
+        return sim.run()
+
+    def test_misprediction_causes_reissue(self):
+        trace = chain_trace()
+        counters = self._run(GREAT_MODEL, trace, {0x1000: 1})
+        assert counters.misspeculations == 1
+        assert counters.reissues >= 1
+        assert counters.retired == len(trace)
+
+    def test_correct_prediction_never_reissues(self):
+        trace = chain_trace()
+        counters = self._run(GREAT_MODEL, trace, {0x1000: 1}, wrong=False)
+        assert counters.misspeculations == 0
+        assert counters.reissues == 0
+
+    def test_architectural_result_independent_of_prediction(self):
+        """Timing changes; retirement counts never do."""
+        trace = chain_trace()
+        for wrong in (False, True):
+            counters = self._run(GOOD_MODEL, trace, {0x1000: 1, 0x1008: 2}, wrong)
+            assert counters.retired == len(trace)
+
+
+class TestModelOrdering:
+    def test_super_never_slower_than_good_on_chain(self):
+        trace = chain_trace()
+        results = {}
+        for model in (SUPER_MODEL, GREAT_MODEL, GOOD_MODEL):
+            sim = PipelineSimulator(
+                trace,
+                _cfg(),
+                model,
+                predictor=FixedValuePredictor({0x1000: 1, 0x1008: 2}),
+                confidence=ConfidentForPCs({0x1000, 0x1008}),
+                update_timing=UpdateTiming.IMMEDIATE,
+            )
+            results[model.name] = sim.run().cycles
+        assert results["super"] <= results["great"] <= results["good"]
+
+
+class TestOracleConfidence:
+    def test_oracle_never_misspeculates(self):
+        from repro.programs.suite import kernel
+
+        trace = kernel("compress").trace(max_instructions=3000)
+        result = run_trace(
+            trace, _cfg(), GREAT_MODEL, confidence="oracle", update_timing="I"
+        )
+        assert result.counters.misspeculations == 0
+        assert result.counters.speculated > 0
+
+    def test_oracle_beats_real_confidence(self):
+        from repro.programs.suite import kernel
+
+        trace = kernel("m88ksim").trace(max_instructions=4000)
+        config = _cfg(issue_width=8, window_size=48)
+        real = run_trace(trace, config, GREAT_MODEL, confidence="R",
+                         update_timing="I")
+        oracle = run_trace(trace, config, GREAT_MODEL, confidence="O",
+                           update_timing="I")
+        assert oracle.cycles <= real.cycles
+
+
+class TestCompleteInvalidation:
+    def test_complete_invalidation_squashes(self):
+        variables = ModelVariables(invalidation=InvalidationScheme.COMPLETE)
+        model = SpeculativeExecutionModel("complete", variables, GREAT_LATENCIES)
+        trace = chain_trace()
+        sim = PipelineSimulator(
+            trace,
+            _cfg(),
+            model,
+            predictor=FixedValuePredictor({0x1000: 999}),
+            confidence=ConfidentForPCs({0x1000}),
+            update_timing=UpdateTiming.IMMEDIATE,
+        )
+        counters = sim.run()
+        assert counters.retired == len(trace)
+        assert counters.squashed > 0
+
+
+class TestRetirementGating:
+    def test_predicted_instruction_retires_only_after_resolution(self):
+        """No instruction may retire with an unresolved prediction — checked
+        indirectly: the good model (1-cycle verification) must retire a
+        single predicted instruction strictly later than super (0-cycle)."""
+        trace = [
+            TraceRecord(0, 0x1000, Opcode.ADD, (4,), 8, 7, next_pc=0x1008)
+        ]
+        cycles = {}
+        for model in (SUPER_MODEL, GOOD_MODEL):
+            sim = PipelineSimulator(
+                trace,
+                _cfg(),
+                model,
+                predictor=FixedValuePredictor({0x1000: 7}),
+                confidence=ConfidentForPCs({0x1000}),
+                update_timing=UpdateTiming.IMMEDIATE,
+            )
+            cycles[model.name] = sim.run().cycles
+        assert cycles["good"] == cycles["super"] + 1
+
+
+class TestSettingLabels:
+    def test_run_trace_labels(self):
+        trace = chain_trace()
+        result = run_trace(trace, _cfg(), GREAT_MODEL, confidence="oracle",
+                           update_timing="d")
+        assert result.setting_label == "D/O"
+        assert result.model_name == "great"
+        base = run_baseline(trace, _cfg())
+        assert base.setting_label == "base"
+
+    def test_unknown_confidence_rejected(self):
+        from repro.engine.sim import make_confidence
+
+        with pytest.raises(ValueError):
+            make_confidence("psychic")

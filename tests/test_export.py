@@ -1,0 +1,83 @@
+"""CSV export tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro.harness.export import EXPORTS, export_csv
+
+
+def _parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_table1_export():
+    text = export_csv("table1", max_instructions=1500)
+    rows = _parse(text)
+    assert rows[0][0] == "benchmark"
+    assert len(rows) == 9  # header + 8 benchmarks
+    assert rows[1][0] == "compress"
+
+
+def test_sweep_export_long_format():
+    text = export_csv(
+        "abl-verify", max_instructions=1000, benchmarks=["perl"]
+    )
+    rows = _parse(text)
+    assert rows[0] == ["point", "benchmark", "speedup"]
+    points = {row[0] for row in rows[1:]}
+    assert "parallel-network" in points
+    hmeans = [row for row in rows[1:] if row[1] == "HMEAN"]
+    assert len(hmeans) == 4  # one per scheme
+
+
+def test_figure4_export():
+    from repro.engine.config import ProcessorConfig
+
+    text = export_csv(
+        "figure4",
+        max_instructions=1000,
+        benchmarks=["perl"],
+        configs=(ProcessorConfig(4, 24),),
+    )
+    rows = _parse(text)
+    assert rows[0] == ["config", "timing", "CH", "CL", "IH", "IL", "correct"]
+    assert len(rows) == 3  # header + D + I
+
+
+def test_export_to_file(tmp_path):
+    path = tmp_path / "out.csv"
+    text = export_csv(
+        "abl-inval", path, max_instructions=1000, benchmarks=["perl"]
+    )
+    assert path.read_text() == text
+
+
+def test_unknown_export_rejected():
+    with pytest.raises(KeyError):
+        export_csv("figure9")
+
+
+def test_every_registered_export_is_callable():
+    assert len(EXPORTS) >= 15
+    for key, (runner, formatter) in EXPORTS.items():
+        assert callable(runner) and callable(formatter), key
+
+
+def test_cli_export(capsys):
+    from repro.cli import main
+
+    code = main(
+        ["export", "abl-inval", "--max-instructions", "1000",
+         "--benchmarks", "perl"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("point,benchmark,speedup")
+
+
+def test_cli_export_unknown(capsys):
+    from repro.cli import main
+
+    assert main(["export", "nope"]) == 2

@@ -1,0 +1,102 @@
+"""Local-history and tournament branch predictor tests."""
+
+import pytest
+
+from repro.frontend.bimodal import BimodalPredictor
+from repro.frontend.gshare import GsharePredictor
+from repro.frontend.local import LocalHistoryPredictor
+from repro.frontend.tournament import TournamentPredictor
+
+
+def _accuracy(predictor, outcomes, pc=0x1000):
+    correct = 0
+    for taken in outcomes:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(outcomes)
+
+
+def _loop_pattern(trip_count, loops):
+    """taken x (trip_count-1), then not-taken — a counted loop branch."""
+    return ([True] * (trip_count - 1) + [False]) * loops
+
+
+class TestLocalHistory:
+    def test_learns_loop_trip_count(self):
+        # a 5-iteration loop: bimodal can never catch the exit; local can
+        pattern = _loop_pattern(5, 60)
+        local = _accuracy(LocalHistoryPredictor(), pattern)
+        bimodal = _accuracy(BimodalPredictor(), pattern)
+        assert local > 0.9
+        assert local > bimodal
+
+    def test_per_branch_histories_are_independent(self):
+        predictor = LocalHistoryPredictor(bht_bits=8)
+        # adjacent PCs map to different BHT entries (index = pc/8 mod 256)
+        for __ in range(40):
+            predictor.update(0x1000, True)
+            predictor.update(0x1008, False)
+        assert predictor.predict(0x1000) is True
+        assert predictor.predict(0x1008) is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalHistoryPredictor(history_bits=0)
+
+    def test_accuracy_property(self):
+        predictor = LocalHistoryPredictor()
+        assert predictor.accuracy == 1.0
+        predictor.update(0x1000, True)
+        assert 0.0 <= predictor.accuracy <= 1.0
+
+
+class TestTournament:
+    def test_beats_or_matches_components_on_mixed_workload(self):
+        # one loop branch (local's strength) + one history-correlated
+        # branch (gshare's strength), interleaved
+        def run(factory):
+            predictor = factory()
+            correct = total = 0
+            loop = _loop_pattern(4, 120)
+            for i, loop_taken in enumerate(loop):
+                alt_taken = bool(i % 2)
+                for pc, taken in ((0x1000, loop_taken), (0x4000, alt_taken)):
+                    if predictor.predict(pc) == taken:
+                        correct += 1
+                    predictor.update(pc, taken)
+                    total += 1
+            return correct / total
+
+        tournament = run(TournamentPredictor)
+        gshare = run(GsharePredictor)
+        local = run(LocalHistoryPredictor)
+        assert tournament >= min(gshare, local)
+        assert tournament > 0.8
+
+    def test_chooser_validation(self):
+        with pytest.raises(ValueError):
+            TournamentPredictor(chooser_bits=0)
+
+    def test_accuracy_counters(self):
+        predictor = TournamentPredictor()
+        for __ in range(30):
+            predictor.update(0x1000, True)
+        assert predictor.predictions == 30
+        assert predictor.gshare.predictions == 30
+        assert predictor.local.predictions == 30
+
+
+def test_fetch_engine_accepts_any_predictor():
+    from repro.frontend.fetch import FetchEngine
+    from repro.isa.opcodes import Opcode
+    from repro.trace.record import TraceRecord
+
+    trace = [
+        TraceRecord(0, 0x1000, Opcode.BNE, (8,), branch_taken=False,
+                    next_pc=0x1008),
+        TraceRecord(1, 0x1008, Opcode.ADD, (4,), 8, 1, next_pc=0x1010),
+    ]
+    engine = FetchEngine(trace, None, TournamentPredictor())
+    batch = engine.fetch(0, 4)
+    assert len(batch) == 2  # not-taken predicted correctly from cold state

@@ -1,0 +1,116 @@
+"""ALU semantics tests, including property-based checks against Python
+reference arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.func import alu
+from repro.isa.opcodes import Opcode
+
+u64 = st.integers(0, (1 << 64) - 1)
+
+
+@given(a=u64, b=u64)
+def test_add_sub_wrap(a, b):
+    assert alu.apply_binop(Opcode.ADD, a, b) == (a + b) % (1 << 64)
+    assert alu.apply_binop(Opcode.SUB, a, b) == (a - b) % (1 << 64)
+
+
+@given(a=u64, b=u64)
+def test_bitwise(a, b):
+    assert alu.apply_binop(Opcode.AND, a, b) == a & b
+    assert alu.apply_binop(Opcode.OR, a, b) == a | b
+    assert alu.apply_binop(Opcode.XOR, a, b) == a ^ b
+    assert alu.apply_binop(Opcode.NOR, a, b) == (~(a | b)) % (1 << 64)
+
+
+@given(a=u64, shift=st.integers(0, 63))
+def test_shifts(a, shift):
+    assert alu.apply_binop(Opcode.SLL, a, shift) == (a << shift) % (1 << 64)
+    assert alu.apply_binop(Opcode.SRL, a, shift) == a >> shift
+    signed = alu.to_signed(a)
+    assert alu.apply_binop(Opcode.SRA, a, shift) == (signed >> shift) % (1 << 64)
+
+
+def test_shift_amount_masks_to_six_bits():
+    assert alu.apply_binop(Opcode.SLL, 1, 64) == 1  # 64 & 0x3f == 0
+    assert alu.apply_binop(Opcode.SRL, 8, 65) == 4
+
+
+@given(a=u64, b=u64)
+def test_comparisons(a, b):
+    assert alu.apply_binop(Opcode.SLT, a, b) == int(
+        alu.to_signed(a) < alu.to_signed(b)
+    )
+    assert alu.apply_binop(Opcode.SLTU, a, b) == int(a < b)
+    expected_min = a if alu.to_signed(a) <= alu.to_signed(b) else b
+    assert alu.apply_binop(Opcode.MIN, a, b) == expected_min
+
+
+@given(a=st.integers(-(1 << 32), 1 << 32), b=st.integers(-(1 << 32), 1 << 32))
+def test_div_rem_c_semantics(a, b):
+    ua, ub = alu.to_unsigned(a), alu.to_unsigned(b)
+    if b == 0:
+        assert alu.apply_binop(Opcode.DIV, ua, ub) == (1 << 64) - 1
+        assert alu.apply_binop(Opcode.REM, ua, ub) == ua
+    else:
+        q = alu.to_signed(alu.apply_binop(Opcode.DIV, ua, ub))
+        r = alu.to_signed(alu.apply_binop(Opcode.REM, ua, ub))
+        assert q * b + r == a  # division identity
+        assert abs(r) < abs(b)
+        assert r == 0 or (r < 0) == (a < 0)  # remainder follows dividend
+
+
+@given(a=st.integers(-(1 << 31), 1 << 31), b=st.integers(-(1 << 31), 1 << 31))
+def test_mul(a, b):
+    ua, ub = alu.to_unsigned(a), alu.to_unsigned(b)
+    assert alu.to_signed(alu.apply_binop(Opcode.MUL, ua, ub)) == a * b
+
+
+def test_mulh():
+    big = alu.to_unsigned(1 << 40)
+    assert alu.apply_binop(Opcode.MULH, big, big) == 1 << 16
+
+
+def test_immediate_ops_match_binops():
+    assert alu.apply_immop(Opcode.ADDI, 10, -3) == 7
+    assert alu.apply_immop(Opcode.ANDI, 0xFF, 0x0F) == 0x0F
+    assert alu.apply_immop(Opcode.SLLI, 1, 4) == 16
+    assert alu.apply_immop(Opcode.SLTI, 1, 2) == 1
+
+
+@given(a=u64, b=u64)
+def test_branch_conditions(a, b):
+    sa, sb = alu.to_signed(a), alu.to_signed(b)
+    assert alu.branch_taken(Opcode.BEQ, a, b) == (a == b)
+    assert alu.branch_taken(Opcode.BNE, a, b) == (a != b)
+    assert alu.branch_taken(Opcode.BLT, a, b) == (sa < sb)
+    assert alu.branch_taken(Opcode.BGE, a, b) == (sa >= sb)
+    assert alu.branch_taken(Opcode.BLTZ, a, b) == (sa < 0)
+    assert alu.branch_taken(Opcode.BEQZ, a, b) == (a == 0)
+    assert alu.branch_taken(Opcode.BNEZ, a, b) == (a != 0)
+
+
+@given(x=st.floats(-1e6, 1e6, allow_nan=False))
+def test_fixed_point_round_trip(x):
+    encoded = alu.float_to_fixed(x)
+    assert abs(alu.fixed_to_float(encoded) - x) < 1e-9 * max(1.0, abs(x))
+
+
+def test_fixed_point_arithmetic():
+    two = alu.float_to_fixed(2.0)
+    three = alu.float_to_fixed(3.0)
+    assert alu.fixed_to_float(alu.apply_binop(Opcode.FMUL, two, three)) == 6.0
+    assert alu.fixed_to_float(alu.apply_binop(Opcode.FDIV, three, two)) == 1.5
+    assert alu.fixed_to_float(alu.apply_binop(Opcode.FADD, two, three)) == 5.0
+    assert alu.apply_binop(Opcode.FDIV, two, 0) == (1 << 64) - 1
+
+
+def test_non_alu_opcode_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        alu.apply_binop(Opcode.LD, 1, 2)
+    with pytest.raises(ValueError):
+        alu.apply_immop(Opcode.ADD, 1, 2)
+    with pytest.raises(ValueError):
+        alu.branch_taken(Opcode.ADD, 1, 2)

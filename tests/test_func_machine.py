@@ -1,0 +1,186 @@
+"""Functional machine tests: per-instruction architectural semantics."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.assembler import DATA_BASE, STACK_TOP, TEXT_BASE
+from repro.func import Machine, MachineError
+
+
+def run(source: str) -> Machine:
+    machine = Machine(assemble(source))
+    machine.run()
+    return machine
+
+
+def test_register_arithmetic():
+    m = run("li r1, 6\nli r2, 7\nmul r3, r1, r2\nprint r3\nhalt\n")
+    assert m.output == [42]
+
+
+def test_r0_is_hardwired_zero():
+    m = run("li r0, 99\nprint r0\nhalt\n")
+    assert m.output == [0]
+
+
+def test_stack_pointer_initialized():
+    machine = Machine(assemble("halt\n"))
+    assert machine.read_reg(29) == STACK_TOP
+
+
+def test_load_store_sizes():
+    m = run(
+        """
+        .data
+        buf: .space 16
+        .text
+        li r1, 0x1122334455667788
+        la r2, buf
+        sd r1, 0(r2)
+        ld r3, 0(r2)
+        print r3
+        lw r4, 0(r2)
+        print r4
+        lbu r5, 0(r2)
+        print r5
+        sb r1, 8(r2)
+        lbu r6, 8(r2)
+        print r6
+        sw r1, 8(r2)
+        lw r7, 8(r2)
+        print r7
+        halt
+        """
+    )
+    assert m.output[0] == 0x1122334455667788
+    assert m.output[1] == 0x55667788
+    assert m.output[2] == 0x88
+    assert m.output[3] == 0x88
+    assert m.output[4] == 0x55667788
+
+
+def test_lw_sign_extends():
+    m = run(
+        """
+        .data
+        x: .word 0xffffffff
+        .text
+        la r1, x
+        lw r2, 0(r1)
+        print r2
+        halt
+        """
+    )
+    assert m.output == [(1 << 64) - 1]  # -1 sign-extended
+
+
+def test_branches_and_loop():
+    m = run(
+        """
+        li r1, 0
+        li r2, 10
+        loop:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        print r1
+        halt
+        """
+    )
+    assert m.output == [10]
+
+
+def test_jal_links_and_jr_returns():
+    m = run(
+        """
+        main:
+        call helper
+        print r9
+        halt
+        helper:
+        li r9, 77
+        ret
+        """
+    )
+    assert m.output == [77]
+
+
+def test_jalr_indirect_call():
+    m = run(
+        """
+        la r5, target
+        jalr r31, r5
+        print r9
+        halt
+        target:
+        li r9, 3
+        jr r31
+        """
+    )
+    assert m.output == [3]
+
+
+def test_data_segment_initialized():
+    m = run(
+        """
+        .data
+        x: .word 11, 22
+        .text
+        la r1, x
+        ld r2, 8(r1)
+        print r2
+        halt
+        """
+    )
+    assert m.output == [22]
+
+
+def test_step_reports_effects():
+    machine = Machine(assemble("li r1, 5\nsd r1, 0(r29)\nhalt\n"))
+    step1 = machine.step()
+    assert step1.dest_reg == 1 and step1.dest_value == 5
+    step2 = machine.step()
+    assert step2.mem_addr == STACK_TOP and step2.mem_size == 8
+    assert step2.store_value == 5
+    step3 = machine.step()
+    assert step3.halted
+    assert machine.halted
+
+
+def test_step_after_halt_rejected():
+    machine = Machine(assemble("halt\n"))
+    machine.run()
+    with pytest.raises(MachineError):
+        machine.step()
+
+
+def test_runaway_guard():
+    machine = Machine(assemble("loop: j loop\n"))
+    with pytest.raises(MachineError, match="budget"):
+        machine.run(max_instructions=100)
+
+
+def test_entry_at_main():
+    m = run(
+        """
+        li r9, 1        # skipped: entry is main
+        print r9
+        halt
+        main:
+        li r9, 2
+        print r9
+        halt
+        """
+    )
+    assert m.output == [2]
+
+
+def test_instruction_count():
+    machine = Machine(assemble("nop\nnop\nhalt\n"))
+    machine.run()
+    assert machine.instruction_count == 3
+
+
+def test_layout_constants():
+    program = assemble(".data\nx: .word 1\n.text\nhalt\n")
+    assert program.text_base == TEXT_BASE
+    assert program.labels["x"] == DATA_BASE

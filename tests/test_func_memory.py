@@ -1,0 +1,58 @@
+"""MemoryImage tests, including chunk-boundary properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.func.memory_image import MemoryImage, _CHUNK_SIZE
+
+
+def test_uninitialized_memory_reads_zero():
+    mem = MemoryImage()
+    assert mem.load_uint(0x5000, 8) == 0
+    assert mem.load_bytes(123456, 16) == bytes(16)
+
+
+def test_store_load_round_trip():
+    mem = MemoryImage()
+    mem.store_uint(0x2000, 0xDEADBEEF, 8)
+    assert mem.load_uint(0x2000, 8) == 0xDEADBEEF
+    assert mem.load_uint(0x2000, 4) == 0xDEADBEEF
+    assert mem.load_uint(0x2004, 4) == 0
+
+
+def test_value_truncated_to_size():
+    mem = MemoryImage()
+    mem.store_uint(0x100, 0x11223344, 1)
+    assert mem.load_uint(0x100, 1) == 0x44
+
+
+@given(
+    address=st.integers(0, 1 << 24),
+    data=st.binary(min_size=1, max_size=3 * _CHUNK_SIZE),
+)
+def test_cross_chunk_round_trip(address, data):
+    mem = MemoryImage()
+    mem.store_bytes(address, data)
+    assert mem.load_bytes(address, len(data)) == data
+
+
+def test_chunk_boundary_straddle():
+    mem = MemoryImage()
+    boundary = _CHUNK_SIZE
+    mem.store_uint(boundary - 4, 0x1122334455667788, 8)
+    assert mem.load_uint(boundary - 4, 8) == 0x1122334455667788
+    assert mem.touched_chunks() == 2
+
+
+def test_cstring_helper():
+    mem = MemoryImage()
+    mem.store_bytes(0x300, b"hello\x00world")
+    assert mem.load_cstring(0x300) == "hello"
+
+
+def test_negative_access_rejected():
+    mem = MemoryImage()
+    with pytest.raises(ValueError):
+        mem.load_bytes(-1, 4)
+    with pytest.raises(ValueError):
+        mem.store_bytes(-8, b"x")

@@ -1,0 +1,66 @@
+"""Golden regression statistics.
+
+The simulator is fully deterministic, so exact cycle and event counts for
+a fixed workload/configuration are a high-resolution regression net: any
+engine change that alters timing shows up here immediately.
+
+If a change is *intended* to alter timing, regenerate the table with::
+
+    python - <<'EOF'
+    from repro.programs import benchmark_suite
+    from repro.engine import ProcessorConfig, run_baseline, run_trace
+    from repro.core import GREAT_MODEL
+    cfg = ProcessorConfig(8, 48)
+    for spec in benchmark_suite():
+        trace = spec.trace(max_instructions=3000)
+        base = run_baseline(trace, cfg)
+        vp = run_trace(trace, cfg, GREAT_MODEL, confidence="R",
+                       update_timing="D")
+        c = vp.counters
+        print(spec.name, base.cycles, vp.cycles, c.predictions,
+              c.speculated, c.misspeculations)
+    EOF
+
+and say so in the commit message.
+"""
+
+import pytest
+
+from repro.core.model import GREAT_MODEL
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import run_baseline, run_trace
+from repro.programs.suite import kernel, kernel_names
+
+#: (base_cycles, vp_cycles, predictions, speculated, misspeculations)
+#: at 3000-instruction traces on 8/48, great model, D/R.
+GOLDEN = {
+    "compress": (3626, 3605, 2242, 244, 8),
+    "gcc": (2023, 1984, 2008, 247, 15),
+    "go": (942, 987, 1940, 827, 7),
+    "ijpeg": (1173, 1186, 2463, 508, 50),
+    "m88ksim": (1555, 1494, 2174, 599, 27),
+    "perl": (1905, 1758, 1983, 883, 24),
+    "vortex": (1438, 1447, 1776, 382, 11),
+    "xlisp": (2203, 2188, 1771, 276, 5),
+}
+
+_CONFIG = ProcessorConfig(issue_width=8, window_size=48)
+
+
+@pytest.mark.parametrize("name", kernel_names())
+def test_golden_stats(name):
+    trace = kernel(name).trace(max_instructions=3000)
+    base = run_baseline(trace, _CONFIG)
+    vp = run_trace(trace, _CONFIG, GREAT_MODEL, confidence="R",
+                   update_timing="D")
+    measured = (
+        base.cycles,
+        vp.cycles,
+        vp.counters.predictions,
+        vp.counters.speculated,
+        vp.counters.misspeculations,
+    )
+    assert measured == GOLDEN[name], (
+        f"{name}: measured {measured} != golden {GOLDEN[name]} — "
+        "timing changed; regenerate GOLDEN if intentional"
+    )

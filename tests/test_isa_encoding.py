@@ -1,0 +1,83 @@
+"""Encoding round-trip tests, including property-based coverage."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrFormat, OpClass, Opcode
+
+_IMM_MAX = (1 << 37) - 1
+_IMM_MIN = -(1 << 37)
+
+
+def _build(opcode: Opcode, rd: int, rs: int, rt: int, imm: int) -> Instruction:
+    """Build a format-appropriate instruction from raw field draws."""
+    fmt = opcode.format
+    kwargs: dict = {"imm": imm}
+    if fmt is InstrFormat.R:
+        kwargs.update(rd=rd, rs=rs, rt=rt, imm=0)
+    elif fmt is InstrFormat.I:
+        kwargs.update(rd=rd, rs=rs)
+    elif fmt is InstrFormat.LI:
+        kwargs.update(rd=rd)
+    elif fmt is InstrFormat.MEM:
+        if opcode.opclass is OpClass.STORE:
+            kwargs.update(rs=rs, rt=rt)
+        else:
+            kwargs.update(rd=rd, rs=rs)
+    elif fmt is InstrFormat.B:
+        kwargs.update(rs=rs, rt=rt)
+    elif fmt is InstrFormat.BZ:
+        kwargs.update(rs=rs)
+    elif fmt is InstrFormat.J:
+        pass
+    elif fmt is InstrFormat.JL:
+        kwargs.update(rd=rd)
+    elif fmt is InstrFormat.JR:
+        kwargs.update(rs=rs, imm=0)
+    elif fmt is InstrFormat.JLR:
+        kwargs.update(rd=rd, rs=rs, imm=0)
+    else:
+        kwargs["imm"] = 0
+    return Instruction(opcode, **kwargs)
+
+
+@given(
+    opcode=st.sampled_from(list(Opcode)),
+    rd=st.integers(0, 31),
+    rs=st.integers(0, 31),
+    rt=st.integers(0, 31),
+    imm=st.integers(_IMM_MIN, _IMM_MAX),
+)
+def test_encode_decode_round_trip(opcode, rd, rs, rt, imm):
+    instr = _build(opcode, rd, rs, rt, imm)
+    word = encode(instr)
+    assert 0 <= word < (1 << 64)
+    decoded = decode(word)
+    assert decoded.opcode is instr.opcode
+    assert decoded.rd == instr.rd
+    assert decoded.rs == instr.rs
+    assert decoded.rt == instr.rt
+    assert decoded.imm == instr.imm
+
+
+def test_encode_rejects_wide_immediate():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.LI, rd=1, imm=1 << 40))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.LI, rd=1, imm=-(1 << 40)))
+
+
+def test_decode_rejects_bad_words():
+    with pytest.raises(EncodingError):
+        decode(-1)
+    with pytest.raises(EncodingError):
+        decode(1 << 64)
+    with pytest.raises(EncodingError):
+        decode(0xFF)  # opcode byte beyond the last defined opcode
+
+
+def test_negative_immediate_round_trip():
+    instr = Instruction(Opcode.ADDI, rd=1, rs=2, imm=-1)
+    assert decode(encode(instr)).imm == -1

@@ -1,0 +1,77 @@
+"""Unit tests for the Instruction representation."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def test_source_regs_r_format():
+    instr = Instruction(Opcode.ADD, rd=3, rs=1, rt=2)
+    assert instr.source_regs() == (1, 2)
+
+
+def test_source_regs_omits_zero_register():
+    instr = Instruction(Opcode.ADD, rd=3, rs=0, rt=2)
+    assert instr.source_regs() == (2,)
+    instr = Instruction(Opcode.OR, rd=3, rs=5, rt=0)
+    assert instr.source_regs() == (5,)
+
+
+def test_source_regs_immediate():
+    instr = Instruction(Opcode.ADDI, rd=3, rs=7, imm=10)
+    assert instr.source_regs() == (7,)
+
+
+def test_source_regs_load_and_store():
+    load = Instruction(Opcode.LD, rd=4, rs=8, imm=16)
+    assert load.source_regs() == (8,)
+    store = Instruction(Opcode.SD, rs=8, rt=4, imm=16)
+    assert store.source_regs() == (8, 4)
+
+
+def test_source_regs_branches():
+    branch = Instruction(Opcode.BEQ, rs=1, rt=2, imm=0x1000)
+    assert branch.source_regs() == (1, 2)
+    zero_branch = Instruction(Opcode.BEQZ, rs=9, imm=0x1000)
+    assert zero_branch.source_regs() == (9,)
+
+
+def test_source_regs_jumps():
+    assert Instruction(Opcode.J, imm=0x1000).source_regs() == ()
+    assert Instruction(Opcode.JAL, rd=31, imm=0x1000).source_regs() == ()
+    assert Instruction(Opcode.JR, rs=31).source_regs() == (31,)
+    assert Instruction(Opcode.JALR, rd=31, rs=5).source_regs() == (5,)
+
+
+def test_writes_register_excludes_r0_destination():
+    assert Instruction(Opcode.ADD, rd=1, rs=2, rt=3).writes_register
+    assert not Instruction(Opcode.ADD, rd=0, rs=2, rt=3).writes_register
+    assert not Instruction(Opcode.SD, rs=1, rt=2).writes_register
+
+
+def test_render_formats():
+    assert str(Instruction(Opcode.ADD, rd=3, rs=1, rt=2)) == "add r3, r1, r2"
+    assert str(Instruction(Opcode.ADDI, rd=3, rs=1, imm=-5)) == "addi r3, r1, -5"
+    assert str(Instruction(Opcode.LI, rd=3, imm=100)) == "li r3, 100"
+    assert str(Instruction(Opcode.LD, rd=4, rs=8, imm=16)) == "ld r4, 16(r8)"
+    assert str(Instruction(Opcode.SD, rs=8, rt=4, imm=16)) == "sd r4, 16(r8)"
+    assert (
+        str(Instruction(Opcode.BEQ, rs=1, rt=2, imm=0x1000)) == "beq r1, r2, 0x1000"
+    )
+    assert str(Instruction(Opcode.JR, rs=31)) == "jr r31"
+    assert str(Instruction(Opcode.NOP)) == "nop"
+
+
+def test_render_prefers_label():
+    instr = Instruction(Opcode.J, imm=0x1000, label="loop")
+    assert str(instr) == "j loop"
+
+
+def test_instruction_is_hashable_and_comparable():
+    a = Instruction(Opcode.ADD, rd=1, rs=2, rt=3)
+    b = Instruction(Opcode.ADD, rd=1, rs=2, rt=3)
+    assert a == b
+    assert hash(a) == hash(b)
+    # labels don't affect equality (they're presentation only)
+    c = Instruction(Opcode.J, imm=8, label="x")
+    d = Instruction(Opcode.J, imm=8, label="y")
+    assert c == d

@@ -1,0 +1,65 @@
+"""Unit tests for opcode/opclass definitions."""
+
+from repro.isa.opcodes import (
+    FORMAT_BY_OPCODE,
+    INSTRUCTION_BYTES,
+    OPCLASS_BY_OPCODE,
+    OPCODE_BY_CODE,
+    InstrFormat,
+    OpClass,
+    Opcode,
+)
+
+
+def test_every_opcode_has_format_and_class():
+    for op in Opcode:
+        assert op in FORMAT_BY_OPCODE, op
+        assert op in OPCLASS_BY_OPCODE or op is Opcode.J, op
+        assert isinstance(op.opclass, OpClass)
+        assert isinstance(op.format, InstrFormat)
+
+
+def test_opcode_codes_are_unique_and_stable():
+    codes = [op.code for op in Opcode]
+    assert len(codes) == len(set(codes))
+    for op in Opcode:
+        assert OPCODE_BY_CODE[op.code] is op
+
+
+def test_memory_opclasses():
+    assert Opcode.LD.opclass is OpClass.LOAD
+    assert Opcode.SW.opclass is OpClass.STORE
+    assert OpClass.LOAD.is_memory and OpClass.STORE.is_memory
+    assert not OpClass.IALU.is_memory
+
+
+def test_control_opclasses():
+    assert Opcode.BEQ.opclass is OpClass.BRANCH
+    assert Opcode.J.opclass is OpClass.JUMP
+    assert Opcode.JR.opclass is OpClass.IJUMP
+    for cls in (OpClass.BRANCH, OpClass.JUMP, OpClass.IJUMP):
+        assert cls.is_control
+    assert not OpClass.LOAD.is_control
+
+
+def test_register_writers():
+    assert Opcode.ADD.writes_register
+    assert Opcode.LD.writes_register
+    assert Opcode.JAL.writes_register
+    assert Opcode.JALR.writes_register
+    assert not Opcode.SD.writes_register
+    assert not Opcode.BEQ.writes_register
+    assert not Opcode.J.writes_register
+    assert not Opcode.JR.writes_register
+    assert not Opcode.NOP.writes_register
+    assert not Opcode.HALT.writes_register
+
+
+def test_instruction_size_is_fixed():
+    assert INSTRUCTION_BYTES == 8
+
+
+def test_latency_classes_partition_cleanly():
+    simple = {op for op, cls in OPCLASS_BY_OPCODE.items() if cls is OpClass.IALU}
+    assert Opcode.ADD in simple and Opcode.SLTI in simple
+    assert Opcode.MUL not in simple and Opcode.FDIV not in simple

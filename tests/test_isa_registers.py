@@ -1,0 +1,67 @@
+"""Unit tests for register naming."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_ALIASES,
+    REG_NAMES,
+    Reg,
+    canonical_reg_name,
+    parse_reg,
+)
+
+
+def test_canonical_names():
+    assert REG_NAMES[0] == "r0"
+    assert REG_NAMES[31] == "r31"
+    assert len(REG_NAMES) == NUM_REGS == 32
+
+
+def test_parse_canonical():
+    for i in range(NUM_REGS):
+        assert parse_reg(f"r{i}") == i
+
+
+def test_parse_aliases():
+    assert parse_reg("zero") == 0
+    assert parse_reg("sp") == 29
+    assert parse_reg("ra") == 31
+    assert parse_reg("a0") == 4
+    assert parse_reg("t0") == 8
+    assert parse_reg("s0") == 16
+
+
+def test_parse_is_case_insensitive_and_strips_dollar():
+    assert parse_reg("SP") == 29
+    assert parse_reg("$t1") == 9
+    assert parse_reg("  ra ") == 31
+
+
+def test_parse_rejects_unknown():
+    with pytest.raises(ValueError):
+        parse_reg("r32")
+    with pytest.raises(ValueError):
+        parse_reg("bogus")
+
+
+def test_reg_type():
+    reg = Reg(5)
+    assert str(reg) == "r5"
+    assert repr(reg) == "Reg(5)"
+    assert reg == 5
+    with pytest.raises(ValueError):
+        Reg(32)
+    with pytest.raises(ValueError):
+        Reg(-1)
+
+
+def test_canonical_reg_name_bounds():
+    assert canonical_reg_name(7) == "r7"
+    with pytest.raises(ValueError):
+        canonical_reg_name(99)
+
+
+def test_aliases_all_in_range():
+    for name, index in REG_ALIASES.items():
+        assert 0 <= index < NUM_REGS, name

@@ -1,0 +1,127 @@
+"""Cache model tests: geometry, LRU, multi-level recursion, properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import make_paper_hierarchy
+from repro.mem.ports import PortPool
+
+
+def _tiny_cache(assoc=2, sets=2, block=16, hit=1, miss=10):
+    return Cache(
+        "T", size_bytes=block * assoc * sets, block_bytes=block, assoc=assoc,
+        hit_latency=hit, miss_latency=miss,
+    )
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache("x", 100, 24, 2, 1)  # non-power-of-two block
+    with pytest.raises(ValueError):
+        Cache("x", 100, 16, 3, 1)  # size not multiple of block*assoc
+    with pytest.raises(ValueError):
+        Cache("x", 64, 16, 0, 1)
+    with pytest.raises(ValueError):
+        Cache("x", 64, 16, 2, -1)
+
+
+def test_cold_miss_then_hit():
+    cache = _tiny_cache()
+    assert cache.access(0x100) == 11  # hit latency + miss latency
+    assert cache.access(0x100) == 1
+    assert cache.access(0x10F) == 1  # same block
+    assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = _tiny_cache(assoc=2, sets=1, block=16)
+    a, b, c = 0x000, 0x010, 0x020  # all map to the single set
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)  # a most recent; b is LRU
+    cache.access(c)  # evicts b
+    assert cache.probe(a)
+    assert not cache.probe(b)
+    assert cache.probe(c)
+
+
+def test_probe_does_not_disturb_state():
+    cache = _tiny_cache(assoc=2, sets=1, block=16)
+    cache.access(0x000)
+    cache.access(0x010)
+    cache.probe(0x000)  # does NOT refresh LRU
+    before = cache.stats.accesses
+    cache.access(0x020)  # evicts 0x000 (still LRU despite probe)
+    assert not cache.probe(0x000)
+    assert cache.stats.accesses == before + 1
+
+
+def test_next_level_recursion():
+    l2 = _tiny_cache(assoc=2, sets=2, hit=5, miss=20)
+    l1 = Cache("L1", 64, 16, 2, 1, next_level=l2)
+    assert l1.access(0x40) == 1 + 5 + 20  # miss both levels
+    assert l1.access(0x40) == 1  # L1 hit
+    l1.flush()
+    assert l1.access(0x40) == 1 + 5  # L1 miss, L2 hit
+
+
+def test_write_allocates_and_counts_writebacks():
+    cache = _tiny_cache(assoc=1, sets=1, block=16)
+    cache.access(0x00, is_write=True)
+    assert cache.probe(0x00)
+    cache.access(0x10, is_write=True)  # evicts dirty block
+    assert cache.stats.writebacks == 1
+
+
+@given(addresses=st.lists(st.integers(0, 1 << 12), min_size=1, max_size=300))
+def test_lru_matches_reference_model(addresses):
+    """The cache's residency must match a straightforward reference LRU."""
+    block, assoc, sets = 16, 2, 4
+    cache = Cache("p", block * assoc * sets, block, assoc, 1, 10)
+    reference: dict[int, list[int]] = {s: [] for s in range(sets)}
+    for address in addresses:
+        blk = address // block
+        index = blk % sets
+        tags = reference[index]
+        hit = blk in tags
+        latency = cache.access(address)
+        assert (latency == 1) == hit
+        if hit:
+            tags.remove(blk)
+        elif len(tags) >= assoc:
+            tags.pop()
+        tags.insert(0, blk)
+    for address in addresses:
+        blk = address // block
+        assert cache.probe(address) == (blk in reference[blk % sets])
+
+
+def test_paper_hierarchy_parameters():
+    hierarchy = make_paper_hierarchy()
+    assert hierarchy.l1i.size_bytes == 64 << 10
+    assert hierarchy.l1i.block_bytes == 32 and hierarchy.l1i.assoc == 4
+    assert hierarchy.l1i.hit_latency == 1
+    assert hierarchy.l1d.hit_latency == 2
+    assert hierarchy.l2.size_bytes == 1 << 20
+    assert hierarchy.l2.block_bytes == 64 and hierarchy.l2.assoc == 4
+    # L1D cold miss that also misses L2: 2 + 12 + 24 = 38 total
+    assert hierarchy.data_access(0x123456, is_write=False) == 38
+    # now resident everywhere: hit is 2 cycles
+    assert hierarchy.data_access(0x123456, is_write=False) == 2
+    # L2 hit after flushing only L1: 2 + 12
+    hierarchy.l1d.flush()
+    assert hierarchy.data_access(0x123456, is_write=False) == 14
+
+
+def test_port_pool():
+    pool = PortPool(2)
+    assert pool.try_acquire(5)
+    assert pool.available(5) == 1
+    assert pool.try_acquire(5)
+    assert not pool.try_acquire(5)
+    assert pool.conflicts == 1
+    assert pool.try_acquire(6)  # new cycle resets
+    assert pool.available(7) == 2
+    with pytest.raises(ValueError):
+        PortPool(0)

@@ -1,0 +1,112 @@
+"""Load/store queue tests: ordering, disambiguation, forwarding, squash."""
+
+import pytest
+
+from repro.mem.lsq import LoadStoreQueue
+
+
+def test_allocation_order_enforced():
+    lsq = LoadStoreQueue(4)
+    lsq.allocate(1, is_store=True)
+    lsq.allocate(3, is_store=False)
+    with pytest.raises(ValueError, match="program order"):
+        lsq.allocate(2, is_store=False)
+    with pytest.raises(ValueError, match="duplicate"):
+        lsq.allocate(3, is_store=False)
+
+
+def test_capacity():
+    lsq = LoadStoreQueue(2)
+    lsq.allocate(0, True)
+    lsq.allocate(1, False)
+    assert lsq.full
+    with pytest.raises(RuntimeError, match="full"):
+        lsq.allocate(2, False)
+    with pytest.raises(ValueError):
+        LoadStoreQueue(0)
+
+
+def test_prior_store_addresses_known():
+    lsq = LoadStoreQueue(8)
+    lsq.allocate(0, is_store=True)
+    lsq.allocate(1, is_store=False)  # the load under test
+    assert not lsq.prior_store_addresses_known(1)
+    lsq.set_address(0, 0x2000, 8)
+    assert lsq.prior_store_addresses_known(1)
+    # a *younger* store never blocks the load
+    lsq.allocate(2, is_store=True)
+    assert lsq.prior_store_addresses_known(1)
+
+
+def test_clear_address_reverts_knowledge():
+    lsq = LoadStoreQueue(8)
+    lsq.allocate(0, is_store=True)
+    lsq.allocate(1, is_store=False)
+    lsq.set_address(0, 0x2000, 8)
+    lsq.clear_address(0)
+    assert not lsq.prior_store_addresses_known(1)
+
+
+def test_forwarding_exact_and_containment():
+    lsq = LoadStoreQueue(8)
+    lsq.allocate(0, is_store=True)
+    lsq.set_address(0, 0x2000, 8)
+    lsq.set_store_data_ready(0)
+    lsq.allocate(1, is_store=False)
+    assert lsq.find_forwarder(1, 0x2000, 8).seq == 0
+    assert lsq.find_forwarder(1, 0x2004, 4).seq == 0  # contained
+    assert lsq.find_forwarder(1, 0x2006, 4) is None  # straddles the end
+
+
+def test_forwarding_requires_data_ready():
+    lsq = LoadStoreQueue(8)
+    lsq.allocate(0, is_store=True)
+    lsq.set_address(0, 0x2000, 8)
+    lsq.allocate(1, is_store=False)
+    assert lsq.find_forwarder(1, 0x2000, 8) is None
+    lsq.set_store_data_ready(0)
+    assert lsq.find_forwarder(1, 0x2000, 8) is not None
+
+
+def test_youngest_older_store_wins():
+    lsq = LoadStoreQueue(8)
+    for seq in (0, 1):
+        lsq.allocate(seq, is_store=True)
+        lsq.set_address(seq, 0x2000, 8)
+        lsq.set_store_data_ready(seq)
+    lsq.allocate(2, is_store=False)
+    assert lsq.find_forwarder(2, 0x2000, 8).seq == 1
+
+
+def test_partial_overlap_detection():
+    lsq = LoadStoreQueue(8)
+    lsq.allocate(0, is_store=True)
+    lsq.set_address(0, 0x2004, 4)
+    lsq.allocate(1, is_store=False)
+    overlap = lsq.overlapping_older_store(1, 0x2000, 8)
+    assert overlap is not None and overlap.seq == 0
+    # full containment is not a partial overlap
+    assert lsq.overlapping_older_store(1, 0x2004, 4) is None
+    # disjoint is not an overlap
+    assert lsq.overlapping_older_store(1, 0x3000, 8) is None
+
+
+def test_release_and_squash():
+    lsq = LoadStoreQueue(8)
+    for seq in range(4):
+        lsq.allocate(seq, is_store=(seq % 2 == 0))
+    lsq.release(0)
+    assert len(lsq) == 3
+    removed = lsq.squash_after(1)
+    assert removed == [2, 3]
+    assert len(lsq) == 1
+    assert lsq.get(1) is not None
+    lsq.release(99)  # releasing an absent seq is a no-op
+    assert len(lsq) == 1
+
+
+def test_data_ready_rejected_for_loads():
+    lsq = LoadStoreQueue(4)
+    lsq.allocate(0, is_store=False)
+    with pytest.raises(ValueError, match="not a store"):
+        lsq.set_store_data_ready(0)

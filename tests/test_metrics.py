@@ -1,0 +1,105 @@
+"""Metrics tests: means, speedup, accuracy breakdown, summaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.accuracy import AccuracyBreakdown, average_breakdown
+from repro.metrics.counters import SimCounters
+from repro.metrics.speedup import arithmetic_mean, harmonic_mean, speedup
+from repro.metrics.summary import summarize_counters
+
+
+def test_speedup():
+    assert speedup(200, 100) == 2.0
+    assert speedup(100, 200) == 0.5
+    with pytest.raises(ValueError):
+        speedup(0, 10)
+    with pytest.raises(ValueError):
+        speedup(10, 0)
+
+
+def test_harmonic_mean_known_values():
+    assert harmonic_mean([1.0, 1.0]) == 1.0
+    assert harmonic_mean([2.0, 2.0]) == 2.0
+    assert abs(harmonic_mean([1.0, 2.0]) - 4.0 / 3.0) < 1e-12
+
+
+def test_harmonic_mean_validation():
+    with pytest.raises(ValueError):
+        harmonic_mean([])
+    with pytest.raises(ValueError):
+        harmonic_mean([1.0, 0.0])
+
+
+@given(values=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=10))
+def test_harmonic_leq_arithmetic(values):
+    assert harmonic_mean(values) <= arithmetic_mean(values) + 1e-12
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1, 2, 3]) == 2
+    with pytest.raises(ValueError):
+        arithmetic_mean([])
+
+
+def test_counters_derived_metrics():
+    counters = SimCounters(
+        cycles=100,
+        retired=250,
+        predictions=100,
+        predictions_correct=70,
+        speculated=50,
+        misspeculations=5,
+        branches=40,
+        branch_mispredictions=4,
+        window_occupancy_sum=1600,
+    )
+    assert counters.ipc == 2.5
+    assert counters.prediction_accuracy == 0.7
+    assert counters.misspeculation_rate == 0.1
+    assert counters.branch_misprediction_rate == 0.1
+    assert counters.mean_window_occupancy == 16.0
+
+
+def test_counters_zero_safe():
+    counters = SimCounters()
+    assert counters.ipc == 0.0
+    assert counters.prediction_accuracy == 0.0
+    assert counters.misspeculation_rate == 0.0
+    assert counters.branch_misprediction_rate == 0.0
+    assert counters.mean_window_occupancy == 0.0
+
+
+def test_accuracy_breakdown_from_counters():
+    counters = SimCounters(
+        correct_high=50, correct_low=25, incorrect_high=5, incorrect_low=20
+    )
+    breakdown = AccuracyBreakdown.from_counters(counters)
+    assert breakdown.ch == 0.5
+    assert breakdown.correct == 0.75
+    assert abs(sum(breakdown.as_dict().values()) - 1.0) < 1e-12
+
+
+def test_accuracy_breakdown_empty():
+    assert AccuracyBreakdown.from_counters(SimCounters()).correct == 0.0
+
+
+def test_average_breakdown():
+    a = AccuracyBreakdown(0.5, 0.3, 0.0, 0.2)
+    b = AccuracyBreakdown(0.7, 0.1, 0.1, 0.1)
+    avg = average_breakdown([a, b])
+    assert abs(avg.ch - 0.6) < 1e-12
+    assert abs(avg.ih - 0.05) < 1e-12
+    with pytest.raises(ValueError):
+        average_breakdown([])
+
+
+def test_summary_renders():
+    counters = SimCounters(cycles=10, retired=20, predictions=5, speculated=3)
+    text = summarize_counters(counters, "label")
+    assert "label" in text
+    assert "IPC" in text
+    assert "value predictions" in text
+    # no predictions: the VP section is omitted
+    plain = summarize_counters(SimCounters(cycles=10, retired=20))
+    assert "value predictions" not in plain

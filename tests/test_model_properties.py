@@ -1,0 +1,111 @@
+"""Metamorphic properties of the speculative-execution models.
+
+These encode the *meaning* of the latency spectrum: more optimistic
+models never lose (beyond scheduling noise), zero predictions means
+base-identical timing, and each latency variable is individually
+monotone.
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.latency import GREAT_LATENCIES
+from repro.core.model import (
+    GOOD_MODEL,
+    GREAT_MODEL,
+    SUPER_MODEL,
+    SpeculativeExecutionModel,
+)
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import run_baseline, run_trace
+from repro.trace.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+
+_workloads = st.builds(
+    SyntheticTraceConfig,
+    length=st.integers(80, 300),
+    chain_length=st.integers(1, 5),
+    predictable_fraction=st.sampled_from([0.3, 0.7, 1.0]),
+    value_period=st.integers(1, 4),
+    load_every=st.sampled_from([0, 5]),
+    branch_every=st.sampled_from([0, 12]),
+    seed=st.integers(0, 50),
+)
+
+_slow = settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_CONFIG = ProcessorConfig(issue_width=4, window_size=16)
+
+
+def _cycles(trace, model, confidence="O"):
+    return run_trace(
+        trace, _CONFIG, model, confidence=confidence, update_timing="I"
+    ).cycles
+
+
+@_slow
+@given(workload=_workloads)
+def test_optimism_ordering_super_great_good(workload):
+    """A uniformly more optimistic latency assignment is never materially
+    slower (scheduling anomalies allow a tiny tolerance)."""
+    trace = generate_synthetic_trace(workload)
+    super_c = _cycles(trace, SUPER_MODEL)
+    great_c = _cycles(trace, GREAT_MODEL)
+    good_c = _cycles(trace, GOOD_MODEL)
+    tolerance = 1 + len(trace) // 50
+    assert super_c <= great_c + tolerance
+    assert great_c <= good_c + tolerance
+
+
+@_slow
+@given(
+    workload=_workloads,
+    field_name=st.sampled_from(
+        [
+            "equality_to_verification",
+            "equality_to_invalidation",
+            "invalidation_to_reissue",
+            "verification_to_branch",
+            "verification_addr_to_mem_access",
+        ]
+    ),
+)
+def test_each_latency_is_monotone(workload, field_name):
+    """Adding cycles to any single latency variable never helps (much)."""
+    trace = generate_synthetic_trace(workload)
+    fast = SpeculativeExecutionModel(
+        "fast", GREAT_MODEL.variables,
+        replace(GREAT_LATENCIES, **{field_name: 0}),
+    )
+    slow = SpeculativeExecutionModel(
+        "slow", GREAT_MODEL.variables,
+        replace(GREAT_LATENCIES, **{field_name: 3}),
+    )
+    tolerance = 1 + len(trace) // 50
+    assert _cycles(trace, fast) <= _cycles(trace, slow) + tolerance
+
+
+@_slow
+@given(workload=_workloads)
+def test_zero_speculation_equals_base(workload):
+    """With no confident predictions, every model is cycle-identical to
+    the base processor (paper Section 4.1)."""
+    from repro.engine.pipeline import PipelineSimulator
+    from repro.vp.fixed import ConfidentForPCs, FixedValuePredictor
+    from repro.vp.update_timing import UpdateTiming
+
+    trace = generate_synthetic_trace(workload)
+    base = run_baseline(trace, _CONFIG)
+    for model in (SUPER_MODEL, GOOD_MODEL):
+        sim = PipelineSimulator(
+            trace,
+            _CONFIG,
+            model,
+            predictor=FixedValuePredictor({}),
+            confidence=ConfidentForPCs(set()),
+            update_timing=UpdateTiming.IMMEDIATE,
+        )
+        assert sim.run().cycles == base.cycles

@@ -1,0 +1,72 @@
+"""Selective value prediction and predictor-port tests."""
+
+import pytest
+
+from repro.core.model import GREAT_MODEL
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import run_trace
+from repro.programs.suite import kernel
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return kernel("m88ksim").trace(max_instructions=2500)
+
+
+def _run(trace, **overrides):
+    config = ProcessorConfig(issue_width=8, window_size=48, **overrides)
+    return run_trace(trace, config, GREAT_MODEL, confidence="R",
+                     update_timing="I")
+
+
+class TestPredictClasses:
+    def test_loads_only_predicts_only_loads(self, trace):
+        result = _run(trace, predict_classes="loads")
+        load_count = sum(1 for r in trace if r.is_load)
+        assert 0 < result.counters.predictions <= load_count
+
+    def test_all_predicts_every_register_writer(self, trace):
+        result = _run(trace, predict_classes="all")
+        writers = sum(1 for r in trace if r.writes_register)
+        # complete-path dispatches predict exactly the eligible instructions
+        assert result.counters.predictions == writers
+
+    def test_alu_excludes_loads(self, trace):
+        alu_result = _run(trace, predict_classes="alu")
+        all_result = _run(trace, predict_classes="all")
+        assert 0 < alu_result.counters.predictions < (
+            all_result.counters.predictions
+        )
+
+    def test_long_latency_superset_of_loads(self, trace):
+        ll = _run(trace, predict_classes="long-latency")
+        loads = _run(trace, predict_classes="loads")
+        assert ll.counters.predictions >= loads.counters.predictions
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="predict_classes"):
+            ProcessorConfig(4, 24, predict_classes="branches")
+
+
+class TestVpPorts:
+    def test_port_limit_reduces_predictions(self, trace):
+        limited = _run(trace, vp_ports=1)
+        unlimited = _run(trace, vp_ports=0)
+        assert limited.counters.predictions < unlimited.counters.predictions
+
+    def test_more_ports_monotone_predictions(self, trace):
+        counts = [
+            _run(trace, vp_ports=p).counters.predictions for p in (1, 2, 4)
+        ]
+        assert counts == sorted(counts)
+
+    def test_negative_ports_rejected(self):
+        with pytest.raises(ValueError, match="vp_ports"):
+            ProcessorConfig(4, 24, vp_ports=-1)
+
+
+def test_registry_has_selective_and_ports():
+    from repro.harness.experiments import EXPERIMENTS
+
+    assert "abl-selective" in EXPERIMENTS
+    assert "abl-ports" in EXPERIMENTS

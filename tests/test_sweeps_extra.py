@@ -1,0 +1,77 @@
+"""Tests for the resolution-policy and confidence-strength sweeps."""
+
+from repro.harness.sweeps import (
+    confidence_strength_sweep,
+    resolution_policy_sweep,
+)
+
+_KW = dict(max_instructions=1500, benchmarks=["m88ksim"])
+
+
+def test_resolution_policy_sweep_points():
+    points = resolution_policy_sweep(**_KW)
+    by_label = {p.label: p.speedup for p in points}
+    assert set(by_label) == {
+        "valid-only (paper)",
+        "speculative-branches",
+        "speculative-memory",
+        "speculative-both",
+    }
+    # removing the network wait can only help in this model (branch
+    # outcomes are still only trusted once inputs are valid)
+    assert by_label["speculative-both"] >= by_label["valid-only (paper)"] - 0.02
+
+
+def test_confidence_strength_sweep_points():
+    points = confidence_strength_sweep(**_KW, counter_bits=(1, 3))
+    labels = [p.label for p in points]
+    assert labels == ["1-bit counters", "3-bit counters", "oracle"]
+    by_label = {p.label: p.speedup for p in points}
+    # the oracle bounds every realistic estimator
+    assert by_label["oracle"] >= max(
+        v for k, v in by_label.items() if k != "oracle"
+    ) - 0.02
+
+
+def test_predictor_size_sweep_monotone():
+    from repro.harness.sweeps import predictor_size_sweep
+
+    points = predictor_size_sweep(**_KW, table_bits=(8, 16))
+    small, large = points[0].speedup, points[1].speedup
+    assert large >= small - 0.02  # bigger tables never hurt much
+
+
+def test_frontend_idealism_sweep():
+    from repro.harness.sweeps import frontend_idealism_sweep
+
+    points = frontend_idealism_sweep(
+        max_instructions=1500, benchmarks=["xlisp"]
+    )
+    assert [p.label for p in points] == ["ideal targets (paper)", "BTB + RAS"]
+    for p in points:
+        assert p.speedup > 0.8
+
+
+def test_relaxed_frontend_engine_wiring():
+    from repro.engine.config import ProcessorConfig
+    from repro.engine.pipeline import PipelineSimulator
+    from repro.programs.suite import kernel
+
+    trace = kernel("xlisp").trace(max_instructions=1500)
+    sim = PipelineSimulator(
+        trace, ProcessorConfig(4, 24, ideal_branch_targets=False)
+    )
+    sim.run()
+    assert sim.fetch_engine.btb is not None
+    assert sim.fetch_engine.ras is not None
+    assert sim.fetch_engine.ras.pushes > 0  # calls exercised the RAS
+
+
+def test_experiment_registry_contains_new_ablations():
+    from repro.harness.experiments import EXPERIMENTS
+
+    for key in ("abl-resolution", "abl-confidence", "abl-tables",
+                "abl-frontend"):
+        assert key in EXPERIMENTS
+    text = EXPERIMENTS["abl-resolution"].run(**_KW)
+    assert "valid-only" in text

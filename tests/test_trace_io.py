@@ -1,0 +1,58 @@
+"""Trace serialization round-trip tests (property-based)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.trace import TraceRecord, dumps_trace, loads_trace, read_trace, write_trace
+from repro.trace.reader import TraceFormatError
+
+_record = st.builds(
+    TraceRecord,
+    seq=st.integers(0, 1 << 30),
+    pc=st.integers(0, 1 << 40),
+    opcode=st.sampled_from(list(Opcode)),
+    src_regs=st.lists(st.integers(1, 31), max_size=2).map(tuple),
+    dest_reg=st.one_of(st.none(), st.integers(1, 31)),
+    dest_value=st.one_of(st.none(), st.integers(0, (1 << 64) - 1)),
+    mem_addr=st.one_of(st.none(), st.integers(0, 1 << 40)),
+    mem_size=st.one_of(st.none(), st.sampled_from([1, 4, 8])),
+    branch_taken=st.one_of(st.none(), st.booleans()),
+    next_pc=st.integers(0, 1 << 40),
+)
+
+
+@given(records=st.lists(_record, max_size=40))
+def test_dumps_loads_round_trip(records):
+    assert loads_trace(dumps_trace(records)) == records
+
+
+def test_file_round_trip(tmp_path):
+    records = [
+        TraceRecord(0, 0x1000, Opcode.ADD, (1, 2), 3, 42, next_pc=0x1008),
+        TraceRecord(1, 0x1008, Opcode.LD, (8,), 4, 7, 0x2000, 8, None, 0x1010),
+    ]
+    path = tmp_path / "trace.txt"
+    count = write_trace(records, path)
+    assert count == 2
+    assert read_trace(path) == records
+
+
+def test_missing_header_rejected():
+    with pytest.raises(TraceFormatError, match="header"):
+        loads_trace("0 1000 add - - - - - - 1008\n")
+
+
+def test_wrong_field_count_rejected():
+    with pytest.raises(TraceFormatError, match="expected 10 fields"):
+        loads_trace("#vsr-trace-v1\n0 1000 add -\n")
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(TraceFormatError, match="unknown opcode"):
+        loads_trace("#vsr-trace-v1\n0 1000 zap - - - - - - 1008\n")
+
+
+def test_bad_boolean_rejected():
+    with pytest.raises(TraceFormatError, match="bad boolean"):
+        loads_trace("#vsr-trace-v1\n0 1000 beq 1,2 - - - - X 1008\n")

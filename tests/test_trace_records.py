@@ -1,0 +1,75 @@
+"""TraceRecord and capture tests."""
+
+from repro.asm import assemble
+from repro.func import Machine
+from repro.isa.opcodes import Opcode
+from repro.trace import TraceRecord, capture_trace
+from repro.trace.capture import iter_trace
+
+
+def test_record_flags():
+    load = TraceRecord(0, 0x1000, Opcode.LD, (8,), 4, 99, 0x2000, 8, None, 0x1008)
+    assert load.is_load and load.is_memory and not load.is_store
+    assert load.writes_register
+    store = TraceRecord(1, 0x1008, Opcode.SD, (8, 4), None, None, 0x2000, 8, None, 0x1010)
+    assert store.is_store and not store.writes_register
+    branch = TraceRecord(2, 0x1010, Opcode.BNE, (1, 2), branch_taken=True, next_pc=0x1000)
+    assert branch.is_branch and branch.is_control
+    jump = TraceRecord(3, 0x1018, Opcode.JR, (31,), branch_taken=True, next_pc=0x1000)
+    assert jump.is_indirect and jump.is_control and not jump.is_branch
+
+
+def test_record_equality_and_hash():
+    a = TraceRecord(0, 0x1000, Opcode.ADD, (1, 2), 3, 42, next_pc=0x1008)
+    b = TraceRecord(0, 0x1000, Opcode.ADD, (1, 2), 3, 42, next_pc=0x1008)
+    c = TraceRecord(0, 0x1000, Opcode.ADD, (1, 2), 3, 43, next_pc=0x1008)
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert a != "not a record"  # NotImplemented comparison path
+
+
+def test_capture_sequencing_and_truncation():
+    source = "li r1, 1\nli r2, 2\nli r3, 3\nhalt\n"
+    machine = Machine(assemble(source))
+    trace = capture_trace(machine, max_instructions=2)
+    assert [r.seq for r in trace] == [0, 1]
+    assert not machine.halted  # truncated before completion
+
+
+def test_capture_full_program_includes_halt():
+    machine = Machine(assemble("nop\nhalt\n"))
+    trace = capture_trace(machine)
+    assert len(trace) == 2
+    assert trace[-1].opcode is Opcode.HALT
+    assert machine.halted
+
+
+def test_capture_branch_outcomes_and_next_pc():
+    source = """
+    li r1, 2
+    loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+    """
+    machine = Machine(assemble(source))
+    trace = capture_trace(machine)
+    branches = [r for r in trace if r.is_branch]
+    assert [r.branch_taken for r in branches] == [True, False]
+    assert branches[0].next_pc == trace[1].pc  # taken: back to loop
+    assert branches[1].next_pc == branches[1].pc + 8  # fall through
+
+
+def test_zero_register_never_a_dependence():
+    machine = Machine(assemble("add r1, r0, r0\nhalt\n"))
+    trace = capture_trace(machine)
+    assert trace[0].src_regs == ()
+    assert trace[0].writes_register
+
+
+def test_iter_trace_is_lazy():
+    machine = Machine(assemble("nop\nnop\nhalt\n"))
+    iterator = iter_trace(machine)
+    first = next(iterator)
+    assert first.seq == 0
+    assert machine.instruction_count == 1

@@ -1,0 +1,87 @@
+"""Trace transformation tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.trace import (
+    TraceRecord,
+    concatenate,
+    loop_region,
+    region_of_interest,
+    renumber,
+    skip_warmup,
+)
+
+
+def _trace(n, base_pc=0x1000):
+    return [
+        TraceRecord(i, base_pc + 8 * (i % 5), Opcode.ADD, (4,), 8, i,
+                    next_pc=0)
+        for i in range(n)
+    ]
+
+
+def test_renumber():
+    records = renumber(list(reversed(_trace(5))))
+    assert [r.seq for r in records] == [0, 1, 2, 3, 4]
+    assert records[0].dest_value == 4  # order preserved, seq rewritten
+
+
+def test_skip_warmup():
+    records = skip_warmup(_trace(10), 4)
+    assert len(records) == 6
+    assert records[0].seq == 0
+    assert records[0].dest_value == 4  # original instruction 4
+
+    with pytest.raises(ValueError):
+        skip_warmup(_trace(3), -1)
+
+
+def test_region_of_interest():
+    records = region_of_interest(_trace(20), start=5, length=7)
+    assert len(records) == 7
+    assert [r.dest_value for r in records] == list(range(5, 12))
+    with pytest.raises(ValueError):
+        region_of_interest(_trace(5), start=-1, length=2)
+    with pytest.raises(ValueError):
+        region_of_interest(_trace(5), start=0, length=0)
+
+
+def test_concatenate():
+    joined = concatenate(_trace(3), _trace(2))
+    assert len(joined) == 5
+    assert [r.seq for r in joined] == list(range(5))
+
+
+def test_loop_region():
+    # pcs cycle every 5 instructions: pc base_pc occurs at 0, 5, 10, 15
+    records = loop_region(_trace(20), head_pc=0x1000)
+    assert records[0].dest_value == 0
+    assert records[-1].dest_value == 14  # up to (not incl.) last occurrence
+
+    two_iters = loop_region(_trace(20), head_pc=0x1000, max_iterations=2)
+    assert len(two_iters) == 10
+
+    with pytest.raises(ValueError):
+        loop_region(_trace(5), head_pc=0x9999)
+    with pytest.raises(ValueError):
+        loop_region(_trace(20), head_pc=0x1000, max_iterations=0)
+
+
+def test_sliced_trace_simulates():
+    from repro.engine.config import ProcessorConfig
+    from repro.engine.sim import run_baseline
+    from repro.programs.suite import kernel
+
+    trace = kernel("perl").trace(max_instructions=4000)
+    roi = region_of_interest(trace, start=1000, length=1500)
+    result = run_baseline(roi, ProcessorConfig(4, 24))
+    assert result.counters.retired == 1500
+
+
+@given(n=st.integers(1, 50), k=st.integers(0, 50))
+def test_skip_then_length(n, k):
+    records = skip_warmup(_trace(n), min(k, n))
+    assert len(records) == n - min(k, n)
+    assert [r.seq for r in records] == list(range(len(records)))

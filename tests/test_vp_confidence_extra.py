@@ -1,0 +1,116 @@
+"""Tests for the alternative confidence estimators (paper Section 3.6)."""
+
+import pytest
+
+from repro.vp.confidence import (
+    HistoryConfidenceEstimator,
+    ResettingConfidenceEstimator,
+    SaturatingConfidenceEstimator,
+)
+
+
+class TestSaturating:
+    def test_survives_a_single_miss(self):
+        """The defining difference from resetting counters."""
+        saturating = SaturatingConfidenceEstimator(counter_bits=3)
+        resetting = ResettingConfidenceEstimator(counter_bits=3)
+        pc = 0x1000
+        for __ in range(7):
+            saturating.update(pc, True)
+            resetting.update(pc, True)
+        saturating.update(pc, False)
+        resetting.update(pc, False)
+        assert saturating.counter(pc) == 6  # stepped down
+        assert resetting.counter(pc) == 0  # reset
+        saturating.update(pc, True)
+        assert saturating.confident(pc, True)
+        assert not resetting.confident(pc, True)
+
+    def test_threshold(self):
+        estimator = SaturatingConfidenceEstimator(counter_bits=3, threshold=4)
+        pc = 0x1000
+        for __ in range(4):
+            estimator.update(pc, True)
+        assert estimator.confident(pc, True)
+
+    def test_down_step(self):
+        estimator = SaturatingConfidenceEstimator(counter_bits=3, down_step=4)
+        pc = 0x1000
+        for __ in range(7):
+            estimator.update(pc, True)
+        estimator.update(pc, False)
+        assert estimator.counter(pc) == 3
+
+    def test_saturation_bounds(self):
+        estimator = SaturatingConfidenceEstimator(counter_bits=2)
+        pc = 0x1000
+        for __ in range(10):
+            estimator.update(pc, True)
+        assert estimator.counter(pc) == 3
+        for __ in range(10):
+            estimator.update(pc, False)
+        assert estimator.counter(pc) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaturatingConfidenceEstimator(counter_bits=0)
+        with pytest.raises(ValueError):
+            SaturatingConfidenceEstimator(threshold=0)
+        with pytest.raises(ValueError):
+            SaturatingConfidenceEstimator(threshold=99)
+        with pytest.raises(ValueError):
+            SaturatingConfidenceEstimator(down_step=0)
+
+
+class TestHistory:
+    def test_confident_after_clean_window(self):
+        estimator = HistoryConfidenceEstimator(history_bits=4)
+        pc = 0x1000
+        for __ in range(3):
+            estimator.update(pc, True)
+        assert not estimator.confident(pc, True)  # window not yet clean
+        estimator.update(pc, True)
+        assert estimator.confident(pc, True)
+
+    def test_one_miss_blocks_until_aged_out(self):
+        estimator = HistoryConfidenceEstimator(history_bits=3)
+        pc = 0x1000
+        for __ in range(3):
+            estimator.update(pc, True)
+        estimator.update(pc, False)
+        assert not estimator.confident(pc, True)
+        estimator.update(pc, True)
+        estimator.update(pc, True)
+        assert not estimator.confident(pc, True)  # miss still in window
+        estimator.update(pc, True)
+        assert estimator.confident(pc, True)  # aged out
+
+    def test_cold_entries_not_confident(self):
+        assert not HistoryConfidenceEstimator().confident(0x1000, True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistoryConfidenceEstimator(history_bits=0)
+
+
+def test_scheme_sweep_shapes():
+    from repro.harness.sweeps import confidence_scheme_sweep
+
+    points = confidence_scheme_sweep(
+        max_instructions=1200, benchmarks=["m88ksim"]
+    )
+    by_label = {p.label: p for p in points}
+    assert set(by_label) == {
+        "resetting (paper)", "saturating", "history", "oracle",
+    }
+    # the oracle bounds everyone and never misspeculates
+    assert by_label["oracle"].detail["_misspeculation_rate"] == 0.0
+    best_real = max(
+        p.speedup for label, p in by_label.items() if label != "oracle"
+    )
+    assert by_label["oracle"].speedup >= best_real - 0.02
+    # saturating trades accuracy for coverage vs resetting
+    assert (
+        by_label["saturating"].detail["_misspeculation_rate"]
+        >= by_label["resetting (paper)"].detail["_misspeculation_rate"]
+    )

@@ -1,0 +1,106 @@
+"""Property-based fuzzing of the instruction window and LSQ against plain
+reference models."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.mem.lsq import LoadStoreQueue
+from repro.trace.record import TraceRecord
+from repro.window.ruu import InstructionWindow
+from repro.window.station import Station
+
+
+def _station(sid):
+    rec = TraceRecord(sid, 0x1000 + 8 * sid, Opcode.ADD, (4,), 8, 1,
+                      next_pc=0x1008 + 8 * sid)
+    return Station(sid, rec)
+
+
+# operations: ("insert",), ("release",), ("squash", keep_fraction)
+_ops = st.lists(
+    st.one_of(
+        st.just(("insert",)),
+        st.just(("release",)),
+        st.tuples(st.just("squash"), st.floats(0.0, 1.0)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=_ops)
+def test_window_matches_reference_deque(ops):
+    capacity = 8
+    window = InstructionWindow(capacity)
+    reference: list[int] = []
+    next_sid = 0
+    for op in ops:
+        if op[0] == "insert":
+            if len(reference) < capacity:
+                window.insert(_station(next_sid))
+                reference.append(next_sid)
+                next_sid += 1
+        elif op[0] == "release":
+            if reference:
+                released = window.release_head()
+                assert released.sid == reference.pop(0)
+        else:  # squash younger than a pivot chosen by fraction
+            if reference:
+                pivot = reference[int(op[1] * (len(reference) - 1))]
+                removed = window.squash_younger_than(pivot)
+                expected_removed = [s for s in reference if s > pivot]
+                assert sorted(s.sid for s in removed) == expected_removed
+                reference = [s for s in reference if s <= pivot]
+        assert [s.sid for s in window] == reference
+        assert len(window) == len(reference)
+        head = window.head()
+        assert (head.sid if head else None) == (
+            reference[0] if reference else None
+        )
+
+
+# LSQ operations over a program-ordered stream of memory ops
+_lsq_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc_load", "alloc_store", "set_addr", "release",
+                         "squash"]),
+        st.integers(0, 7),  # which existing entry / address selector
+    ),
+    max_size=50,
+)
+
+
+@given(ops=_lsq_ops)
+def test_lsq_prior_store_rule_matches_reference(ops):
+    lsq = LoadStoreQueue(16)
+    reference: list[dict] = []  # [{seq, is_store, addr}]
+    next_seq = 0
+    for kind, selector in ops:
+        if kind in ("alloc_load", "alloc_store") and len(reference) < 16:
+            is_store = kind == "alloc_store"
+            lsq.allocate(next_seq, is_store)
+            reference.append({"seq": next_seq, "is_store": is_store,
+                              "addr": None})
+            next_seq += 1
+        elif kind == "set_addr" and reference:
+            entry = reference[selector % len(reference)]
+            address = 0x1000 + 8 * (selector % 4)
+            lsq.set_address(entry["seq"], address, 8)
+            if entry["is_store"]:
+                lsq.set_store_data_ready(entry["seq"])
+            entry["addr"] = address
+        elif kind == "release" and reference:
+            entry = reference.pop(0)
+            lsq.release(entry["seq"])
+        elif kind == "squash" and reference:
+            pivot = reference[selector % len(reference)]["seq"]
+            lsq.squash_after(pivot)
+            reference = [e for e in reference if e["seq"] <= pivot]
+        # invariant: prior_store_addresses_known agrees with the reference
+        for entry in reference:
+            expected = all(
+                other["addr"] is not None
+                for other in reference
+                if other["is_store"] and other["seq"] < entry["seq"]
+            )
+            assert lsq.prior_store_addresses_known(entry["seq"]) == expected
+        assert len(lsq) == len(reference)
