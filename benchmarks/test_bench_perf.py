@@ -1,0 +1,109 @@
+"""Engine throughput in simulated instructions per second.
+
+Unlike the pytest-benchmark microbenchmarks in ``test_bench_engine.py``,
+this module measures the end-to-end quantity the optimisation work is
+judged by — simulated instructions retired per CPU-second across the
+standard benchmark grid — and records it in ``BENCH_engine_perf.json``
+at the repository root so CI can archive the trend.
+
+Methodology (see docs/PERFORMANCE.md): CPU time via
+``time.process_time`` (robust against other tenants of the machine),
+best-of-``_REPS`` per grid point, aggregate throughput = total
+instructions / sum of per-point best times.  The grid is the
+``conftest`` one: three kernels x two configurations x {base, great}.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import BENCH_CONFIGS, BENCH_TRACE_LIMIT
+from repro.core.model import GREAT_MODEL
+from repro.engine.sim import run_baseline, run_trace
+
+_REPS = 3
+_OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_perf.json"
+
+#: Seed-engine reference, measured on the development host with the same
+#: grid and methodology (best-of-5, paired back-to-back with the current
+#: engine in the same time window).  The ratio is only meaningful on
+#: comparable hosts — recompute the reference when changing machines.
+_SEED_REFERENCE_IPS = 22_093
+_SEED_REFERENCE_DATE = "2026-08-05"
+
+#: CI-safe sanity floor: far below any real measurement (the pure-Python
+#: seed engine already exceeded 10k ips on a shared single core), so the
+#: assertion catches catastrophic regressions, not machine variance.
+_MIN_AGGREGATE_IPS = 3_000
+
+
+def _measure(fn) -> float:
+    best = float("inf")
+    for _ in range(_REPS):
+        start = time.process_time()
+        fn()
+        best = min(best, time.process_time() - start)
+    return best
+
+
+def test_bench_perf_grid(bench_traces):
+    points = []
+    total_instructions = 0
+    total_seconds = 0.0
+    for config in BENCH_CONFIGS:
+        for model_name, run in (
+            ("base", lambda t, c: run_baseline(t, c)),
+            ("great", lambda t, c: run_trace(t, c, GREAT_MODEL)),
+        ):
+            for name, trace in bench_traces.items():
+                seconds = _measure(lambda: run(trace, config))
+                instructions = len(trace)
+                points.append(
+                    {
+                        "benchmark": name,
+                        "config": config.label,
+                        "model": model_name,
+                        "instructions": instructions,
+                        "best_seconds": round(seconds, 6),
+                        "ips": round(instructions / seconds),
+                    }
+                )
+                total_instructions += instructions
+                total_seconds += seconds
+
+    aggregate_ips = total_instructions / total_seconds
+    report = {
+        "generated_by": "benchmarks/test_bench_perf.py",
+        "trace_limit": BENCH_TRACE_LIMIT,
+        "reps_best_of": _REPS,
+        "timer": "time.process_time",
+        "points": points,
+        "aggregate_ips": round(aggregate_ips),
+        "seed_reference": {
+            "aggregate_ips": _SEED_REFERENCE_IPS,
+            "measured": _SEED_REFERENCE_DATE,
+            "note": (
+                "seed engine on the development host, same grid and "
+                "methodology, paired back-to-back run; the ratio below "
+                "is host-dependent"
+            ),
+        },
+        "speedup_vs_seed_reference": round(
+            aggregate_ips / _SEED_REFERENCE_IPS, 2
+        ),
+    }
+    _OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    assert aggregate_ips > _MIN_AGGREGATE_IPS
+    assert len(points) == len(BENCH_CONFIGS) * 2 * len(bench_traces)
+
+
+def test_bench_perf_report_readable():
+    """The written report round-trips and has the fields CI consumes."""
+    if not _OUT_PATH.exists():  # ordering safety if run alone
+        return
+    report = json.loads(_OUT_PATH.read_text())
+    assert report["aggregate_ips"] > 0
+    assert {"points", "seed_reference", "speedup_vs_seed_reference"} <= set(report)

@@ -1,0 +1,82 @@
+"""Regenerate the golden SimCounters snapshots under ``tests/golden/``.
+
+The cycle engine is fully deterministic, so a complete counter dump for a
+fixed workload/configuration pins the engine's timing behaviour exactly.
+``tests/test_golden_counters.py`` replays every snapshot and asserts
+bit-for-bit equality, which is how performance work on the engine proves
+it is a pure speed change and not a model change.
+
+Run this ONLY when a timing change is intentional::
+
+    PYTHONPATH=src python scripts/gen_golden_counters.py
+
+and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+
+from repro.asm import assemble
+from repro.core.model import GREAT_MODEL
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import run_baseline, run_trace
+from repro.func import Machine
+from repro.programs.micro import MICRO_KERNELS, micro_kernel
+from repro.programs.suite import benchmark_suite
+from repro.trace.capture import capture_trace
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+SPEC_TRACE_LIMIT = 2000
+MICRO_TRACE_LIMIT = 3000
+CONFIG = ProcessorConfig(issue_width=8, window_size=48)
+
+
+def counters_dict(counters) -> dict:
+    out = {}
+    for f in fields(counters):
+        value = getattr(counters, f.name)
+        if f.name == "extra":
+            continue
+        out[f.name] = value
+    return out
+
+
+def micro_trace(name: str):
+    machine = Machine(assemble(micro_kernel(name)))
+    return capture_trace(machine, MICRO_TRACE_LIMIT)
+
+
+def workloads():
+    for name in sorted(MICRO_KERNELS):
+        yield f"micro_{name}", micro_trace(name)
+    for spec in benchmark_suite():
+        yield f"spec_{spec.name}", spec.trace(SPEC_TRACE_LIMIT)
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for label, trace in workloads():
+        base = run_baseline(trace, CONFIG)
+        vp = run_trace(
+            trace, CONFIG, GREAT_MODEL, confidence="R", update_timing="D"
+        )
+        snapshot = {
+            "workload": label,
+            "trace_length": len(trace),
+            "config": {"issue_width": CONFIG.issue_width,
+                       "window_size": CONFIG.window_size},
+            "model": "great",
+            "setting": "D/R",
+            "base": counters_dict(base.counters),
+            "vp": counters_dict(vp.counters),
+        }
+        path = GOLDEN_DIR / f"{label}.json"
+        path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path.name}: base {base.cycles} cyc, vp {vp.cycles} cyc")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Profile one engine run and print the hottest functions.
+
+The cycle engine is pure Python, so its throughput lives and dies by
+per-call overhead; this wrapper makes the profile one command away:
+
+    PYTHONPATH=src python scripts/profile_engine.py
+    PYTHONPATH=src python scripts/profile_engine.py \
+        --benchmark perl --config 4/24 --model none --sort tottime
+
+It runs the selected simulation once under :mod:`cProfile` and prints
+the top rows twice — by cumulative time (where the cycles go) and by
+internal time (which bodies to inline next).  docs/PERFORMANCE.md
+records the findings this view produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile one cycle-engine simulation"
+    )
+    parser.add_argument("--benchmark", default="m88ksim")
+    parser.add_argument("--config", default="8/48", help="4/24 | 8/48 | 16/96")
+    parser.add_argument(
+        "--model", default="great", help="super | great | good | none"
+    )
+    parser.add_argument("--max-instructions", type=int, default=20000)
+    parser.add_argument("--confidence", default="real", help="real | oracle")
+    parser.add_argument("--timing", default="I", help="I | D")
+    parser.add_argument(
+        "--top", type=int, default=20, help="rows per ranking (default 20)"
+    )
+    parser.add_argument(
+        "--sort",
+        default=None,
+        choices=("cumulative", "tottime", "ncalls"),
+        help="print a single ranking instead of cumulative + tottime",
+    )
+    parser.add_argument(
+        "--out", default=None, help="also dump raw stats to this file"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.model import named_models
+    from repro.engine.config import paper_config
+    from repro.engine.sim import run_baseline, run_trace
+    from repro.programs.suite import kernel
+
+    config = paper_config(args.config)
+    trace = kernel(args.benchmark).trace(args.max_instructions)
+    if args.model == "none":
+        def simulate():
+            return run_baseline(trace, config)
+    else:
+        model = named_models()[args.model]
+
+        def simulate():
+            return run_trace(
+                trace,
+                config,
+                model,
+                confidence=args.confidence,
+                update_timing=args.timing,
+            )
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(simulate)
+    print(
+        f"{args.benchmark} @ {config.label}, model={args.model}: "
+        f"{result.counters.retired} instructions in "
+        f"{result.counters.cycles} cycles\n"
+    )
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs()
+    for sort in (args.sort,) if args.sort else ("cumulative", "tottime"):
+        print(f"=== top {args.top} by {sort} ===")
+        stats.sort_stats(sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw stats written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

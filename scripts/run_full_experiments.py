@@ -4,7 +4,7 @@ Runs every experiment in the registry at publication scale (all eight
 kernels, all three paper configurations) and writes both the rendered
 text and a JSON results file under ``results/``.
 
-Usage:  python scripts/run_full_experiments.py [--trace-limit N]
+Usage:  python scripts/run_full_experiments.py [--trace-limit N] [--jobs N]
 """
 
 from __future__ import annotations
@@ -39,12 +39,20 @@ def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--trace-limit", type=int, default=8000)
     parser.add_argument("--sweep-limit", type=int, default=5000)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for every simulation grid (0 = all cores); "
+        "results are identical for any value",
+    )
     parser.add_argument("--out", default="results")
     args = parser.parse_args()
 
     out_dir = Path(args.out)
     out_dir.mkdir(exist_ok=True)
-    report: dict = {"trace_limit": args.trace_limit}
+    report: dict = {"trace_limit": args.trace_limit, "jobs": args.jobs}
     text_parts: list[str] = []
 
     def section(title: str, body: str) -> None:
@@ -69,7 +77,7 @@ def main() -> None:
     report["figure1"] = {s.label: s.cycles for s in scenarios}
     section("Figure 1", render_figure1(scenarios))
 
-    cells = run_figure3(max_instructions=args.trace_limit)
+    cells = run_figure3(max_instructions=args.trace_limit, jobs=args.jobs)
     report["figure3"] = [
         {
             "config": c.config_label,
@@ -82,7 +90,7 @@ def main() -> None:
     ]
     section("Figure 3", render_figure3(cells) + "\n" + figure3_table(cells))
 
-    f4 = run_figure4(max_instructions=args.trace_limit)
+    f4 = run_figure4(max_instructions=args.trace_limit, jobs=args.jobs)
     report["figure4"] = [
         {
             "config": c.config_label,
@@ -107,7 +115,7 @@ def main() -> None:
         ("ABL-E approximate equality", approximate_equality_sweep),
         ("ABL-W width scaling", width_scaling_sweep),
     ):
-        points = sweep(max_instructions=args.sweep_limit)
+        points = sweep(max_instructions=args.sweep_limit, jobs=args.jobs)
         report[name] = {p.label: round(p.speedup, 4) for p in points}
         section(
             name,

@@ -28,6 +28,8 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
         kwargs["max_instructions"] = args.max_instructions
     if getattr(args, "benchmarks", None):
         kwargs["benchmarks"] = args.benchmarks
+    if getattr(args, "jobs", None) is not None:
+        kwargs["jobs"] = args.jobs
     return kwargs
 
 
@@ -139,12 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help=f"restrict to a subset of {kernel_names()}",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the simulation grid (0 = all cores)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     for shorthand in ("table1", "figure1", "figure3", "figure4"):
         p = sub.add_parser(shorthand, help=f"shorthand for `run {shorthand}`")
         p.add_argument("--max-instructions", type=int, default=None)
         p.add_argument("--benchmarks", nargs="*", default=None)
+        p.add_argument("--jobs", type=int, default=None, metavar="N")
         p.set_defaults(func=_cmd_run, id=shorthand)
 
     describe_parser = sub.add_parser(

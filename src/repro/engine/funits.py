@@ -4,32 +4,24 @@ Section 5.1: "There are no resource constraints except limited number of
 data cache ports.  All simple integer instructions require one cycle to
 execute.  Complex integer operations and floating point operations,
 depending on the type, require from 2 to 24 cycles."  The per-class values
-chosen below sit inside that band and follow SimpleScalar's defaults where
-the paper is silent.
+sit inside that band and follow SimpleScalar's defaults where the paper is
+silent.
+
+The table itself lives in :mod:`repro.isa.opcodes` (as ``CLASS_LATENCY``)
+so that trace records can precompute their latency at construction without
+importing the engine package; this module re-exports it under its
+historical name.
 """
 
 from __future__ import annotations
 
-from repro.isa.opcodes import OpClass
+from repro.isa.opcodes import CLASS_LATENCY, OpClass
 
 #: Execution latency per operation class, in cycles.  LOAD covers address
 #: generation only — the memory access latency comes from the cache model
 #: (or single-cycle store forwarding).  STORE is its address generation;
 #: the actual write happens at retirement.
-LATENCY_BY_CLASS: dict[OpClass, int] = {
-    OpClass.IALU: 1,
-    OpClass.IMUL: 3,
-    OpClass.IDIV: 20,
-    OpClass.FADD: 2,
-    OpClass.FMUL: 4,
-    OpClass.FDIV: 24,
-    OpClass.LOAD: 1,
-    OpClass.STORE: 1,
-    OpClass.BRANCH: 1,
-    OpClass.JUMP: 1,
-    OpClass.IJUMP: 1,
-    OpClass.SYSCALL: 1,
-}
+LATENCY_BY_CLASS: dict[OpClass, int] = CLASS_LATENCY
 
 
 def execution_latency(opclass: OpClass) -> int:

@@ -25,24 +25,40 @@ transaction, resolving chained predictions whose speculative equality
 comparisons already succeeded); invalidation delivers the correct value to
 direct consumers, resets (nullifies) every transitively affected
 instruction, and lets dataflow re-execution repair the rest.
+
+Two engine-level optimizations keep the hot loop cheap without changing a
+single cycle of behaviour (the golden-counter tests pin this):
+
+* Taint sets are integer **bitmasks** over recycled source bits (see
+  :mod:`repro.window.taintmask` and docs/PERFORMANCE.md) — broadcast,
+  verification and invalidation transactions do single int ops instead of
+  allocating/copying ``set`` objects.
+* Issue is **event-driven**: instead of rescanning the whole window every
+  cycle, a ready pool holds only the stations whose operands are usable,
+  fed by a wake heap of cycle-gated entries and re-armed by the broadcast
+  / taint-clear / nullify paths that actually change operand state.
+  Selection stays O(ready), not O(window).
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
 
 from repro.core.latency import LatencyModel
 from repro.core.model import SpeculativeExecutionModel
 from repro.core.variables import (
+    BranchResolution,
     InvalidationScheme,
     MemoryResolution,
     ModelVariables,
+    SelectionPolicy,
     VerificationScheme,
+    WakeupPolicy,
 )
 from repro.core.events import EventLog, SpecEventKind
 from repro.engine.config import ProcessorConfig
-from repro.engine.funits import execution_latency
 from repro.isa.opcodes import OpClass
 from repro.frontend.fetch import FetchedInstruction, FetchEngine
 from repro.frontend.gshare import GsharePredictor
@@ -58,7 +74,7 @@ from repro.vp.update_timing import UpdateTiming
 from repro.window.ruu import InstructionWindow
 from repro.window.selection import select
 from repro.window.station import Operand, Station
-from repro.window.wakeup import can_wake
+from repro.window.taintmask import TaintBitAllocator
 
 # Event kinds on the timing heap.
 _RESULT = 0
@@ -146,16 +162,52 @@ class PipelineSimulator:
             ras=ras,
         )
         self.window = InstructionWindow(config.window_size)
+        #: The window's backing ordered dict, accessed directly on the hot
+        #: paths (sid → Station lookups happen on every broadcast).
+        self._win = self.window._stations
+        #: Shared immutable VALID operands, one per architectural register.
+        #: A register-file read at dispatch never changes state (ready,
+        #: untainted, correct, cycle 0), so all stations can share one
+        #: Operand instance per register instead of allocating a fresh one.
+        self._regfile_operands: dict[int, Operand] = {}
         self.lsq = LoadStoreQueue(config.window_size)
         self.dports = PortPool(config.dcache_ports)
         self.counters = SimCounters()
         self.log = EventLog(config.log_events)
+        #: Cached log flag and latency constants (hot-path attribute
+        #: chains collapsed to single loads).
+        self._log_on = self.log.enabled
+        latencies = self.latencies
+        self._lat_exec_eq = latencies.exec_to_equality
+        self._lat_eq_verify = latencies.equality_to_verification
+        self._lat_eq_inval = latencies.equality_to_invalidation
+        self._lat_inval_reissue = latencies.invalidation_to_reissue
+        #: Resource-release delay applied to speculation-involved
+        #: retirements (the base rule — one cycle after completion —
+        #: applies otherwise).
+        self._lat_release_spec = max(
+            latencies.verification_to_free_issue,
+            latencies.verification_to_free_retirement,
+        )
+        self._rb_validate = self.variables.verification in (
+            VerificationScheme.RETIREMENT_BASED,
+            VerificationScheme.HYBRID,
+        )
+        #: VP-gate fast flags: with the default config every register
+        #: writer is prediction-eligible and ports are unlimited, so the
+        #: per-dispatch gate collapses to two truthy attribute loads.
+        self._predict_all = config.predict_classes == "all"
+        self._vp_unlimited = not config.vp_ports
+        #: Default selection policy fast path: issue sorts native key
+        #: tuples instead of calling a key function per candidate.
+        self._sel_paper = self.variables.selection is SelectionPolicy.PAPER
 
         self.cycle = 0
         self._next_sid = 0
         self._events: list[tuple[int, int, int, Station, int]] = []
         self._event_counter = 0
         self._fetch_queue: deque[tuple[FetchedInstruction, int]] = deque()
+        self._fetch_limit = config.fetch_width * (config.dispatch_latency + 2)
         self._writers: dict[int, list[int]] = {}
         self._pending_train: dict[int, tuple[int, int, bool, object]] = {}
         self._pending_branch: Station | None = None
@@ -164,9 +216,18 @@ class PipelineSimulator:
         #: (station, epoch) pairs retried every cycle.
         self._waiting_access: list[tuple[Station, int]] = []
         self._last_retire_cycle = 0
-        #: Predictions resolved correct, awaiting retirement-based
+        #: Bitmask of sources resolved correct, awaiting retirement-based
         #: propagation (RETIREMENT_BASED / HYBRID verification only).
-        self._retire_verified: set[int] = set()
+        self._retire_verified = 0
+        #: Recycling allocator for speculation-source taint bits.
+        self._taint_bits = TaintBitAllocator()
+        #: Event-driven wakeup state: the ready pool holds stations whose
+        #: operands were usable at last look (issue re-checks the full
+        #: predicate); the wake heap holds (cycle, tiebreak, station,
+        #: epoch) entries for stations waiting on a known future cycle.
+        self._ready_pool: dict[int, Station] = {}
+        self._wake_heap: list[tuple[int, int, Station, int]] = []
+        self._wake_counter = 0
         #: (cycle, retired, window_occupancy) samples when
         #: ``config.sample_interval`` > 0 (see repro.viz).
         self.samples: list[tuple[int, int, int]] = []
@@ -192,146 +253,278 @@ class PipelineSimulator:
             (cycle, self._event_counter, kind, source, source.epoch, wave),  # type: ignore[arg-type]
         )
 
+    # -- wakeup plumbing ------------------------------------------------
+
+    def _mark_wakeup(self, station: Station) -> None:
+        """Re-arm ``station`` for issue consideration after an operand or
+        pipeline-state change (cheap and idempotent; the issue stage
+        re-evaluates the full wakeup predicate)."""
+        if not station.issued and not station.retired:
+            self._ready_pool[station.sid] = station
+
+    def _gate_wakeup(self, cycle: int, station: Station) -> None:
+        """Park ``station`` until ``cycle`` (a known future issue gate)."""
+        self._wake_counter += 1
+        heapq.heappush(
+            self._wake_heap, (cycle, self._wake_counter, station, station.epoch)
+        )
+
+    # -- taint-bit plumbing ---------------------------------------------
+
+    def _live_taint_union(self) -> int:
+        """Union of every reachable taint mask: window state plus the
+        sources of still-pending transactions (waves may outlive their
+        source's retirement)."""
+        union = 0
+        for station in self.window:
+            union |= station.out_taints | station.exec_taints
+            for operand in station.operands:
+                union |= operand.taints
+        for entry in self._events:
+            source = entry[3]
+            union |= source.taint_mask | source.out_taints | source.exec_taints
+            for operand in source.operands:
+                union |= operand.taints
+        return union
+
+    def _alloc_taint_mask(self, station: Station) -> int:
+        """Assign ``station`` its speculation-source bit, sweeping (and as
+        a last resort growing) the allocator when it runs dry."""
+        mask = self._taint_bits.alloc(station)
+        if not mask:
+            freed = self._taint_bits.sweep(self._live_taint_union())
+            # A freed bit must stop counting as retirement-verified, or
+            # its next owner would be born pre-verified.
+            self._retire_verified &= ~freed
+            mask = self._taint_bits.alloc(station)
+            if not mask:
+                self._taint_bits.grow()
+                mask = self._taint_bits.alloc(station)
+        return mask
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
 
     def run(self) -> SimCounters:
-        """Simulate until every correct-path instruction has retired."""
+        """Simulate until every correct-path instruction has retired.
+
+        Each phase is guarded by a cheap no-work test (its own first
+        early-out, hoisted) so quiet cycles cost a handful of branch
+        checks instead of five function calls.
+        """
         total = len(self.trace)
         if total == 0:
             return self.counters
-        while self.counters.retired < total:
-            if self.cycle > self.config.max_cycles:
-                raise SimulationError(
-                    f"exceeded {self.config.max_cycles} cycles with "
-                    f"{self.counters.retired}/{total} retired — deadlock?"
-                )
-            self._retire()
-            self._process_events()
-            self._issue()
-            self._dispatch()
-            self._fetch()
-            self.counters.window_occupancy_sum += len(self.window)
-            if (
-                self.config.sample_interval
-                and self.cycle % self.config.sample_interval == 0
-            ):
-                self.samples.append(
-                    (self.cycle, self.counters.retired, len(self.window))
-                )
-            self.cycle += 1
-        self.counters.cycles = self._last_retire_cycle + 1
-        self.counters.window_peak = self.window.peak_occupancy
-        return self.counters
+        counters = self.counters
+        win = self._win
+        events = self._events
+        pool = self._ready_pool
+        wake_heap = self._wake_heap
+        fetch_queue = self._fetch_queue
+        fetch_engine = self.fetch_engine
+        trace_len = len(fetch_engine.trace)
+        fetch_limit = self._fetch_limit
+        max_cycles = self.config.max_cycles
+        sample_interval = self.config.sample_interval
+        cycle = self.cycle
+        # Stations and operands form an acyclic graph (no owner
+        # backrefs), so everything the loop drops is reclaimed by
+        # reference counting; pausing the cycle detector for the run
+        # removes its periodic full-heap sweeps from the hot loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        # Per-cycle counters accumulate in locals and flush once — an
+        # attribute read-modify-write per cycle is pure loop overhead.
+        occupancy_sum = 0
+        stall_fetch_empty = 0
+        try:
+            while counters.retired < total:
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        f"exceeded {max_cycles} cycles with "
+                        f"{counters.retired}/{total} retired — deadlock?"
+                    )
+                self.cycle = cycle
+                if win:
+                    self._retire()
+                if events and events[0][0] <= cycle:
+                    self._process_events()
+                if pool or self._waiting_access or (
+                    wake_heap and wake_heap[0][0] <= cycle
+                ):
+                    self._issue()
+                if fetch_queue:
+                    self._dispatch()
+                elif (
+                    fetch_engine._index < trace_len
+                    or fetch_engine._wrong_path_gen is not None
+                ):
+                    stall_fetch_empty += 1
+                if cycle >= fetch_engine._stall_until and len(fetch_queue) < fetch_limit:
+                    self._fetch()
+                occupancy_sum += len(win)
+                if sample_interval and cycle % sample_interval == 0:
+                    self.samples.append((cycle, counters.retired, len(win)))
+                cycle += 1
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            counters.window_occupancy_sum += occupancy_sum
+            counters.stall_fetch_empty += stall_fetch_empty
+        self.cycle = cycle
+        counters.cycles = self._last_retire_cycle + 1
+        counters.window_peak = self.window.peak_occupancy
+        return counters
 
     # ------------------------------------------------------------------
     # fetch & dispatch
     # ------------------------------------------------------------------
 
     def _fetch(self) -> None:
-        limit = self.config.fetch_width * (self.config.dispatch_latency + 2)
-        room = limit - len(self._fetch_queue)
+        room = self._fetch_limit - len(self._fetch_queue)
         if room <= 0:
             return
         batch = self.fetch_engine.fetch(
             self.cycle, min(self.config.fetch_width, room)
         )
+        if not batch:
+            return
         ready = self.cycle + self.config.dispatch_latency
+        fetch_queue = self._fetch_queue
+        log_on = self._log_on
         for fetched in batch:
-            self._fetch_queue.append((fetched, ready))
-            if self.log.enabled and not fetched.wrong_path:
+            fetch_queue.append((fetched, ready))
+            if log_on and not fetched.wrong_path:
                 self.log.emit(fetched.rec.seq, SpecEventKind.FETCH, self.cycle)
 
     def _dispatch(self) -> None:
+        """Dispatch up to ``dispatch_width`` instructions into the window
+        (the seed's per-instruction ``_dispatch_one`` body is inlined with
+        every ``self`` lookup hoisted out of the loop)."""
         dispatched = 0
-        while dispatched < self.config.dispatch_width:
-            if not self._fetch_queue:
+        fetch_queue = self._fetch_queue
+        win = self._win
+        win_get = win.get
+        capacity = self.window.capacity
+        counters = self.counters
+        cycle = self.cycle
+        width = self.config.dispatch_width
+        writers = self._writers
+        regfile_operands = self._regfile_operands
+        lsq = self.lsq
+        pool = self._ready_pool
+        window = self.window
+        log_on = self._log_on
+        vp_on = self.vp_enabled
+        predict_all = self._predict_all
+        vp_unlimited = self._vp_unlimited
+        next_sid = self._next_sid
+        while dispatched < width:
+            if not fetch_queue:
                 if dispatched == 0 and not self.fetch_engine.exhausted:
-                    self.counters.stall_fetch_empty += 1
+                    counters.stall_fetch_empty += 1
                 break
-            fetched, ready = self._fetch_queue[0]
-            if ready > self.cycle:
+            fetched, ready = fetch_queue[0]
+            if ready > cycle:
                 break
-            if self.window.full:
+            if len(win) >= capacity:
                 if dispatched == 0:
-                    self.counters.stall_window_full += 1
+                    counters.stall_window_full += 1
                 break
-            if fetched.rec.is_memory and not fetched.wrong_path and self.lsq.full:
+            rec = fetched.rec
+            wrong_path = fetched.wrong_path
+            if rec.is_memory and not wrong_path and lsq.full:
                 if dispatched == 0:
-                    self.counters.stall_lsq_full += 1
+                    counters.stall_lsq_full += 1
                 break
-            self._fetch_queue.popleft()
-            self._dispatch_one(fetched)
-            dispatched += 1
-
-    def _dispatch_one(self, fetched: FetchedInstruction) -> None:
-        rec = fetched.rec
-        sid = self._next_sid
-        self._next_sid += 1
-        station = Station(sid, rec, fetched.wrong_path)
-        station.dispatch_cycle = self.cycle
-        station.min_issue_cycle = self.cycle + 1
-
-        for op_index, reg in enumerate(rec.src_regs):
-            writer_list = self._writers.get(reg)
-            producer_sid = writer_list[-1] if writer_list else None
-            operand = Operand(reg, producer_sid)
-            if producer_sid is not None:
-                producer = self.window.get(producer_sid)
-                if producer is None or producer.retired:
-                    operand.producer_sid = None
+            fetch_queue.popleft()
+            sid = next_sid
+            next_sid += 1
+            station = Station(sid, rec, wrong_path)
+            station.dispatch_cycle = cycle
+            station.min_issue_cycle = cycle + 1
+            operands_append = station.operands.append
+            for op_index, reg in enumerate(rec.src_regs):
+                writer_list = writers.get(reg)
+                producer = None
+                if writer_list:
+                    producer = win_get(writer_list[-1])
+                    if producer is not None and producer.retired:
+                        producer = None
+                if producer is None:
+                    # Architected register-file read: permanently VALID, so
+                    # the shared per-register singleton stands in (never
+                    # mutated — no producer means no deliver/clear/reset
+                    # can reach it).
+                    operand = regfile_operands.get(reg)
+                    if operand is None:
+                        operand = Operand(reg, None)
+                        regfile_operands[reg] = operand
+                    operands_append(operand)
+                    continue
+                operand = Operand(reg, producer.sid)
+                producer.consumers.append((sid, op_index))
+                if producer.out_ready:
+                    # Dispatch-time capture reads the producer's RS
+                    # field directly — no network transaction involved,
+                    # so no Verification–Branch/Memory surcharge.
                     operand.ready = True
-                    operand.correct = True
+                    operand.taints = producer.out_taints
+                    operand.correct = producer.out_correct
+                    operand.from_prediction = (
+                        producer.predicted
+                        and not producer.prediction_resolved
+                        and not producer.prediction_muted
+                    )
+                    if not operand.taints:
+                        operand.valid_cycle = cycle
+                operands_append(operand)
+
+            writes = rec.writes_register
+            if (
+                vp_on
+                and writes
+                and not wrong_path
+                and (predict_all or self._prediction_eligible(rec))
+                and (vp_unlimited or self._vp_port_available())
+            ):
+                self._predict_value(station)
+
+            if rec.is_branch and not wrong_path:
+                counters.branches += 1
+            if fetched.mispredicted:
+                station.branch_mispredicted = True
+                self._pending_branch = station
+                counters.branch_mispredictions += 1
+            if rec.is_memory and not wrong_path:
+                lsq.allocate(sid, rec.is_store)
+                if rec.is_load:
+                    counters.loads += 1
                 else:
-                    producer.consumers.append((sid, op_index))
-                    if producer.out_ready:
-                        # Dispatch-time capture reads the producer's RS
-                        # field directly — no network transaction involved,
-                        # so no Verification–Branch/Memory surcharge.
-                        operand.deliver(
-                            taints=producer.out_taints,
-                            correct=producer.out_correct,
-                            cycle=self.cycle,
-                            from_prediction=(
-                                producer.predicted
-                                and not producer.prediction_resolved
-                                and not producer.prediction_muted
-                            ),
-                            via_network=False,
-                        )
-            station.operands.append(operand)
+                    counters.stores += 1
+            if writes:
+                dest_list = writers.get(rec.dest_reg)
+                if dest_list is None:
+                    writers[rec.dest_reg] = [sid]
+                else:
+                    dest_list.append(sid)
 
-        if (
-            self.vp_enabled
-            and rec.writes_register
-            and not fetched.wrong_path
-            and self._prediction_eligible(rec)
-            and self._vp_port_available()
-        ):
-            self._predict_value(station)
-
-        if rec.is_branch and not fetched.wrong_path:
-            self.counters.branches += 1
-        if fetched.mispredicted:
-            station.branch_mispredicted = True
-            self._pending_branch = station
-            self.counters.branch_mispredictions += 1
-        if rec.is_memory and not fetched.wrong_path:
-            self.lsq.allocate(sid, rec.is_store)
-            if rec.is_load:
-                self.counters.loads += 1
-            else:
-                self.counters.stores += 1
-        if rec.writes_register:
-            self._writers.setdefault(rec.dest_reg, []).append(sid)
-
-        self.window.insert(station)
-        self.counters.dispatched += 1
-        if fetched.wrong_path:
-            self.counters.dispatched_wrong_path += 1
-        if self.log.enabled and not fetched.wrong_path:
-            self.log.emit(rec.seq, SpecEventKind.DISPATCH, self.cycle)
+            # InstructionWindow.insert, inlined (the full/ordering checks
+            # are guaranteed by the window gate above and the monotonic
+            # sid).
+            win[sid] = station
+            if len(win) > window.peak_occupancy:
+                window.peak_occupancy = len(win)
+            pool[sid] = station
+            counters.dispatched += 1
+            if wrong_path:
+                counters.dispatched_wrong_path += 1
+            if log_on and not wrong_path:
+                self.log.emit(rec.seq, SpecEventKind.DISPATCH, cycle)
+            dispatched += 1
+        self._next_sid = next_sid
 
     _LONG_LATENCY_CLASSES = frozenset(
         (
@@ -371,7 +564,11 @@ class PipelineSimulator:
     def _predict_value(self, station: Station) -> None:
         rec = station.rec
         actual = rec.dest_value
-        predicted = self.predictor.predict(rec.pc)
+        delayed = self.update_timing is not UpdateTiming.IMMEDIATE
+        if delayed:
+            predicted, token = self.predictor.predict_speculate(rec.pc)
+        else:
+            predicted = self.predictor.predict(rec.pc)
         pred_correct = predicted == actual
         if not pred_correct and self.config.equality_ignore_low_bits:
             # Approximate equality (Section 3.3 extension): the comparators
@@ -384,36 +581,37 @@ class PipelineSimulator:
                 self.counters.approximate_matches += 1
         confident = self.confidence.confident(rec.pc, pred_correct)
 
-        self.counters.predictions += 1
+        counters = self.counters
+        counters.predictions += 1
         if pred_correct:
-            self.counters.predictions_correct += 1
+            counters.predictions_correct += 1
             if confident:
-                self.counters.correct_high += 1
+                counters.correct_high += 1
             else:
-                self.counters.correct_low += 1
+                counters.correct_low += 1
         elif confident:
-            self.counters.incorrect_high += 1
+            counters.incorrect_high += 1
         else:
-            self.counters.incorrect_low += 1
+            counters.incorrect_low += 1
 
-        if self.update_timing is UpdateTiming.IMMEDIATE:
+        if delayed:
+            self._pending_train[station.sid] = (rec.pc, actual, pred_correct, token)
+        else:
             self.predictor.train(rec.pc, actual)
             self.confidence.update(rec.pc, pred_correct)
-        else:
-            token = self.predictor.speculate(rec.pc, predicted)
-            self._pending_train[station.sid] = (rec.pc, actual, pred_correct, token)
 
         if confident:
             station.predicted = True
             station.predicted_confident = True
             station.pred_correct = pred_correct
             station.out_ready = True
-            station.out_taints = {station.sid}
+            station.taint_mask = self._alloc_taint_mask(station)
+            station.out_taints = station.taint_mask
             station.out_correct = pred_correct
-            self.counters.speculated += 1
+            counters.speculated += 1
             if not pred_correct:
-                self.counters.misspeculations += 1
-            if self.log.enabled:
+                counters.misspeculations += 1
+            if self._log_on:
                 self.log.emit(rec.seq, SpecEventKind.PREDICT, self.cycle)
 
     # ------------------------------------------------------------------
@@ -442,20 +640,83 @@ class PipelineSimulator:
         return ready
 
     def _issue(self) -> None:
+        """Event-driven wakeup + selection.
+
+        The ready pool and wake heap together hold every station that
+        could possibly pass the wakeup predicate this cycle (dispatch,
+        broadcast, taint-clear and nullify paths re-arm stations); issue
+        evaluates the exact same predicate the full-window scan used to,
+        so the candidate set — and therefore every simulated cycle — is
+        identical, just computed over O(ready) stations.
+        """
         self._drain_waiting_access()
-        candidates: list[Station] = []
-        for station in self.window:
-            if station.issued or station.executing or station.retired:
+        cycle = self.cycle
+        pool = self._ready_pool
+        heap = self._wake_heap
+        while heap and heap[0][0] <= cycle:
+            __, __, station, epoch = heapq.heappop(heap)
+            if station.epoch == epoch and not station.issued and not station.retired:
+                pool[station.sid] = station
+        if not pool:
+            return
+        variables = self.variables
+        valid_only = variables.wakeup is WakeupPolicy.VALID_ONLY
+        branch_valid_only = (
+            variables.branch_resolution is BranchResolution.VALID_ONLY
+        )
+        sel_paper = self._sel_paper
+        candidates: list = []
+        parked: list[int] = []
+        for sid, station in pool.items():
+            if station.issued or station.retired:
+                parked.append(sid)
                 continue
-            if not can_wake(station, self.variables, self.cycle):
+            if station.in_dirty:
+                station.refresh_inputs()
+            if not station.in_usable:
+                # Waiting on a producer broadcast; deliver() re-arms.
+                parked.append(sid)
                 continue
-            rec = station.rec
-            if (rec.is_branch or rec.is_indirect) and station.inputs_valid:
-                if self.cycle < self._branch_ready_cycle(station):
-                    continue
-            candidates.append(station)
-        for station in select(candidates, self.config.issue_width, self.variables):
-            self._start_execution(station)
+            tainted = station.in_taint_union
+            is_ctrl = station.is_ctrl
+            if tainted and (valid_only or (is_ctrl and branch_valid_only)):
+                # Waiting on verification; taint clears re-arm.
+                parked.append(sid)
+                continue
+            gate = station.min_issue_cycle
+            if is_ctrl and not tainted:
+                gate = self._branch_ready_cycle(station)
+            if gate > cycle:
+                parked.append(sid)
+                self._gate_wakeup(gate, station)
+                continue
+            if sel_paper:
+                # Native-comparing key tuple (sid is unique, so the
+                # trailing station is never compared) — same total order
+                # as selection_key without a key-function call per sort
+                # comparison.
+                candidates.append(
+                    (station.sel_priority, station.in_spec, sid, station)
+                )
+            else:
+                candidates.append(station)
+        for sid in parked:
+            del pool[sid]
+        if not candidates:
+            return
+        width = self.config.issue_width
+        if sel_paper:
+            candidates.sort()
+            if len(candidates) > width:
+                del candidates[width:]
+            for entry in candidates:
+                station = entry[3]
+                self._start_execution(station)
+                del pool[station.sid]
+        else:
+            for station in select(candidates, width, variables):
+                self._start_execution(station)
+                del pool[station.sid]
 
     def _drain_waiting_access(self) -> None:
         """Retry pending load accesses (they issued already; only cache
@@ -497,26 +758,29 @@ class PipelineSimulator:
 
     def _start_execution(self, station: Station) -> None:
         rec = station.rec
+        cycle = self.cycle
+        counters = self.counters
         station.issued = True
         station.executing = True
-        station.issue_cycle = self.cycle
-        if station.speculative_inputs:
-            self.counters.issued_speculative += 1
-        self.counters.issued += 1
+        station.issue_cycle = cycle
+        if station.in_dirty:
+            station.refresh_inputs()
+        if station.in_spec:
+            counters.issued_speculative += 1
+        counters.issued += 1
         if station.exec_count > 0:
-            self.counters.reissues += 1
-        latency = execution_latency(rec.opclass)
+            counters.reissues += 1
         if rec.is_load:
             # Two-phase memory operation: address generation now; the
             # access starts when the address is valid (and disambiguated).
-            self._schedule(self.cycle + latency, _ADDRGEN, station)
+            self._schedule(cycle + rec.exec_latency, _ADDRGEN, station)
         else:
-            self._schedule(self.cycle + latency, _RESULT, station)
-        if self.log.enabled and not station.wrong_path:
+            self._schedule(cycle + rec.exec_latency, _RESULT, station)
+        if self._log_on and not station.wrong_path:
             kind = (
                 SpecEventKind.REISSUE if station.exec_count else SpecEventKind.ISSUE
             )
-            self.log.emit(rec.seq, kind, self.cycle)
+            self.log.emit(rec.seq, kind, cycle)
 
     def _on_addrgen(self, station: Station, cycle: int) -> None:
         """A load's address generation completed; start (or queue) the
@@ -539,9 +803,11 @@ class PipelineSimulator:
     # ------------------------------------------------------------------
 
     def _process_events(self) -> None:
-        while self._events and self._events[0][0] <= self.cycle:
-            entry = heapq.heappop(self._events)
-            cycle, __, kind, station = entry[0], entry[1], entry[2], entry[3]
+        events = self._events
+        cycle = self.cycle
+        while events and events[0][0] <= cycle:
+            entry = heapq.heappop(events)
+            kind, station = entry[2], entry[3]
             epoch = entry[4]
             if kind in (_WAVE_VERIFY, _WAVE_INVALIDATE, _PROV_INVALIDATE):
                 # These transactions outlive nullification of their source:
@@ -556,21 +822,21 @@ class PipelineSimulator:
             elif station.epoch != epoch or station.retired:
                 continue
             if kind == _RESULT:
-                self._on_result(station, cycle)
+                self._on_result(station, entry[0])
             elif kind == _EQUALITY:
-                self._on_equality(station, cycle)
+                self._on_equality(station, entry[0])
             elif kind == _VERIFY:
-                self._on_verify(station, cycle)
+                self._on_verify(station, entry[0])
             elif kind == _INVALIDATE:
-                self._on_invalidate(station, cycle)
+                self._on_invalidate(station, entry[0])
             elif kind == _WAVE_VERIFY:
-                self._on_wave(station, cycle, entry[5], invalidate=False)
+                self._on_wave(station, entry[0], entry[5], invalidate=False)
             elif kind == _WAVE_INVALIDATE:
-                self._on_wave(station, cycle, entry[5], invalidate=True)
+                self._on_wave(station, entry[0], entry[5], invalidate=True)
             elif kind == _ADDRGEN:
-                self._on_addrgen(station, cycle)
+                self._on_addrgen(station, entry[0])
             elif kind == _PROV_INVALIDATE:
-                self._on_provisional_invalidate(station, cycle)
+                self._on_provisional_invalidate(station, entry[0])
 
     def _on_result(self, station: Station, cycle: int) -> None:
         # Operand *status* may have improved during execution (verification
@@ -578,11 +844,13 @@ class PipelineSimulator:
         # changed without a nullification, which bumps the epoch and voids
         # this event.  The result's speculation state is therefore the
         # operands' current state.
-        valid = station.inputs_valid
-        correct = station.inputs_correct
-        taints: set[int] = set()
-        for operand in station.operands:
-            taints |= operand.taints
+        if station.in_dirty:
+            station.refresh_inputs()
+        # Unready operands always carry an empty taint mask, so the cached
+        # ready-operand taint union is the full input taint union.
+        taints = station.in_taint_union
+        valid = station.in_usable and not taints
+        correct = station.in_correct
         station.executing = False
         station.executed = True
         station.exec_count += 1
@@ -604,24 +872,24 @@ class PipelineSimulator:
             # Figure 1 detects instruction 2's misprediction from its
             # wrong-input execution).
             station.spec_equal = correct and station.pred_correct
-            station.exec_taints = set(taints)
+            station.exec_taints = taints
             if valid:
                 self._schedule(
-                    cycle + self.latencies.exec_to_equality, _EQUALITY, station
+                    cycle + self._lat_exec_eq, _EQUALITY, station
                 )
             elif not station.spec_equal:
                 self._schedule(
                     cycle
-                    + self.latencies.exec_to_equality
-                    + self.latencies.equality_to_invalidation,
+                    + self._lat_exec_eq
+                    + self._lat_eq_inval,
                     _PROV_INVALIDATE,
                     station,
                 )
         else:
             station.out_ready = True
-            station.out_taints = set(taints)
+            station.out_taints = taints
             station.out_correct = correct
-            station.exec_taints = set(taints)
+            station.exec_taints = taints
             if not taints:
                 station.out_valid_cycle = cycle
                 station.out_via_network = False
@@ -634,7 +902,7 @@ class PipelineSimulator:
                 # Muted prediction: final equality still needed for the
                 # retirement gate and predictor bookkeeping.
                 self._schedule(
-                    cycle + self.latencies.exec_to_equality, _EQUALITY, station
+                    cycle + self._lat_exec_eq, _EQUALITY, station
                 )
 
         if rec.is_store and not station.wrong_path and valid:
@@ -648,23 +916,32 @@ class PipelineSimulator:
             and valid
         ):
             self._resolve_mispredicted_branch(station, cycle)
-        if self.log.enabled and not station.wrong_path:
+        if self._log_on and not station.wrong_path:
             self.log.emit(rec.seq, SpecEventKind.WRITE, cycle)
 
     def _broadcast(self, station: Station, cycle: int) -> None:
         """Deliver the current (non-prediction) output to all consumers."""
+        window_get = self._win.get
+        out_taints = station.out_taints
+        out_correct = station.out_correct
+        pool = self._ready_pool
         for consumer_sid, op_index in station.consumers:
-            consumer = self.window.get(consumer_sid)
+            consumer = window_get(consumer_sid)
             if consumer is None or consumer.retired:
                 continue
+            # Operand.deliver(via_network=False), inlined: broadcast is the
+            # hottest transaction in the machine.
             operand = consumer.operands[op_index]
-            operand.deliver(
-                taints=station.out_taints,
-                correct=station.out_correct,
-                cycle=cycle,
-                from_prediction=False,
-                via_network=False,
-            )
+            operand.ready = True
+            operand.taints = out_taints
+            operand.correct = out_correct
+            operand.from_prediction = False
+            if not out_taints:
+                operand.valid_cycle = cycle
+                operand.via_network = False
+            consumer.in_dirty = True
+            if not consumer.issued:
+                pool[consumer_sid] = consumer
 
     # -- equality / verification / invalidation -------------------------
 
@@ -672,33 +949,37 @@ class PipelineSimulator:
         if station.prediction_resolved:
             return
         station.equality_cycle = cycle
-        if self.log.enabled:
+        if self._log_on:
             self.log.emit(station.rec.seq, SpecEventKind.EQUALITY, cycle)
         if station.pred_correct:
             self._schedule(
-                cycle + self.latencies.equality_to_verification, _VERIFY, station
+                cycle + self._lat_eq_verify, _VERIFY, station
             )
         else:
             self._schedule(
-                cycle + self.latencies.equality_to_invalidation, _INVALIDATE, station
+                cycle + self._lat_eq_inval, _INVALIDATE, station
             )
 
     def _consumer_closure(self, roots: list[Station]) -> list[Station]:
         """All in-flight stations reachable through consumer edges."""
         seen: set[int] = {s.sid for s in roots}
+        seen_add = seen.add
+        window_get = self._win.get
         out: list[Station] = []
         frontier = list(roots)
+        frontier_pop = frontier.pop
+        frontier_append = frontier.append
         while frontier:
-            current = frontier.pop()
+            current = frontier_pop()
             for consumer_sid, __ in current.consumers:
                 if consumer_sid in seen:
                     continue
-                seen.add(consumer_sid)
-                consumer = self.window.get(consumer_sid)
+                seen_add(consumer_sid)
+                consumer = window_get(consumer_sid)
                 if consumer is None or consumer.retired:
                     continue
                 out.append(consumer)
-                frontier.append(consumer)
+                frontier_append(consumer)
         return out
 
     def _on_verify(self, source: Station, cycle: int) -> None:
@@ -715,13 +996,13 @@ class PipelineSimulator:
     def _resolve_correct(self, station: Station, cycle: int) -> None:
         station.prediction_resolved = True
         station.verify_cycle = cycle
-        station.out_taints.discard(station.sid)
+        station.out_taints &= ~station.taint_mask
         station.out_correct = True
         if not station.out_taints:
             station.out_valid_cycle = cycle
             station.out_via_network = True
         self.counters.verification_events += 1
-        if self.log.enabled:
+        if self._log_on:
             self.log.emit(station.rec.seq, SpecEventKind.VERIFY, cycle)
 
     def _verify_parallel(self, source: Station, cycle: int) -> None:
@@ -729,7 +1010,7 @@ class PipelineSimulator:
         the full dependence closure, folding in chained predictions whose
         speculative equality comparisons already succeeded."""
         resolved: list[Station] = [source]
-        resolved_sids: set[int] = {source.sid}
+        resolved_mask = source.taint_mask
         self._resolve_correct(source, cycle)
         # Transitively resolve chained predictions.
         changed = True
@@ -743,41 +1024,44 @@ class PipelineSimulator:
                     and not candidate.executing
                 ):
                     exec_taints = candidate.exec_taints
-                    if exec_taints and exec_taints <= resolved_sids:
+                    if exec_taints and not (exec_taints & ~resolved_mask):
                         if candidate.spec_equal:
                             self._resolve_correct(candidate, cycle)
                             resolved.append(candidate)
-                            resolved_sids.add(candidate.sid)
+                            resolved_mask |= candidate.taint_mask
                             changed = True
                         else:
                             candidate.equality_cycle = cycle
                             self._schedule(
-                                cycle + self.latencies.equality_to_invalidation,
+                                cycle + self._lat_eq_inval,
                                 _INVALIDATE,
                                 candidate,
                             )
                             # Guard double scheduling.
                             candidate.prediction_resolved = True
                             candidate.verify_cycle = (
-                                cycle + self.latencies.equality_to_invalidation
+                                cycle + self._lat_eq_inval
                             )
-        self._clear_taints(resolved, resolved_sids, cycle)
+        self._clear_taints(resolved, resolved_mask, cycle)
 
     def _clear_taints(
-        self, resolved: list[Station], resolved_sids: set[int], cycle: int
+        self, resolved: list[Station], resolved_mask: int, cycle: int
     ) -> None:
         """Remove resolved sources from every reachable taint set (the
         resolved stations themselves included: a chain-resolved station's
         operands are tainted by its resolved predecessors)."""
+        keep = ~resolved_mask
         for station in resolved + self._consumer_closure(resolved):
+            touched = False
             for operand in station.operands:
-                if operand.taints & resolved_sids:
-                    operand.taints -= resolved_sids
+                if operand.taints & resolved_mask:
+                    operand.taints &= keep
+                    touched = True
                     if operand.ready and not operand.taints:
                         operand.valid_cycle = cycle
                         operand.via_network = True
-            if station.out_taints & resolved_sids:
-                station.out_taints -= resolved_sids
+            if station.out_taints & resolved_mask:
+                station.out_taints &= keep
                 if (
                     station.out_ready
                     and not station.out_taints
@@ -790,7 +1074,10 @@ class PipelineSimulator:
                     station.out_valid_cycle = cycle
                     station.out_via_network = True
             if station.exec_taints:
-                station.exec_taints -= resolved_sids
+                station.exec_taints &= keep
+            if touched:
+                station.in_dirty = True
+                self._mark_wakeup(station)
             self._maybe_publish_store_address(station)
             self._maybe_resolve_branch(station, cycle)
             self._maybe_chain_equality(station, cycle)
@@ -836,7 +1123,7 @@ class PipelineSimulator:
             and station.inputs_valid
         ):
             self._schedule(
-                cycle + self.latencies.exec_to_equality, _EQUALITY, station
+                cycle + self._lat_exec_eq, _EQUALITY, station
             )
 
     def _verify_hierarchical(self, source: Station, cycle: int) -> None:
@@ -855,12 +1142,14 @@ class PipelineSimulator:
         frontier, then schedule the next dependence level one cycle later.
         The next frontier is the frontier's current consumers, computed at
         fire time so late captures of tainted values are still covered."""
+        win_get = self._win.get
         stations = [
             s
             for sid in wave
-            if (s := self.window.get(sid)) is not None and not s.retired
+            if (s := win_get(sid)) is not None and not s.retired
         ]
-        sid = source.sid
+        mask = source.taint_mask
+        keep = ~mask
         next_frontier: set[int] = set()
 
         def extend_frontier(station: Station) -> None:
@@ -871,27 +1160,26 @@ class PipelineSimulator:
             affected = []
             for station in stations:
                 carried = (
-                    any(sid in op.taints for op in station.operands)
-                    or sid in station.out_taints
-                    or sid in station.exec_taints
+                    any(mask & op.taints for op in station.operands)
+                    or mask & station.out_taints
+                    or mask & station.exec_taints
                 )
                 if carried:
                     affected.append(station)
                     extend_frontier(station)
             self._apply_invalidation(source, affected, cycle)
         else:
-            sids = {sid}
             for station in stations:
                 touched = False
                 for operand in station.operands:
-                    if operand.taints & sids:
-                        operand.taints -= sids
+                    if operand.taints & mask:
+                        operand.taints &= keep
                         touched = True
                         if operand.ready and not operand.taints:
                             operand.valid_cycle = cycle
                             operand.via_network = True
-                if station.out_taints & sids:
-                    station.out_taints -= sids
+                if station.out_taints & mask:
+                    station.out_taints &= keep
                     touched = True
                     if (
                         station.out_ready
@@ -904,10 +1192,12 @@ class PipelineSimulator:
                     ):
                         station.out_valid_cycle = cycle
                         station.out_via_network = True
-                if sid in station.exec_taints:
-                    station.exec_taints.discard(sid)
+                if station.exec_taints & mask:
+                    station.exec_taints &= keep
                     touched = True
                 if touched:
+                    station.in_dirty = True
+                    self._mark_wakeup(station)
                     extend_frontier(station)
                     self._maybe_publish_store_address(station)
                     self._maybe_resolve_branch(station, cycle)
@@ -923,7 +1213,7 @@ class PipelineSimulator:
         successors happens only through the retirement window (and, for
         HYBRID, additionally through hierarchical broadcast)."""
         self._resolve_correct(source, cycle)
-        self._retire_verified.add(source.sid)
+        self._retire_verified |= source.taint_mask
         if scheme is VerificationScheme.HYBRID:
             self._schedule_wave(
                 cycle + 1, _WAVE_VERIFY, source, [c for c, __ in source.consumers]
@@ -933,25 +1223,28 @@ class PipelineSimulator:
         """Per-cycle retirement-window validation pass (Section 3.2's
         retirement-based scheme: only the w oldest instructions can be
         validated each cycle)."""
+        unverified = ~self._retire_verified
         for station in self.window.oldest(self.config.retire_width):
             changed = False
             for operand in station.operands:
                 if operand.ready and operand.taints:
-                    if operand.taints <= self._retire_verified:
-                        operand.taints = set()
+                    if not (operand.taints & unverified):
+                        operand.taints = 0
                         operand.valid_cycle = self.cycle
                         operand.via_network = True
                         changed = True
             if (
                 station.out_taints
                 and (station.prediction_resolved or not station.predicted)
-                and station.out_taints <= self._retire_verified
+                and not (station.out_taints & unverified)
             ):
-                station.out_taints = set()
+                station.out_taints = 0
                 if station.out_ready:
                     station.out_valid_cycle = self.cycle
                     station.out_via_network = True
             if changed:
+                station.in_dirty = True
+                self._mark_wakeup(station)
                 self._maybe_publish_store_address(station)
                 self._maybe_resolve_branch(station, self.cycle)
                 self._maybe_chain_equality(station, self.cycle)
@@ -970,35 +1263,37 @@ class PipelineSimulator:
             return
         source.prediction_muted = True
         self.counters.provisional_invalidations += 1
-        if self.log.enabled:
+        if self._log_on:
             self.log.emit(source.rec.seq, SpecEventKind.INVALIDATE, cycle)
-        reissue_at = cycle + self.latencies.invalidation_to_reissue
-        sid = source.sid
+        reissue_at = cycle + self._lat_inval_reissue
+        mask = source.taint_mask
         for station in self._consumer_closure([source]):
             touched = False
             for operand in station.operands:
-                if sid in operand.taints:
+                if mask & operand.taints:
                     operand.reset_pending()
                     touched = True
             if not touched:
                 continue
+            station.in_dirty = True
             if station.issued or station.executing or station.executed:
                 station.nullify(reissue_at)
                 if station.rec.is_memory and not station.wrong_path:
                     if self.lsq.get(station.sid) is not None:
                         self.lsq.clear_address(station.sid)
-                if self.log.enabled and not station.wrong_path:
+                if self._log_on and not station.wrong_path:
                     self.log.emit(station.rec.seq, SpecEventKind.INVALIDATE, cycle)
+            self._mark_wakeup(station)
         # Re-expose the station's latest computed result (if any still
         # stands) so consumers wait on real dataflow from here on.
         if source.executed and not source.executing:
             source.out_ready = True
-            source.out_taints = set(source.exec_taints)
+            source.out_taints = source.exec_taints
             source.out_correct = source.inputs_correct
             self._broadcast(source, cycle)
         else:
             source.out_ready = False
-            source.out_taints = set()
+            source.out_taints = 0
 
     def _on_invalidate(self, source: Station, cycle: int) -> None:
         source.prediction_resolved = True
@@ -1006,12 +1301,12 @@ class PipelineSimulator:
         # The source executed with valid inputs: its exec result is the
         # architecturally correct value, delivered with the invalidation.
         source.out_ready = True
-        source.out_taints = set()
+        source.out_taints = 0
         source.out_correct = True
         source.out_valid_cycle = cycle
         source.out_via_network = True
         self.counters.invalidation_events += 1
-        if self.log.enabled:
+        if self._log_on:
             self.log.emit(source.rec.seq, SpecEventKind.INVALIDATE, cycle)
 
         if self.variables.invalidation is InvalidationScheme.COMPLETE:
@@ -1030,11 +1325,12 @@ class PipelineSimulator:
     ) -> None:
         """Selective invalidation of everything tainted by ``source``."""
         sid = source.sid
-        reissue_at = cycle + self.latencies.invalidation_to_reissue
+        mask = source.taint_mask
+        reissue_at = cycle + self._lat_inval_reissue
         for station in affected:
             touched = False
             for operand in station.operands:
-                if sid in operand.taints:
+                if mask & operand.taints:
                     if operand.producer_sid == sid:
                         operand.deliver(
                             taints=source.out_taints,
@@ -1048,14 +1344,16 @@ class PipelineSimulator:
                     touched = True
             if not touched:
                 continue
+            station.in_dirty = True
             if station.issued or station.executing or station.executed:
                 station.nullify(reissue_at)
                 if station.rec.is_memory and not station.wrong_path:
                     entry = self.lsq.get(station.sid)
                     if entry is not None:
                         self.lsq.clear_address(station.sid)
-                if self.log.enabled and not station.wrong_path:
+                if self._log_on and not station.wrong_path:
                     self.log.emit(station.rec.seq, SpecEventKind.INVALIDATE, cycle)
+            self._mark_wakeup(station)
 
     def _complete_invalidation(self, source: Station, cycle: int) -> None:
         """Treat the value misprediction like a branch misprediction
@@ -1081,9 +1379,11 @@ class PipelineSimulator:
 
     def _squash_younger(self, sid: int) -> None:
         removed = self.window.squash_younger_than(sid)
+        pool = self._ready_pool
         for station in removed:
             station.epoch += 1
             station.retired = True  # dead: events and broadcasts skip it
+            pool.pop(station.sid, None)
             rec = station.rec
             if rec.writes_register:
                 writer_list = self._writers.get(rec.dest_reg)
@@ -1104,73 +1404,79 @@ class PipelineSimulator:
     # retire
     # ------------------------------------------------------------------
 
-    def _speculation_involved(self, station: Station) -> bool:
-        if station.predicted:
-            return True
-        return any(op.via_network for op in station.operands)
-
-    def _release_delay(self, station: Station) -> int:
-        if self.model is None or not self._speculation_involved(station):
-            return 1  # base rule: one cycle after completion
-        return max(
-            self.latencies.verification_to_free_issue,
-            self.latencies.verification_to_free_retirement,
-        )
-
-    def _finality_cycle(self, station: Station) -> int:
-        final = station.result_cycle
-        for operand in station.operands:
-            if operand.valid_cycle > final:
-                final = operand.valid_cycle
-        if station.predicted:
-            final = max(final, station.verify_cycle)
-        if station.rec.writes_register:
-            final = max(final, station.out_valid_cycle)
-        return final
-
     def _retire(self) -> None:
-        if self.variables.verification in (
-            VerificationScheme.RETIREMENT_BASED,
-            VerificationScheme.HYBRID,
-        ):
+        """Retire completed head instructions (helpers inlined: the
+        finality/release-delay computation and the per-station release
+        bookkeeping run once per retirement attempt, so they live in the
+        loop body with every ``self`` lookup hoisted)."""
+        if self._rb_validate:
             self._retirement_based_validate()
         retired = 0
-        while retired < self.config.retire_width:
-            head = self.window.head()
-            if head is None or head.wrong_path:
+        win = self._win
+        cycle = self.cycle
+        retire_width = self.config.retire_width
+        model_on = self.model is not None
+        release_spec = self._lat_release_spec
+        pool = self._ready_pool
+        writers = self._writers
+        pending_train = self._pending_train
+        counters = self.counters
+        log_on = self._log_on
+        while retired < retire_width:
+            if not win:
+                break
+            head = next(iter(win.values()))
+            if head.wrong_path:
                 break
             if not head.executed or head.executing:
                 break
-            if not head.inputs_valid:
+            if head.in_dirty:
+                head.refresh_inputs()
+            if not head.in_usable or head.in_taint_union:
                 break
-            if head.predicted and not head.prediction_resolved:
+            predicted = head.predicted
+            if predicted and not head.prediction_resolved:
                 break
-            if head.rec.writes_register and head.out_taints:
+            rec = head.rec
+            writes = rec.writes_register
+            if writes and head.out_taints:
                 break
-            if self.cycle < self._finality_cycle(head) + self._release_delay(head):
+            # Finality cycle and speculation involvement, one operand walk.
+            final = head.result_cycle
+            spec_involved = predicted
+            for operand in head.operands:
+                if operand.valid_cycle > final:
+                    final = operand.valid_cycle
+                if operand.via_network:
+                    spec_involved = True
+            if predicted and head.verify_cycle > final:
+                final = head.verify_cycle
+            if writes and head.out_valid_cycle > final:
+                final = head.out_valid_cycle
+            delay = release_spec if (model_on and spec_involved) else 1
+            if cycle < final + delay:
                 break
-            self._retire_one(head)
+            # Release the head (the seed's _retire_one, inlined).
+            sid = head.sid
+            del win[sid]
+            head.retired = True
+            pool.pop(sid, None)
+            if rec.is_store:
+                self.hierarchy.data_access(rec.mem_addr, is_write=True)
+            self.lsq.release(sid)
+            if writes:
+                writer_list = writers.get(rec.dest_reg)
+                if writer_list and writer_list[0] == sid:
+                    writer_list.pop(0)
+                elif writer_list and sid in writer_list:
+                    writer_list.remove(sid)
+            pending = pending_train.pop(sid, None)
+            if pending is not None:
+                pc, actual, pred_correct, token = pending
+                self.predictor.train(pc, actual, token)
+                self.confidence.update(pc, pred_correct)
+            counters.retired += 1
+            self._last_retire_cycle = cycle
+            if log_on:
+                self.log.emit(rec.seq, SpecEventKind.RETIRE, cycle)
             retired += 1
-
-    def _retire_one(self, head: Station) -> None:
-        self.window.release_head()
-        head.retired = True
-        rec = head.rec
-        if rec.is_store:
-            self.hierarchy.data_access(rec.mem_addr, is_write=True)
-        self.lsq.release(head.sid)
-        if rec.writes_register:
-            writer_list = self._writers.get(rec.dest_reg)
-            if writer_list and writer_list[0] == head.sid:
-                writer_list.pop(0)
-            elif writer_list and head.sid in writer_list:
-                writer_list.remove(head.sid)
-        pending = self._pending_train.pop(head.sid, None)
-        if pending is not None:
-            pc, actual, pred_correct, token = pending
-            self.predictor.train(pc, actual, token)
-            self.confidence.update(pc, pred_correct)
-        self.counters.retired += 1
-        self._last_retire_cycle = self.cycle
-        if self.log.enabled:
-            self.log.emit(rec.seq, SpecEventKind.RETIRE, self.cycle)

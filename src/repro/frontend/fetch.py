@@ -33,7 +33,7 @@ def _mix(state: int) -> int:
     return (state ^ (state >> 33)) & _MASK64
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class FetchedInstruction:
     """One instruction leaving the fetch stage."""
 
@@ -146,10 +146,13 @@ class FetchEngine:
         return True
 
     def _predict_direction(self, rec: TraceRecord) -> bool:
-        """Predict and (immediately) train; returns direction-correct."""
+        """Predict and (immediately) train; returns direction-correct.
+
+        ``update`` recomputes the prediction itself before training (every
+        predictor's ``predict`` is a pure read), so one call does both.
+        """
         if self.branch_predictor is None:
             return True
-        self.branch_predictor.predict(rec.pc)
         return self.branch_predictor.update(rec.pc, bool(rec.branch_taken))
 
     def _target_correct(self, rec: TraceRecord) -> bool:
@@ -170,20 +173,37 @@ class FetchEngine:
         if cycle < self._stall_until or max_count <= 0:
             return []
         out: list[FetchedInstruction] = []
+        out_append = out.append
+        trace = self.trace
+        trace_len = len(trace)
+        icache = self.icache
+        # Same-block accesses are free; inline that fast path so the
+        # I-cache model is only consulted on block boundaries.
+        block_bytes = icache.block_bytes if icache is not None else 0
+        index = self._index
         while len(out) < max_count:
-            if self._wrong_path_gen is not None:
-                rec = self._wrong_path_gen.next()
-                if not self._icache_ready(rec.pc, cycle):
+            wrong_gen = self._wrong_path_gen
+            if wrong_gen is not None:
+                rec = wrong_gen.next()
+                if (
+                    icache is not None
+                    and rec.pc // block_bytes != self._last_block
+                    and not self._icache_ready(rec.pc, cycle)
+                ):
                     break
-                out.append(FetchedInstruction(rec, wrong_path=True))
+                out_append(FetchedInstruction(rec, wrong_path=True))
                 self.fetched_wrong_path += 1
                 continue
-            if self._index >= len(self.trace):
+            if index >= trace_len:
                 break
-            rec = self.trace[self._index]
-            if not self._icache_ready(rec.pc, cycle):
+            rec = trace[index]
+            if (
+                icache is not None
+                and rec.pc // block_bytes != self._last_block
+                and not self._icache_ready(rec.pc, cycle)
+            ):
                 break
-            self._index += 1
+            index += 1
             mispredicted = False
             if rec.is_branch:
                 direction_ok = self._predict_direction(rec)
@@ -192,7 +212,7 @@ class FetchEngine:
                 if self.ras is not None and rec.opcode in (Opcode.JAL, Opcode.JALR):
                     self.ras.push(rec.pc + INSTRUCTION_BYTES)
                 mispredicted = not self._target_correct(rec)
-            out.append(FetchedInstruction(rec, mispredicted=mispredicted))
+            out_append(FetchedInstruction(rec, mispredicted=mispredicted))
             self.fetched_correct += 1
             if mispredicted:
                 if self.model_wrong_path:
@@ -202,6 +222,7 @@ class FetchEngine:
                 else:
                     self._stall_until = 1 << 60  # wait for redirect
                 break
+        self._index = index
         return out
 
     def redirect(self, cycle: int, *, penalty: int = 1) -> None:

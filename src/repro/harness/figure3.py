@@ -18,11 +18,10 @@ from repro.core.model import (
     SpeculativeExecutionModel,
 )
 from repro.engine.config import PAPER_CONFIGS, ProcessorConfig
-from repro.engine.sim import run_baseline, run_trace
+from repro.harness.parallel import SimJob, run_jobs
 from repro.harness.render import render_bar, render_table
 from repro.metrics.speedup import harmonic_mean
 from repro.programs.suite import benchmark_suite
-from repro.trace.record import TraceRecord
 
 #: The paper's four update-timing/confidence settings.
 SETTINGS: tuple[tuple[str, str], ...] = (
@@ -46,17 +45,15 @@ class Figure3Cell:
     per_benchmark: dict[str, float] = field(default_factory=dict, compare=False)
 
 
-def _suite_traces(
-    max_instructions: int | None, benchmarks: list[str] | None
-) -> dict[str, list[TraceRecord]]:
-    traces: dict[str, list[TraceRecord]] = {}
-    for spec in benchmark_suite():
-        if benchmarks is not None and spec.name not in benchmarks:
-            continue
-        traces[spec.name] = spec.trace(max_instructions)
-    if not traces:
+def _suite_names(benchmarks: list[str] | None) -> list[str]:
+    names = [
+        spec.name
+        for spec in benchmark_suite()
+        if benchmarks is None or spec.name in benchmarks
+    ]
+    if not names:
         raise ValueError(f"no benchmarks selected from {benchmarks!r}")
-    return traces
+    return names
 
 
 def run_figure3(
@@ -64,32 +61,46 @@ def run_figure3(
     benchmarks: list[str] | None = None,
     configs: tuple[ProcessorConfig, ...] = PAPER_CONFIGS,
     models: tuple[SpeculativeExecutionModel, ...] = MODELS,
+    jobs: int = 1,
 ) -> list[Figure3Cell]:
     """Run the full Figure 3 sweep.
 
     ``max_instructions`` truncates each kernel trace (the pure-Python
     cycle-level engine is the cost driver — see DESIGN.md); the paper's
     qualitative shape is stable from a few thousand instructions up.
+    ``jobs`` fans the whole (config x setting x model x benchmark) grid —
+    baselines included — over worker processes; the cells are identical
+    for any value.
     """
-    traces = _suite_traces(max_instructions, benchmarks)
-    cells: list[Figure3Cell] = []
+    names = _suite_names(benchmarks)
+    # One flat batch: per config, the baselines then every
+    # (setting, model, benchmark) point, submitted together.
+    job_list: list[SimJob] = []
     for config in configs:
-        base_cycles = {
-            name: run_baseline(trace, config).cycles
-            for name, trace in traces.items()
-        }
+        job_list.extend(SimJob(n, config, None, max_instructions) for n in names)
         for timing, conf in SETTINGS:
             for model in models:
-                per_benchmark: dict[str, float] = {}
-                for name, trace in traces.items():
-                    result = run_trace(
-                        trace,
+                job_list.extend(
+                    SimJob(
+                        n,
                         config,
                         model,
+                        max_instructions,
                         confidence=conf,
                         update_timing=timing,
                     )
-                    per_benchmark[name] = base_cycles[name] / result.cycles
+                    for n in names
+                )
+    results = iter(run_jobs(job_list, jobs=jobs))
+
+    cells: list[Figure3Cell] = []
+    for config in configs:
+        base_cycles = {n: next(results).cycles for n in names}
+        for timing, conf in SETTINGS:
+            for model in models:
+                per_benchmark = {
+                    n: base_cycles[n] / next(results).cycles for n in names
+                }
                 cells.append(
                     Figure3Cell(
                         config_label=config.label,

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.model import GREAT_MODEL, SpeculativeExecutionModel
 from repro.engine.config import PAPER_CONFIGS, ProcessorConfig
-from repro.engine.sim import run_trace
+from repro.harness.parallel import SimJob, run_jobs
 from repro.harness.render import render_table
 from repro.metrics.accuracy import AccuracyBreakdown, average_breakdown
 from repro.programs.suite import benchmark_suite
@@ -35,37 +35,42 @@ def run_figure4(
     benchmarks: list[str] | None = None,
     configs: tuple[ProcessorConfig, ...] = PAPER_CONFIGS,
     model: SpeculativeExecutionModel = GREAT_MODEL,
+    jobs: int = 1,
 ) -> list[Figure4Cell]:
     """Measure the CH/CL/IH/IL breakdown for the great model (real
-    confidence) across configurations and update timings."""
-    specs = [
-        spec
+    confidence) across configurations and update timings.  ``jobs`` fans
+    the (config x timing x benchmark) grid over worker processes."""
+    names = [
+        spec.name
         for spec in benchmark_suite()
         if benchmarks is None or spec.name in benchmarks
     ]
-    if not specs:
+    if not names:
         raise ValueError(f"no benchmarks selected from {benchmarks!r}")
-    traces = {spec.name: spec.trace(max_instructions) for spec in specs}
+    grid = [(config, timing) for config in configs for timing in ("D", "I")]
+    job_list = [
+        SimJob(
+            name,
+            config,
+            model,
+            max_instructions,
+            confidence="R",
+            update_timing=timing,
+        )
+        for config, timing in grid
+        for name in names
+    ]
+    results = iter(run_jobs(job_list, jobs=jobs))
     cells: list[Figure4Cell] = []
-    for config in configs:
-        for timing in ("D", "I"):
-            breakdowns = []
-            for name, trace in traces.items():
-                result = run_trace(
-                    trace,
-                    config,
-                    model,
-                    confidence="R",
-                    update_timing=timing,
-                )
-                breakdowns.append(result.accuracy_breakdown)
-            cells.append(
-                Figure4Cell(
-                    config_label=config.label,
-                    timing=timing,
-                    breakdown=average_breakdown(breakdowns),
-                )
+    for config, timing in grid:
+        breakdowns = [next(results).accuracy_breakdown for _ in names]
+        cells.append(
+            Figure4Cell(
+                config_label=config.label,
+                timing=timing,
+                breakdown=average_breakdown(breakdowns),
             )
+        )
     return cells
 
 

@@ -1,0 +1,175 @@
+"""Process-parallel fan-out for simulation grids.
+
+Every sweep, figure and experiment in the harness reduces to a grid of
+independent simulation points: one (benchmark, processor configuration,
+speculation model, confidence, update timing, value predictor) tuple per
+engine run.  The cycle-level engine is pure Python and single-threaded,
+so the only way to use more than one core is process parallelism; this
+module provides it without changing any result.
+
+Design rules that keep ``--jobs N`` cycle-exact against ``--jobs 1``:
+
+* A job is a *description*, not live state.  :class:`SimJob` carries the
+  benchmark **name** (the worker rebuilds the trace, memoised per
+  process), the frozen config/model dataclasses, and *factories* for the
+  stateful collaborators (value predictor, confidence estimator).  A
+  factory is constructed fresh inside each job, so no estimator or
+  predictor state ever leaks between points — in either execution mode.
+* Jobs are seeded deterministically.  Each job derives a seed from its
+  own content (CRC of benchmark name and trace limit) and reseeds
+  :mod:`random` before building the trace and running, so results do not
+  depend on which worker process ran which job, how many jobs a worker
+  had run before, or scheduling order.  (The kernels and the engine are
+  already deterministic; the seeding is a guard rail, not a dependency.)
+* Results are merged by *submission index*, never by completion order:
+  ``run_jobs`` returns results positionally aligned with its input list.
+
+The sequential path (``jobs <= 1``) runs the exact same ``_execute``
+function inline — same trace cache, same factory handling — so it is not
+a separate code path that can drift.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.model import SpeculativeExecutionModel
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import SimulationResult, run_baseline, run_trace
+from repro.trace.record import TraceRecord
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One point of a simulation grid, picklable by construction.
+
+    ``model=None`` requests a baseline (no value speculation) run.
+    ``confidence`` may be the usual one-letter kind ("R"/"O") or a
+    zero-argument callable returning a fresh estimator; ``predictor``
+    is ``None`` (the model's default predictor) or a zero-argument
+    callable.  Callables must be picklable — a top-level class or a
+    :func:`functools.partial` over one, never a lambda.
+    """
+
+    benchmark: str
+    config: ProcessorConfig
+    model: SpeculativeExecutionModel | None = None
+    max_instructions: int | None = None
+    confidence: object = "R"
+    update_timing: str = "I"
+    predictor: Callable | None = None
+    #: Per-task seed; derived from the job's content when ``None``.
+    seed: int | None = field(default=None)
+
+    def task_seed(self) -> int:
+        if self.seed is not None:
+            return self.seed
+        key = f"{self.benchmark}:{self.max_instructions}".encode()
+        return zlib.crc32(key)
+
+
+#: Per-process memo of built traces.  Workers are long-lived (one pool
+#: services a whole grid), so each process pays trace construction once
+#: per (benchmark, limit) no matter how many jobs it executes.
+_TRACE_CACHE: dict[tuple[str, int | None], list[TraceRecord]] = {}
+
+
+def _trace_for(benchmark: str, max_instructions: int | None) -> list[TraceRecord]:
+    key = (benchmark, max_instructions)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        from repro.programs.suite import kernel
+
+        trace = kernel(benchmark).trace(max_instructions)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def _execute(job: SimJob) -> SimulationResult:
+    """Run one job to completion (worker side; also the inline path)."""
+    random.seed(job.task_seed())
+    trace = _trace_for(job.benchmark, job.max_instructions)
+    if job.model is None:
+        return run_baseline(trace, job.config)
+    confidence = job.confidence() if callable(job.confidence) else job.confidence
+    predictor = job.predictor() if job.predictor is not None else None
+    return run_trace(
+        trace,
+        job.config,
+        job.model,
+        confidence=confidence,
+        update_timing=job.update_timing,
+        predictor=predictor,
+    )
+
+
+def effective_jobs(jobs: int | None, n_tasks: int) -> int:
+    """Clamp a ``--jobs`` request to something sensible.
+
+    ``None`` or values < 1 mean "use every core"; the result never
+    exceeds the task count (spawning idle workers costs startup time).
+    """
+    if n_tasks <= 0:
+        return 1
+    if jobs is None or jobs < 1:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, n_tasks))
+
+
+def run_jobs(job_list: list[SimJob], jobs: int = 1) -> list[SimulationResult]:
+    """Execute a grid of simulation points, ``jobs`` processes wide.
+
+    Returns results positionally aligned with ``job_list`` regardless of
+    completion order, so callers can ``zip`` jobs with results and the
+    merged output is identical for any worker count.
+    """
+    workers = effective_jobs(jobs, len(job_list))
+    if workers <= 1:
+        return [_execute(job) for job in job_list]
+    results: list[SimulationResult | None] = [None] * len(job_list)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {
+            pool.submit(_execute, job): index
+            for index, job in enumerate(job_list)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                results[pending.pop(future)] = future.result()
+    return results  # type: ignore[return-value]
+
+
+def run_grid(
+    benchmarks: list[str],
+    config: ProcessorConfig,
+    model: SpeculativeExecutionModel | None,
+    *,
+    max_instructions: int | None = None,
+    confidence: object = "R",
+    update_timing: str = "I",
+    predictor: Callable | None = None,
+    jobs: int = 1,
+) -> dict[str, SimulationResult]:
+    """One (config, model, setting) row across a benchmark suite.
+
+    The common harness shape: same settings, one run per benchmark,
+    results keyed by benchmark name in input order.
+    """
+    job_list = [
+        SimJob(
+            benchmark=name,
+            config=config,
+            model=model,
+            max_instructions=max_instructions,
+            confidence=confidence,
+            update_timing=update_timing,
+            predictor=predictor,
+        )
+        for name in benchmarks
+    ]
+    return dict(zip(benchmarks, run_jobs(job_list, jobs=jobs)))

@@ -4,11 +4,20 @@ These regenerate the ablations DESIGN.md indexes: per-latency-variable
 sensitivity (ABL-L), the Section 3.2 verification-scheme comparison
 (ABL-V), the Section 3.1 invalidation-scheme comparison (ABL-I), and a
 value-predictor comparison (extension).
+
+Every sweep flattens its whole grid — the baseline runs *and* every
+variant x benchmark point — into a single batch for
+:func:`repro.harness.parallel.run_jobs`, so ``jobs=N`` fans the entire
+sweep out over N worker processes while ``jobs=1`` (the default) runs
+the identical batch inline.  Results are merged positionally, so the
+sweep output is bit-identical for any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
+from typing import Callable
 
 from repro.core.latency import GREAT_LATENCIES, LatencyModel
 from repro.core.model import GREAT_MODEL, SpeculativeExecutionModel
@@ -20,10 +29,10 @@ from repro.core.variables import (
     VerificationScheme,
 )
 from repro.engine.config import ProcessorConfig
-from repro.engine.sim import run_baseline, run_trace
+from repro.engine.sim import SimulationResult
+from repro.harness.parallel import SimJob, run_jobs
 from repro.metrics.speedup import harmonic_mean
 from repro.programs.suite import benchmark_suite
-from repro.trace.record import TraceRecord
 from repro.vp.base import ValuePredictor
 from repro.vp.context import ContextValuePredictor
 from repro.vp.hybrid import HybridPredictor
@@ -41,42 +50,98 @@ class SweepPoint:
     detail: dict[str, float]
 
 
-def _traces(
-    max_instructions: int | None, benchmarks: list[str] | None
-) -> dict[str, list[TraceRecord]]:
-    out = {
-        spec.name: spec.trace(max_instructions)
+@dataclass(frozen=True)
+class _Variant:
+    """One sweep variant: the settings for a suite-wide engine run.
+
+    ``base_config`` names the baseline (no-speculation) configuration the
+    variant's speedups are normalised against; ``None`` means "its own
+    config" (the common case — sweeps that perturb the processor itself,
+    like branch predictors or width scaling, compare against a base
+    machine with the same perturbation).
+    """
+
+    label: str
+    config: ProcessorConfig
+    model: SpeculativeExecutionModel
+    confidence: object = "R"
+    update_timing: str = "I"
+    predictor: Callable | None = None
+    base_config: ProcessorConfig | None = None
+
+    @property
+    def baseline(self) -> ProcessorConfig:
+        return self.base_config if self.base_config is not None else self.config
+
+
+def _benchmark_names(benchmarks: list[str] | None) -> list[str]:
+    names = [
+        spec.name
         for spec in benchmark_suite()
         if benchmarks is None or spec.name in benchmarks
-    }
-    if not out:
+    ]
+    if not names:
         raise ValueError(f"no benchmarks selected from {benchmarks!r}")
-    return out
+    return names
 
 
-def _suite_speedup(
-    traces: dict[str, list[TraceRecord]],
-    base_cycles: dict[str, int],
-    config: ProcessorConfig,
-    model: SpeculativeExecutionModel,
+def _run_sweep(
+    names: list[str],
+    max_instructions: int | None,
+    variants: list[_Variant],
     *,
-    confidence: str = "R",
-    update_timing: str = "I",
-    predictor_factory=None,
-) -> tuple[float, dict[str, float]]:
-    per_benchmark: dict[str, float] = {}
-    for name, trace in traces.items():
-        predictor = predictor_factory() if predictor_factory else None
-        result = run_trace(
-            trace,
-            config,
-            model,
-            confidence=confidence,
-            update_timing=update_timing,
-            predictor=predictor,
+    jobs: int = 1,
+    extra_detail: Callable[[list[SimulationResult]], dict[str, float]] | None = None,
+) -> list[SweepPoint]:
+    """Execute a sweep's full grid as one parallel batch.
+
+    The batch is: one baseline run per distinct baseline config per
+    benchmark, then every variant x benchmark point, all submitted to
+    :func:`run_jobs` together so a multi-benchmark, multi-variant sweep
+    saturates the worker pool instead of synchronising per variant.
+    """
+    base_configs: list[ProcessorConfig] = []
+    for variant in variants:
+        if variant.baseline not in base_configs:
+            base_configs.append(variant.baseline)
+    job_list = [
+        SimJob(name, config, None, max_instructions)
+        for config in base_configs
+        for name in names
+    ]
+    for variant in variants:
+        job_list.extend(
+            SimJob(
+                name,
+                variant.config,
+                variant.model,
+                max_instructions,
+                confidence=variant.confidence,
+                update_timing=variant.update_timing,
+                predictor=variant.predictor,
+            )
+            for name in names
         )
-        per_benchmark[name] = base_cycles[name] / result.cycles
-    return harmonic_mean(per_benchmark.values()), per_benchmark
+    results = run_jobs(job_list, jobs=jobs)
+
+    width = len(names)
+    base_cycles: dict[ProcessorConfig, dict[str, int]] = {}
+    for i, config in enumerate(base_configs):
+        chunk = results[i * width : (i + 1) * width]
+        base_cycles[config] = {n: r.cycles for n, r in zip(names, chunk)}
+    points: list[SweepPoint] = []
+    offset = len(base_configs) * width
+    for i, variant in enumerate(variants):
+        chunk = results[offset + i * width : offset + (i + 1) * width]
+        base = base_cycles[variant.baseline]
+        per_benchmark = {n: base[n] / r.cycles for n, r in zip(names, chunk)}
+        detail = dict(per_benchmark)
+        if extra_detail is not None:
+            detail.update(extra_detail(chunk))
+        points.append(
+            SweepPoint(variant.label, harmonic_mean(per_benchmark.values()), detail)
+        )
+    return points
 
 
 #: The latency variables the sensitivity sweep perturbs, as LatencyModel
@@ -97,6 +162,7 @@ def latency_sensitivity_sweep(
     config: ProcessorConfig | None = None,
     values: tuple[int, ...] = (0, 1, 2),
     base_latencies: LatencyModel = GREAT_LATENCIES,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """ABL-L: vary each latency variable independently around a base model.
 
@@ -105,11 +171,8 @@ def latency_sensitivity_sweep(
     reissue latency barely do.
     """
     config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, config).cycles for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
+    names = _benchmark_names(benchmarks)
+    variants: list[_Variant] = []
     for field_name, label in LATENCY_FIELDS.items():
         for value in values:
             overrides = {field_name: value}
@@ -119,32 +182,32 @@ def latency_sensitivity_sweep(
             model = SpeculativeExecutionModel(
                 f"great[{label}={value}]", GREAT_MODEL.variables, latencies
             )
-            speedup, detail = _suite_speedup(traces, base_cycles, config, model)
-            points.append(SweepPoint(f"{label}={value}", speedup, detail))
-    return points
+            variants.append(_Variant(f"{label}={value}", config, model))
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def verification_scheme_sweep(
     max_instructions: int | None = 5000,
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """ABL-V: the Section 3.2 verification approaches under great latencies."""
     config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, config).cycles for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
-    for scheme in VerificationScheme:
-        model = SpeculativeExecutionModel(
-            f"great-verify-{scheme.value}",
-            ModelVariables(verification=scheme),
-            GREAT_LATENCIES,
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            scheme.value,
+            config,
+            SpeculativeExecutionModel(
+                f"great-verify-{scheme.value}",
+                ModelVariables(verification=scheme),
+                GREAT_LATENCIES,
+            ),
         )
-        speedup, detail = _suite_speedup(traces, base_cycles, config, model)
-        points.append(SweepPoint(scheme.value, speedup, detail))
-    return points
+        for scheme in VerificationScheme
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def invalidation_scheme_sweep(
@@ -152,31 +215,32 @@ def invalidation_scheme_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     confidence: str = "R",
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """ABL-I: selective (parallel/hierarchical) vs complete invalidation."""
     config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, config).cycles for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
-    for scheme in InvalidationScheme:
-        model = SpeculativeExecutionModel(
-            f"great-inval-{scheme.value}",
-            ModelVariables(invalidation=scheme),
-            GREAT_LATENCIES,
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            scheme.value,
+            config,
+            SpeculativeExecutionModel(
+                f"great-inval-{scheme.value}",
+                ModelVariables(invalidation=scheme),
+                GREAT_LATENCIES,
+            ),
+            confidence=confidence,
         )
-        speedup, detail = _suite_speedup(
-            traces, base_cycles, config, model, confidence=confidence
-        )
-        points.append(SweepPoint(scheme.value, speedup, detail))
-    return points
+        for scheme in InvalidationScheme
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def resolution_policy_sweep(
     max_instructions: int | None = 5000,
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Section 3.2 follow-up: resolve branches/memory with valid operands
     only (the paper's choice) versus allowing speculative resolution.
@@ -187,11 +251,8 @@ def resolution_policy_sweep(
     for the network at the price of acting on possibly-wrong inputs.
     """
     config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, config).cycles for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
+    names = _benchmark_names(benchmarks)
+    variants: list[_Variant] = []
     for label, branch_res, memory_res in (
         ("valid-only (paper)", BranchResolution.VALID_ONLY,
          MemoryResolution.VALID_ONLY),
@@ -220,9 +281,8 @@ def resolution_policy_sweep(
             ),
             latencies,
         )
-        speedup, detail = _suite_speedup(traces, base_cycles, config, model)
-        points.append(SweepPoint(label, speedup, detail))
-    return points
+        variants.append(_Variant(label, config, model))
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def confidence_strength_sweep(
@@ -230,6 +290,7 @@ def confidence_strength_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     counter_bits: tuple[int, ...] = (1, 2, 3, 4),
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Section 3.6 follow-up: vary the resetting-counter width.
 
@@ -241,31 +302,18 @@ def confidence_strength_sweep(
     from repro.vp.confidence import ResettingConfidenceEstimator
 
     config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, config).cycles for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
-    for bits in counter_bits:
-        per_benchmark: dict[str, float] = {}
-        for name, trace in traces.items():
-            result = run_trace(
-                trace,
-                config,
-                GREAT_MODEL,
-                confidence=ResettingConfidenceEstimator(counter_bits=bits),
-                update_timing="I",
-            )
-            per_benchmark[name] = base_cycles[name] / result.cycles
-        points.append(
-            SweepPoint(
-                f"{bits}-bit counters",
-                harmonic_mean(per_benchmark.values()),
-                per_benchmark,
-            )
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            f"{bits}-bit counters",
+            config,
+            GREAT_MODEL,
+            confidence=partial(ResettingConfidenceEstimator, counter_bits=bits),
         )
-    points.append(SweepPoint("oracle", *_oracle_point(traces, base_cycles, config)))
-    return points
+        for bits in counter_bits
+    ]
+    variants.append(_Variant("oracle", config, GREAT_MODEL, confidence="O"))
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def approximate_equality_sweep(
@@ -273,6 +321,7 @@ def approximate_equality_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     low_bits: tuple[int, ...] = (0, 4, 8, 16),
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Section 3.3 extension: non-strict equality.
 
@@ -282,26 +331,24 @@ def approximate_equality_sweep(
     (timing-only tolerance; architectural results are unaffected).
     """
     base_config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, base_config).cycles
-        for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
-    for bits in low_bits:
-        variant = base_config.with_overrides(equality_ignore_low_bits=bits)
-        speedup, detail = _suite_speedup(
-            traces, base_cycles, variant, GREAT_MODEL
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            "strict (paper)" if bits == 0 else f"ignore low {bits} bits",
+            base_config.with_overrides(equality_ignore_low_bits=bits),
+            GREAT_MODEL,
+            base_config=base_config,
         )
-        label = "strict (paper)" if bits == 0 else f"ignore low {bits} bits"
-        points.append(SweepPoint(label, speedup, detail))
-    return points
+        for bits in low_bits
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def branch_predictor_sweep(
     max_instructions: int | None = 5000,
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Front-end direction predictors and their interaction with value
     speculation: each point reports the VP speedup *relative to a base
@@ -310,26 +357,23 @@ def branch_predictor_sweep(
     squashes leave longer stretches of useful speculative work — but also
     fewer pipeline drains to re-seed the delayed-update predictor)."""
     base_config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    points: list[SweepPoint] = []
-    for bp in ("bimodal", "local", "gshare", "tournament"):
-        variant = base_config.with_overrides(branch_predictor=bp)
-        base_cycles = {
-            name: run_baseline(trace, variant).cycles
-            for name, trace in traces.items()
-        }
-        speedup, detail = _suite_speedup(
-            traces, base_cycles, variant, GREAT_MODEL
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            f"{bp} (paper)" if bp == "gshare" else bp,
+            base_config.with_overrides(branch_predictor=bp),
+            GREAT_MODEL,
         )
-        label = f"{bp} (paper)" if bp == "gshare" else bp
-        points.append(SweepPoint(label, speedup, detail))
-    return points
+        for bp in ("bimodal", "local", "gshare", "tournament")
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def selective_prediction_sweep(
     max_instructions: int | None = 5000,
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Selective value prediction (Calder et al. [8], discussed in the
     paper's Sections 3.5–3.6): restrict prediction to instruction classes.
@@ -339,19 +383,17 @@ def selective_prediction_sweep(
     predictor pressure (and, in real designs, ports and power).
     """
     base_config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, base_config).cycles
-        for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
-    for policy in ("all", "long-latency", "loads", "alu"):
-        variant = base_config.with_overrides(predict_classes=policy)
-        speedup, detail = _suite_speedup(
-            traces, base_cycles, variant, GREAT_MODEL
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            policy,
+            base_config.with_overrides(predict_classes=policy),
+            GREAT_MODEL,
+            base_config=base_config,
         )
-        points.append(SweepPoint(policy, speedup, detail))
-    return points
+        for policy in ("all", "long-latency", "loads", "alu")
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def vp_ports_sweep(
@@ -359,24 +401,22 @@ def vp_ports_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     ports: tuple[int, ...] = (1, 2, 4, 0),
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Predictor-port sensitivity: how many predictions per cycle the
     dispatch stage may request (0 = unlimited, the paper's assumption)."""
     base_config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, base_config).cycles
-        for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
-    for count in ports:
-        variant = base_config.with_overrides(vp_ports=count)
-        speedup, detail = _suite_speedup(
-            traces, base_cycles, variant, GREAT_MODEL
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            "unlimited" if count == 0 else f"{count} port(s)",
+            base_config.with_overrides(vp_ports=count),
+            GREAT_MODEL,
+            base_config=base_config,
         )
-        label = "unlimited" if count == 0 else f"{count} port(s)"
-        points.append(SweepPoint(label, speedup, detail))
-    return points
+        for count in ports
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def width_scaling_sweep(
@@ -384,6 +424,7 @@ def width_scaling_sweep(
     benchmarks: list[str] | None = None,
     widths: tuple[int, ...] = (2, 4, 8, 16, 32),
     window_per_width: int = 6,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Extend the paper's width/window axis beyond its three points.
 
@@ -393,29 +434,25 @@ def width_scaling_sweep(
     """
     if any(w <= 0 for w in widths) or window_per_width <= 0:
         raise ValueError("widths and window_per_width must be positive")
-    traces = _traces(max_instructions, benchmarks)
-    points: list[SweepPoint] = []
-    for width in widths:
-        config = ProcessorConfig(
-            issue_width=width, window_size=width * window_per_width
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            f"{width}/{width * window_per_width}",
+            ProcessorConfig(
+                issue_width=width, window_size=width * window_per_width
+            ),
+            GREAT_MODEL,
         )
-        base_cycles = {
-            name: run_baseline(trace, config).cycles
-            for name, trace in traces.items()
-        }
-        speedup, detail = _suite_speedup(
-            traces, base_cycles, config, GREAT_MODEL
-        )
-        points.append(
-            SweepPoint(f"{width}/{width * window_per_width}", speedup, detail)
-        )
-    return points
+        for width in widths
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def confidence_scheme_sweep(
     max_instructions: int | None = 5000,
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Section 3.6: compare confidence estimation mechanisms.
 
@@ -431,39 +468,31 @@ def confidence_scheme_sweep(
     from repro.vp.oracle import OracleConfidence
 
     config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, config).cycles for name, trace in traces.items()
-    }
+    names = _benchmark_names(benchmarks)
     schemes = {
         "resetting (paper)": ResettingConfidenceEstimator,
         "saturating": SaturatingConfidenceEstimator,
         "history": HistoryConfidenceEstimator,
         "oracle": OracleConfidence,
     }
-    points: list[SweepPoint] = []
-    for label, factory in schemes.items():
-        per_benchmark: dict[str, float] = {}
-        misspeculations = speculated = 0
-        for name, trace in traces.items():
-            result = run_trace(
-                trace,
-                config,
-                GREAT_MODEL,
-                confidence=factory(),
-                update_timing="I",
+    variants = [
+        _Variant(label, config, GREAT_MODEL, confidence=factory)
+        for label, factory in schemes.items()
+    ]
+
+    def misspeculation_rate(chunk: list[SimulationResult]) -> dict[str, float]:
+        misspeculations = sum(r.counters.misspeculations for r in chunk)
+        speculated = sum(r.counters.speculated for r in chunk)
+        return {
+            "_misspeculation_rate": (
+                misspeculations / speculated if speculated else 0.0
             )
-            per_benchmark[name] = base_cycles[name] / result.cycles
-            misspeculations += result.counters.misspeculations
-            speculated += result.counters.speculated
-        detail = dict(per_benchmark)
-        detail["_misspeculation_rate"] = (
-            misspeculations / speculated if speculated else 0.0
-        )
-        points.append(
-            SweepPoint(label, harmonic_mean(per_benchmark.values()), detail)
-        )
-    return points
+        }
+
+    return _run_sweep(
+        names, max_instructions, variants, jobs=jobs,
+        extra_detail=misspeculation_rate,
+    )
 
 
 def predictor_size_sweep(
@@ -471,59 +500,48 @@ def predictor_size_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     table_bits: tuple[int, ...] = (8, 10, 12, 16),
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Predictor table-size sensitivity (the "tables configuration"
     dimension the paper defers): shrink the context predictor's level-1
     and level-2 tables and watch aliasing erode speedup."""
     config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, config).cycles for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
-    for bits in table_bits:
-        speedup, detail = _suite_speedup(
-            traces,
-            base_cycles,
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            f"{1 << bits}-entry tables",
             config,
             GREAT_MODEL,
-            predictor_factory=lambda bits=bits: ContextValuePredictor(
-                history_bits=bits, context_bits=bits
+            predictor=partial(
+                ContextValuePredictor, history_bits=bits, context_bits=bits
             ),
         )
-        points.append(SweepPoint(f"{1 << bits}-entry tables", speedup, detail))
-    return points
+        for bits in table_bits
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 def frontend_idealism_sweep(
     max_instructions: int | None = 5000,
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Relax the paper's ideal-target front end: control-transfer targets
     come from a BTB and return-address stack instead of being free."""
     config = config or ProcessorConfig(issue_width=8, window_size=48)
-    points: list[SweepPoint] = []
-    for label, ideal in (("ideal targets (paper)", True), ("BTB + RAS", False)):
-        variant = config.with_overrides(ideal_branch_targets=ideal)
-        traces = _traces(max_instructions, benchmarks)
-        base_cycles = {
-            name: run_baseline(trace, variant).cycles
-            for name, trace in traces.items()
-        }
-        speedup, detail = _suite_speedup(traces, base_cycles, variant, GREAT_MODEL)
-        points.append(SweepPoint(label, speedup, detail))
-    return points
-
-
-def _oracle_point(traces, base_cycles, config) -> tuple[float, dict[str, float]]:
-    per_benchmark = {}
-    for name, trace in traces.items():
-        result = run_trace(
-            trace, config, GREAT_MODEL, confidence="O", update_timing="I"
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(
+            label,
+            config.with_overrides(ideal_branch_targets=ideal),
+            GREAT_MODEL,
         )
-        per_benchmark[name] = base_cycles[name] / result.cycles
-    return harmonic_mean(per_benchmark.values()), per_benchmark
+        for label, ideal in (
+            ("ideal targets (paper)", True), ("BTB + RAS", False)
+        )
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)
 
 
 #: Predictor factories for the predictor-comparison sweep.
@@ -540,21 +558,13 @@ def predictor_sweep(
     max_instructions: int | None = 5000,
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Extension: compare value predictors under the great model."""
     config = config or ProcessorConfig(issue_width=8, window_size=48)
-    traces = _traces(max_instructions, benchmarks)
-    base_cycles = {
-        name: run_baseline(trace, config).cycles for name, trace in traces.items()
-    }
-    points: list[SweepPoint] = []
-    for label, factory in PREDICTOR_FACTORIES.items():
-        speedup, detail = _suite_speedup(
-            traces,
-            base_cycles,
-            config,
-            GREAT_MODEL,
-            predictor_factory=factory,
-        )
-        points.append(SweepPoint(label, speedup, detail))
-    return points
+    names = _benchmark_names(benchmarks)
+    variants = [
+        _Variant(label, config, GREAT_MODEL, predictor=factory)
+        for label, factory in PREDICTOR_FACTORIES.items()
+    ]
+    return _run_sweep(names, max_instructions, variants, jobs=jobs)

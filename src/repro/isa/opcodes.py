@@ -308,3 +308,29 @@ OPCODE_BY_CODE: dict[int, Opcode] = {i: op for op, i in _CODE_BY_OPCODE.items()}
 #: Size, in bytes, of every encoded VSR instruction.  Fixed length keeps the
 #: trivial PC dependence trivial (Section 1 of the paper).
 INSTRUCTION_BYTES = 8
+
+#: Functional-unit execution latency per operation class, in cycles.
+#: Section 5.1: "All simple integer instructions require one cycle to
+#: execute.  Complex integer operations and floating point operations,
+#: depending on the type, require from 2 to 24 cycles."  The per-class
+#: values sit inside that band and follow SimpleScalar's defaults where
+#: the paper is silent.  LOAD covers address generation only — the memory
+#: access latency comes from the cache model (or single-cycle store
+#: forwarding); STORE is its address generation, the actual write
+#: happening at retirement.  Lives beside the ISA tables (rather than in
+#: ``repro.engine.funits``, which re-exports it) so trace records can
+#: precompute their latency at construction without importing the engine.
+CLASS_LATENCY: dict[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 20,
+    OpClass.FADD: 2,
+    OpClass.FMUL: 4,
+    OpClass.FDIV: 24,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.IJUMP: 1,
+    OpClass.SYSCALL: 1,
+}

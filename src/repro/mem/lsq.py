@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class LSQEntry:
     """One load or store tracked by the queue."""
 
@@ -36,8 +36,10 @@ class LoadStoreQueue:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        #: Entries in program order (allocation enforces ascending seqs and
+        #: dict insertion order preserves them; removals — oldest-first
+        #: retirement or youngest-first squash — keep the order intact).
         self._entries: dict[int, LSQEntry] = {}
-        self._order: list[int] = []  # seqs in program order
         self.forwards = 0
 
     def __len__(self) -> int:
@@ -53,11 +55,10 @@ class LoadStoreQueue:
             raise RuntimeError("LSQ full")
         if seq in self._entries:
             raise ValueError(f"duplicate LSQ seq {seq}")
-        if self._order and seq < self._order[-1]:
+        if self._entries and seq < next(reversed(self._entries)):
             raise ValueError("LSQ allocation must follow program order")
         entry = LSQEntry(seq=seq, is_store=is_store)
         self._entries[seq] = entry
-        self._order.append(seq)
         return entry
 
     def get(self, seq: int) -> LSQEntry | None:
@@ -83,16 +84,13 @@ class LoadStoreQueue:
 
     def release(self, seq: int) -> None:
         """Remove an entry at retirement or squash."""
-        if seq in self._entries:
-            del self._entries[seq]
-            self._order.remove(seq)
+        self._entries.pop(seq, None)
 
     def squash_after(self, seq: int) -> list[int]:
         """Remove every entry younger than ``seq``; returns removed seqs."""
-        removed = [s for s in self._order if s > seq]
+        removed = [s for s in self._entries if s > seq]
         for s in removed:
             del self._entries[s]
-        self._order = [s for s in self._order if s <= seq]
         return removed
 
     def prior_store_addresses_known(self, seq: int) -> bool:
@@ -101,10 +99,9 @@ class LoadStoreQueue:
         This is the paper's load-issue condition: with all prior store
         addresses known, the load cannot violate a memory dependence.
         """
-        for other_seq in self._order:
+        for other_seq, entry in self._entries.items():
             if other_seq >= seq:
                 break
-            entry = self._entries[other_seq]
             if entry.is_store and entry.address is None:
                 return False
         return True
@@ -118,10 +115,9 @@ class LoadStoreQueue:
         already rules out unknown conflicts).
         """
         best: LSQEntry | None = None
-        for other_seq in self._order:
+        for other_seq, entry in self._entries.items():
             if other_seq >= seq:
                 break
-            entry = self._entries[other_seq]
             if not entry.is_store or entry.address is None:
                 continue
             if entry.address <= address and address + size <= entry.address + entry.size:
@@ -133,10 +129,9 @@ class LoadStoreQueue:
 
     def overlapping_older_store(self, seq: int, address: int, size: int) -> LSQEntry | None:
         """Oldest older store that overlaps but does not fully cover the load."""
-        for other_seq in self._order:
+        for other_seq, entry in self._entries.items():
             if other_seq >= seq:
                 break
-            entry = self._entries[other_seq]
             if not entry.is_store or entry.address is None:
                 continue
             overlap = not (

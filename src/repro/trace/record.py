@@ -2,7 +2,26 @@
 
 from __future__ import annotations
 
-from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.opcodes import CLASS_LATENCY, OpClass, Opcode
+
+#: Classification flags (plus functional-unit latency) per operation
+#: class, precomputed once so record construction (which runs for every
+#: wrong-path instruction synthesized during simulation) is one dict
+#: lookup plus a tuple unpack.
+_CLASS_FLAGS = {
+    opclass: (
+        opclass is OpClass.LOAD,
+        opclass is OpClass.STORE,
+        opclass is OpClass.LOAD or opclass is OpClass.STORE,
+        opclass is OpClass.BRANCH,
+        opclass is OpClass.BRANCH
+        or opclass is OpClass.JUMP
+        or opclass is OpClass.IJUMP,
+        opclass is OpClass.IJUMP,
+        CLASS_LATENCY[opclass],
+    )
+    for opclass in OpClass
+}
 
 
 class TraceRecord:
@@ -43,6 +62,30 @@ class TraceRecord:
         "mem_size",
         "branch_taken",
         "next_pc",
+        # Derived classification flags, precomputed because the timing
+        # engine reads them on every pipeline stage of every instruction;
+        # recomputing through properties dominated the hot-path profile.
+        "is_load",
+        "is_store",
+        "is_memory",
+        "is_branch",
+        "is_control",
+        "is_indirect",
+        "exec_latency",
+        "writes_register",
+    )
+
+    _COMPARED_SLOTS = (
+        "seq",
+        "pc",
+        "opcode",
+        "src_regs",
+        "dest_reg",
+        "dest_value",
+        "mem_addr",
+        "mem_size",
+        "branch_taken",
+        "next_pc",
     )
 
     def __init__(
@@ -61,7 +104,8 @@ class TraceRecord:
         self.seq = seq
         self.pc = pc
         self.opcode = opcode
-        self.opclass = opcode.opclass
+        opclass = opcode.opclass
+        self.opclass = opclass
         self.src_regs = src_regs
         self.dest_reg = dest_reg
         self.dest_value = dest_value
@@ -69,36 +113,18 @@ class TraceRecord:
         self.mem_size = mem_size
         self.branch_taken = branch_taken
         self.next_pc = next_pc
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass is OpClass.STORE
-
-    @property
-    def is_memory(self) -> bool:
-        return self.opclass.is_memory
-
-    @property
-    def is_branch(self) -> bool:
-        return self.opclass is OpClass.BRANCH
-
-    @property
-    def is_control(self) -> bool:
-        return self.opclass.is_control
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.opclass is OpClass.IJUMP
-
-    @property
-    def writes_register(self) -> bool:
-        """True when the instruction produces a register value — the
-        eligibility condition for value prediction."""
-        return self.dest_reg is not None and self.dest_reg != 0
+        (
+            self.is_load,
+            self.is_store,
+            self.is_memory,
+            self.is_branch,
+            self.is_control,
+            self.is_indirect,
+            self.exec_latency,
+        ) = _CLASS_FLAGS[opclass]
+        #: True when the instruction produces a register value — the
+        #: eligibility condition for value prediction.
+        self.writes_register = dest_reg is not None and dest_reg != 0
 
     def __repr__(self) -> str:
         return (
@@ -110,7 +136,8 @@ class TraceRecord:
         if not isinstance(other, TraceRecord):
             return NotImplemented
         return all(
-            getattr(self, name) == getattr(other, name) for name in self.__slots__
+            getattr(self, name) == getattr(other, name)
+            for name in self._COMPARED_SLOTS
         )
 
     def __hash__(self) -> int:

@@ -68,6 +68,13 @@ class ValuePredictor(abc.ABC):
         the speculatively-updated history is left as is.
         """
 
+    def predict_speculate(self, pc: int) -> tuple[int, object]:
+        """Fused :meth:`predict` + :meth:`speculate` (delayed timing's
+        dispatch-time pair).  Semantically identical to calling both;
+        implementations may override to share the per-PC entry lookup."""
+        predicted = self.predict(pc)
+        return predicted, self.speculate(pc, predicted)
+
     def flush_speculative(self, pc: int) -> None:
         """Hook for squash recovery; predictors whose speculative state
         self-corrects (the paper's choice) need not override."""

@@ -34,6 +34,7 @@ windows get deeper and drains get rarer.
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 
 from repro.isa.opcodes import INSTRUCTION_BYTES
 from repro.vp.base import ValuePredictor
@@ -53,16 +54,22 @@ def fold_value(value: int, bits: int) -> int:
 
 
 class _HistoryEntry:
-    """Level-1 entry: committed history plus speculative extension."""
+    """Level-1 entry: committed history plus speculative extension.
 
-    __slots__ = ("committed", "speculative")
+    Values are stored alongside their ``context_bits``-bit fold so the hash
+    recomputed on every prediction XOR-combines precomputed folds instead
+    of re-folding each 64-bit value.
+    """
+
+    __slots__ = ("committed", "committed_folded", "speculative")
 
     def __init__(self, order: int):
         self.committed: deque[int] = deque([0] * order, maxlen=order)
-        #: Outstanding speculative values as (token, value) pairs, oldest
-        #: first.  Values are the *predictions* made for in-flight
+        self.committed_folded: deque[int] = deque([0] * order, maxlen=order)
+        #: Outstanding speculative values as (token, value, folded) tuples,
+        #: oldest first.  Values are the *predictions* made for in-flight
         #: instances of this entry's instructions.
-        self.speculative: list[tuple[int, int]] = []
+        self.speculative: list[tuple[int, int, int]] = []
 
 
 class ContextValuePredictor(ValuePredictor):
@@ -112,12 +119,42 @@ class ContextValuePredictor(ValuePredictor):
             ctx ^= fold_value(value, self.context_bits) << position
         return ctx & self._ctx_mask
 
+    def _hash_folded(self, folded: list[int]) -> int:
+        """``_hash`` over values folded ahead of time (the hot path)."""
+        ctx = 0
+        for position, fold in enumerate(folded[-self.order :]):
+            ctx ^= fold << position
+        return ctx & self._ctx_mask
+
     def _live_context(self, entry: _HistoryEntry) -> int:
-        values = list(entry.committed) + [v for __, v in entry.speculative]
-        return self._hash(values)
+        """``_hash`` over committed-then-speculative history, walked in
+        place (the committed deque always holds exactly ``order`` folds,
+        so no intermediate list is built on the predict hot path)."""
+        order = self.order
+        spec = entry.speculative
+        depth = len(spec)
+        ctx = 0
+        position = 0
+        if depth < order:
+            for fold in islice(entry.committed_folded, depth, order):
+                ctx ^= fold << position
+                position += 1
+            for __, __, fold in spec:
+                ctx ^= fold << position
+                position += 1
+        else:
+            for __, __, fold in spec[depth - order :]:
+                ctx ^= fold << position
+                position += 1
+        return ctx & self._ctx_mask
 
     def _committed_context(self, entry: _HistoryEntry) -> int:
-        return self._hash(list(entry.committed))
+        ctx = 0
+        position = 0
+        for fold in entry.committed_folded:
+            ctx ^= fold << position
+            position += 1
+        return ctx & self._ctx_mask
 
     # -- ValuePredictor interface --------------------------------------------
 
@@ -125,12 +162,27 @@ class ContextValuePredictor(ValuePredictor):
         self.stats.lookups += 1
         return self._values[self._live_context(self._entry(pc))]
 
+    def predict_speculate(self, pc: int) -> tuple[int, int]:
+        """Fused predict + speculate sharing one level-1 entry lookup."""
+        self.stats.lookups += 1
+        entry = self._entry(pc)
+        predicted = self._values[self._live_context(entry)]
+        token = self._next_token
+        self._next_token = token + 1
+        entry.speculative.append(
+            (token, predicted, fold_value(predicted, self.context_bits))
+        )
+        return predicted, token
+
     def speculate(self, pc: int, predicted: int) -> int:
         """Delayed timing: push the prediction onto the speculative history
         and return the token identifying this instance's entry."""
         token = self._next_token
         self._next_token += 1
-        self._entry(pc).speculative.append((token, predicted & _MASK64))
+        predicted &= _MASK64
+        self._entry(pc).speculative.append(
+            (token, predicted, fold_value(predicted, self.context_bits))
+        )
         return token
 
     def train(self, pc: int, actual: int, token: object | None = None) -> None:
@@ -140,13 +192,14 @@ class ContextValuePredictor(ValuePredictor):
         # instance would have predicted from had the pipeline been empty.
         self._train_l2(self._committed_context(entry), actual)
         entry.committed.append(actual)
+        entry.committed_folded.append(fold_value(actual, self.context_bits))
         if token is not None:
             self._consume_speculative(entry, int(token), actual)
 
     def _consume_speculative(
         self, entry: _HistoryEntry, token: int, actual: int
     ) -> None:
-        for position, (spec_token, spec_value) in enumerate(entry.speculative):
+        for position, (spec_token, spec_value, __) in enumerate(entry.speculative):
             if spec_token == token:
                 if spec_value == actual:
                     del entry.speculative[position]

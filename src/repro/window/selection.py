@@ -23,9 +23,27 @@ def selection_key(station: Station, policy: SelectionPolicy) -> tuple:
     return (station.sid,)  # OLDEST_FIRST
 
 
+def _paper_key(station: Station) -> tuple:
+    return (station.sel_priority, station.speculative_inputs, station.sid)
+
+
+def _equal_key(station: Station) -> tuple:
+    return (station.sel_priority, station.sid)
+
+
+def _oldest_key(station: Station) -> int:
+    return station.sid
+
+
 def select(
     candidates: list[Station], width: int, variables: ModelVariables
 ) -> list[Station]:
     """Pick up to ``width`` stations to issue, in priority order."""
-    ordered = sorted(candidates, key=lambda s: selection_key(s, variables.selection))
-    return ordered[:width]
+    policy = variables.selection
+    if policy is SelectionPolicy.PAPER:
+        key = _paper_key
+    elif policy is SelectionPolicy.SPECULATIVE_EQUAL:
+        key = _equal_key
+    else:
+        key = _oldest_key
+    return sorted(candidates, key=key)[:width]

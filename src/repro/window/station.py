@@ -14,6 +14,18 @@ network's state: an operand is VALID exactly when it holds a value tainted
 by no unresolved prediction; it is PREDICTED when the value came straight
 from a producer's prediction broadcast, and SPECULATIVE when it was
 computed downstream of one.
+
+Taint sets are **integer bitmasks**: each speculation source owns one bit
+index from :class:`~repro.window.taintmask.TaintBitAllocator` (recycled
+when the source leaves the machine), so union/subset/clear are single int
+operations and delivering a broadcast allocates nothing.  A station also
+caches a one-pass summary of its operands' readiness/taint/correctness
+state; whoever mutates an operand marks the summary dirty (``in_dirty``)
+and the ``inputs_*`` properties recompute it lazily, so the issue and
+retire loops stop re-walking the operand list on every query.  Operands
+deliberately hold no back-reference to their station: stations and
+operands stay acyclic, so a retired station's subgraph is reclaimed by
+reference counting the moment the last event releases it.
 """
 
 from __future__ import annotations
@@ -42,8 +54,9 @@ class Operand:
         #: architected register file at dispatch (always VALID).
         self.producer_sid = producer_sid
         self.ready = producer_sid is None
-        #: Unresolved speculation sources affecting the held value.
-        self.taints: set[int] = set()
+        #: Bitmask of unresolved speculation sources affecting the held
+        #: value (bit indices assigned by the engine's TaintBitAllocator).
+        self.taints = 0
         #: Is the held value architecturally correct?  (Simulator ground
         #: truth; the hardware doesn't know this until verification.)
         self.correct = producer_sid is None
@@ -71,25 +84,25 @@ class Operand:
     def deliver(
         self,
         *,
-        taints: set[int],
+        taints: int,
         correct: bool,
         cycle: int,
         from_prediction: bool,
         via_network: bool = False,
     ) -> None:
-        """Capture a broadcast value."""
+        """Capture a broadcast value (``taints`` is a source bitmask)."""
         self.ready = True
-        self.taints = set(taints)
+        self.taints = taints
         self.correct = correct
         self.from_prediction = from_prediction
-        if not self.taints:
+        if not taints:
             self.valid_cycle = cycle
             self.via_network = via_network
 
-    def clear_taint(self, sid: int, cycle: int) -> bool:
-        """Remove a resolved speculation source; True if now VALID."""
-        if sid in self.taints:
-            self.taints.discard(sid)
+    def clear_taint(self, mask: int, cycle: int) -> bool:
+        """Remove resolved speculation source(s); True if now VALID."""
+        if self.taints & mask:
+            self.taints &= ~mask
             if self.ready and not self.taints:
                 self.valid_cycle = cycle
                 self.via_network = True
@@ -99,7 +112,7 @@ class Operand:
     def reset_pending(self) -> None:
         """Revert to waiting for the producer's (re)broadcast."""
         self.ready = False
-        self.taints = set()
+        self.taints = 0
         self.correct = False
         self.from_prediction = False
         self.via_network = False
@@ -129,6 +142,7 @@ class Station:
         "out_taints",
         "out_correct",
         "exec_taints",
+        "taint_mask",
         "out_valid_cycle",
         "out_via_network",
         "dispatch_cycle",
@@ -138,10 +152,17 @@ class Station:
         "verify_cycle",
         "min_issue_cycle",
         "epoch",
+        "sel_priority",
+        "is_ctrl",
         "branch_mispredicted",
         "mem_done",
         "retired",
         "misspeculations",
+        "in_dirty",
+        "in_usable",
+        "in_taint_union",
+        "in_correct",
+        "in_spec",
     )
 
     def __init__(self, sid: int, rec: TraceRecord, wrong_path: bool = False):
@@ -173,11 +194,14 @@ class Station:
         self.exec_count = 0
         # -- output state --
         self.out_ready = False
-        self.out_taints: set[int] = set()
+        self.out_taints = 0
         self.out_correct = False
         #: Taints of the inputs consumed by the most recent execution (the
         #: speculation sources the computed result depends on).
-        self.exec_taints: set[int] = set()
+        self.exec_taints = 0
+        #: This station's own speculation-source bit (0 when it never
+        #: broadcast a confident prediction).
+        self.taint_mask = 0
         self.out_valid_cycle = 0
         self.out_via_network = False
         # -- timestamps --
@@ -190,10 +214,22 @@ class Station:
         #: Bumped on every nullification/squash; pending events from older
         #: epochs are stale and must be ignored.
         self.epoch = 0
+        #: Selection priority class (0 = branch/load, 1 = everything
+        #: else), precomputed because selection sorts on it every cycle.
+        self.sel_priority = 0 if (rec.is_branch or rec.is_load) else 1
+        #: Control-transfer instruction needing branch-resolution gating
+        #: (checked by the wakeup predicate on every issue evaluation).
+        self.is_ctrl = rec.is_branch or rec.is_indirect
         self.branch_mispredicted = False
         self.mem_done = False  # memory access completed (loads)
         self.retired = False
         self.misspeculations = 0
+        # -- cached input summary (recomputed lazily when dirty) --
+        self.in_dirty = True
+        self.in_usable = True
+        self.in_taint_union = 0
+        self.in_correct = True
+        self.in_spec = False
 
     # -- derived state ----------------------------------------------------
 
@@ -201,27 +237,62 @@ class Station:
     def seq(self) -> int:
         return self.rec.seq
 
+    def add_operand(self, operand: Operand) -> None:
+        """Attach a source operand and dirty the cached input summary."""
+        self.operands.append(operand)
+        self.in_dirty = True
+
+    def refresh_inputs(self) -> None:
+        """Recompute the cached operand summary in one pass."""
+        usable = correct = True
+        union = 0
+        spec = False
+        for op in self.operands:
+            if op.ready:
+                taints = op.taints
+                if taints:
+                    union |= taints
+                    spec = True
+                if not op.correct:
+                    correct = False
+            else:
+                usable = False
+                correct = False
+        self.in_usable = usable
+        self.in_taint_union = union
+        self.in_correct = correct
+        self.in_spec = spec
+        self.in_dirty = False
+
     def input_states(self) -> list[ValueState]:
         return [op.state for op in self.operands]
 
     @property
     def inputs_usable(self) -> bool:
         """All operands carry some value (valid/predicted/speculative)."""
-        return all(op.ready for op in self.operands)
+        if self.in_dirty:
+            self.refresh_inputs()
+        return self.in_usable
 
     @property
     def inputs_valid(self) -> bool:
         """All operands VALID."""
-        return all(op.ready and not op.taints for op in self.operands)
+        if self.in_dirty:
+            self.refresh_inputs()
+        return self.in_usable and not self.in_taint_union
 
     @property
     def inputs_correct(self) -> bool:
         """Simulator ground truth: all held values correct."""
-        return all(op.ready and op.correct for op in self.operands)
+        if self.in_dirty:
+            self.refresh_inputs()
+        return self.in_correct
 
     @property
     def speculative_inputs(self) -> bool:
-        return any(op.ready and op.taints for op in self.operands)
+        if self.in_dirty:
+            self.refresh_inputs()
+        return self.in_spec
 
     def inputs_valid_since(self) -> int:
         """Latest cycle at which an operand became VALID (0 when none)."""
@@ -238,7 +309,7 @@ class Station:
         # An unmuted prediction broadcast still stands for consumers.
         live_prediction = self.predicted and not self.prediction_muted
         self.out_ready = live_prediction
-        self.out_taints = {self.sid} if live_prediction else set()
+        self.out_taints = self.taint_mask if live_prediction else 0
         self.out_correct = False
         self.mem_done = False
         self.min_issue_cycle = max(self.min_issue_cycle, min_issue_cycle)

@@ -1,0 +1,75 @@
+"""Bit-for-bit golden SimCounters regression.
+
+``tests/golden/*.json`` holds complete counter dumps produced by the seed
+engine (see ``scripts/gen_golden_counters.py``) for every micro kernel and
+one truncated trace per SPEC benchmark.  The engine is deterministic, so
+any divergence in any counter — cycles, retired, squashes, VP hit/miss,
+stall breakdowns — means a timing *model* change, not a speed change.
+Performance work must keep this suite green; intentional model changes
+must regenerate the snapshots and say so in the commit message.
+"""
+
+import json
+from dataclasses import fields
+from pathlib import Path
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.model import GREAT_MODEL
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import run_baseline, run_trace
+from repro.func import Machine
+from repro.programs.micro import micro_kernel
+from repro.programs.suite import benchmark_suite
+from repro.trace.capture import capture_trace
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+SNAPSHOTS = sorted(GOLDEN_DIR.glob("*.json"))
+
+# The generator truncates traces at these limits; the resulting length is
+# recorded in each snapshot and asserted below, so a limit drift shows up
+# as a trace-length mismatch rather than a silent counter diff.
+MICRO_TRACE_LIMIT = 3000
+SPEC_TRACE_LIMIT = 2000
+
+
+def counters_dict(counters) -> dict:
+    return {
+        f.name: getattr(counters, f.name)
+        for f in fields(counters)
+        if f.name != "extra"
+    }
+
+
+def _load_trace(label: str):
+    kind, name = label.split("_", 1)
+    if kind == "micro":
+        machine = Machine(assemble(micro_kernel(name)))
+        return capture_trace(machine, MICRO_TRACE_LIMIT)
+    for spec in benchmark_suite():
+        if spec.name == name:
+            return spec.trace(SPEC_TRACE_LIMIT)
+    raise KeyError(label)
+
+
+@pytest.mark.parametrize(
+    "path", SNAPSHOTS, ids=[p.stem for p in SNAPSHOTS]
+)
+def test_counters_match_golden(path):
+    assert SNAPSHOTS, "tests/golden/ is empty — run scripts/gen_golden_counters.py"
+    snapshot = json.loads(path.read_text())
+    trace = _load_trace(snapshot["workload"])
+    assert len(trace) == snapshot["trace_length"]
+    config = ProcessorConfig(
+        issue_width=snapshot["config"]["issue_width"],
+        window_size=snapshot["config"]["window_size"],
+    )
+
+    base = run_baseline(trace, config)
+    assert counters_dict(base.counters) == snapshot["base"]
+
+    vp = run_trace(
+        trace, config, GREAT_MODEL, confidence="R", update_timing="D"
+    )
+    assert counters_dict(vp.counters) == snapshot["vp"]

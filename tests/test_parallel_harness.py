@@ -1,0 +1,103 @@
+"""The parallel fan-out must never change a result.
+
+Every test here pins the tentpole invariant of
+:mod:`repro.harness.parallel`: a grid run with N worker processes is
+bit-identical to the same grid run inline, because jobs are stateless
+descriptions, factories build collaborators fresh per job, and merge is
+by submission index.
+"""
+
+import pickle
+
+from repro.core.model import GREAT_MODEL
+from repro.engine.config import ProcessorConfig
+from repro.harness.parallel import SimJob, effective_jobs, run_grid, run_jobs
+
+_CONFIG = ProcessorConfig(issue_width=4, window_size=24)
+_LIMIT = 800
+
+
+def _tiny_grid() -> list[SimJob]:
+    jobs = []
+    for name in ("compress", "perl"):
+        jobs.append(SimJob(name, _CONFIG, None, _LIMIT))
+        jobs.append(SimJob(name, _CONFIG, GREAT_MODEL, _LIMIT))
+    return jobs
+
+
+class TestSimJob:
+    def test_picklable(self):
+        job = SimJob("compress", _CONFIG, GREAT_MODEL, _LIMIT)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+
+    def test_task_seed_content_derived_and_stable(self):
+        a = SimJob("compress", _CONFIG, None, _LIMIT)
+        b = SimJob("compress", _CONFIG, GREAT_MODEL, _LIMIT)
+        c = SimJob("perl", _CONFIG, None, _LIMIT)
+        assert a.task_seed() == b.task_seed()  # same workload, same seed
+        assert a.task_seed() != c.task_seed()
+        assert SimJob("perl", _CONFIG, None, _LIMIT, seed=5).task_seed() == 5
+
+
+class TestEffectiveJobs:
+    def test_clamps_to_task_count(self):
+        assert effective_jobs(8, 3) == 3
+        assert effective_jobs(2, 3) == 2
+
+    def test_zero_and_none_mean_all_cores(self):
+        assert effective_jobs(0, 100) >= 1
+        assert effective_jobs(None, 100) >= 1
+
+    def test_empty_grid(self):
+        assert effective_jobs(4, 0) == 1
+
+
+class TestMergeExactness:
+    def test_workers_match_inline(self):
+        grid = _tiny_grid()
+        inline = run_jobs(grid, jobs=1)
+        fanned = run_jobs(grid, jobs=2)
+        assert [r.counters for r in inline] == [r.counters for r in fanned]
+        assert [r.cycles for r in inline] == [r.cycles for r in fanned]
+
+    def test_results_positionally_aligned(self):
+        grid = _tiny_grid()
+        results = run_jobs(grid, jobs=2)
+        # Baseline runs retire the same instruction count as the model
+        # runs of the same benchmark: alignment is (base, model) pairs.
+        for base, model in zip(results[::2], results[1::2]):
+            assert base.counters.retired == model.counters.retired
+            assert base.model_name is None  # baseline run
+            assert model.model_name == "great"
+
+    def test_run_grid_keys_in_input_order(self):
+        names = ["perl", "compress"]
+        results = run_grid(
+            names, _CONFIG, None, max_instructions=_LIMIT, jobs=2
+        )
+        assert list(results) == names
+
+
+class TestSweepEquality:
+    def test_sweep_identical_across_worker_counts(self):
+        from repro.harness.sweeps import invalidation_scheme_sweep
+
+        kw = dict(max_instructions=_LIMIT, benchmarks=["perl"])
+        assert invalidation_scheme_sweep(**kw, jobs=1) == (
+            invalidation_scheme_sweep(**kw, jobs=3)
+        )
+
+    def test_stateful_factories_fresh_per_job(self):
+        # The confidence sweep passes estimator *factories*; a leaked
+        # shared estimator would make inline and fanned runs diverge.
+        from repro.harness.sweeps import confidence_strength_sweep
+
+        kw = dict(
+            max_instructions=_LIMIT,
+            benchmarks=["compress", "perl"],
+            counter_bits=(2,),
+        )
+        assert confidence_strength_sweep(**kw, jobs=1) == (
+            confidence_strength_sweep(**kw, jobs=2)
+        )

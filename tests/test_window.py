@@ -21,8 +21,13 @@ def _station(sid, opcode=Opcode.ADD, srcs=(1,), dest=8):
     rec = TraceRecord(sid, 0x1000 + 8 * sid, opcode, srcs, dest, 1, next_pc=0)
     station = Station(sid, rec)
     for i, reg in enumerate(srcs):
-        station.operands.append(Operand(reg, None))
+        station.add_operand(Operand(reg, None))
     return station
+
+
+def _replace_operand(station, index, operand):
+    station.operands[index] = operand
+    station.in_dirty = True
 
 
 class TestOperand:
@@ -37,30 +42,30 @@ class TestOperand:
 
     def test_deliver_prediction(self):
         operand = Operand(3, producer_sid=7)
-        operand.deliver(taints={7}, correct=True, cycle=5, from_prediction=True)
+        operand.deliver(taints=1 << 7, correct=True, cycle=5, from_prediction=True)
         assert operand.state is ValueState.PREDICTED
 
     def test_deliver_speculative(self):
         operand = Operand(3, producer_sid=7)
-        operand.deliver(taints={2}, correct=True, cycle=5, from_prediction=False)
+        operand.deliver(taints=1 << 2, correct=True, cycle=5, from_prediction=False)
         assert operand.state is ValueState.SPECULATIVE
 
     def test_clear_taint_upgrades_to_valid(self):
         operand = Operand(3, producer_sid=7)
-        operand.deliver(taints={7}, correct=True, cycle=5, from_prediction=True)
-        assert operand.clear_taint(7, cycle=9)
+        operand.deliver(taints=1 << 7, correct=True, cycle=5, from_prediction=True)
+        assert operand.clear_taint(1 << 7, cycle=9)
         assert operand.state is ValueState.VALID
         assert operand.valid_cycle == 9 and operand.via_network
 
     def test_clear_taint_partial(self):
         operand = Operand(3, producer_sid=7)
-        operand.deliver(taints={7, 8}, correct=True, cycle=5, from_prediction=False)
-        assert not operand.clear_taint(7, cycle=9)
+        operand.deliver(taints=(1 << 7) | (1 << 8), correct=True, cycle=5, from_prediction=False)
+        assert not operand.clear_taint(1 << 7, cycle=9)
         assert operand.state is ValueState.SPECULATIVE
 
     def test_reset_pending(self):
         operand = Operand(3, producer_sid=7)
-        operand.deliver(taints={7}, correct=True, cycle=5, from_prediction=True)
+        operand.deliver(taints=1 << 7, correct=True, cycle=5, from_prediction=True)
         operand.reset_pending()
         assert operand.state is ValueState.INVALID
 
@@ -138,9 +143,9 @@ class TestWakeup:
 
     def test_speculative_operand_wakes_under_paper_policy(self):
         station = _station(0, srcs=(1,))
-        station.operands[0] = Operand(1, producer_sid=9)
+        _replace_operand(station, 0, Operand(1, producer_sid=9))
         station.operands[0].deliver(
-            taints={9}, correct=True, cycle=0, from_prediction=True
+            taints=1 << 9, correct=True, cycle=0, from_prediction=True
         )
         assert can_wake(station, self.VARS, cycle=1)
         strict = ModelVariables(wakeup=WakeupPolicy.VALID_ONLY)
@@ -148,9 +153,9 @@ class TestWakeup:
 
     def test_branch_requires_valid_operands(self):
         station = _station(0, opcode=Opcode.BEQ, srcs=(1, 2), dest=None)
-        station.operands[0] = Operand(1, producer_sid=9)
+        _replace_operand(station, 0, Operand(1, producer_sid=9))
         station.operands[0].deliver(
-            taints={9}, correct=True, cycle=0, from_prediction=True
+            taints=1 << 9, correct=True, cycle=0, from_prediction=True
         )
         assert not can_wake(station, self.VARS, cycle=1)
         permissive = ModelVariables(
@@ -186,9 +191,9 @@ class TestSelection:
 
     def test_non_speculative_preferred(self):
         speculative = _station(0)
-        speculative.operands[0] = Operand(1, producer_sid=9)
+        _replace_operand(speculative, 0, Operand(1, producer_sid=9))
         speculative.operands[0].deliver(
-            taints={9}, correct=True, cycle=0, from_prediction=True
+            taints=1 << 9, correct=True, cycle=0, from_prediction=True
         )
         plain = _station(1)
         chosen = select(
@@ -198,9 +203,9 @@ class TestSelection:
 
     def test_speculative_equal_policy_ignores_taints(self):
         speculative = _station(0)
-        speculative.operands[0] = Operand(1, producer_sid=9)
+        _replace_operand(speculative, 0, Operand(1, producer_sid=9))
         speculative.operands[0].deliver(
-            taints={9}, correct=True, cycle=0, from_prediction=True
+            taints=1 << 9, correct=True, cycle=0, from_prediction=True
         )
         plain = _station(1)
         variables = ModelVariables(selection=SelectionPolicy.SPECULATIVE_EQUAL)
