@@ -27,11 +27,35 @@ from repro.func import Machine
 from repro.programs.micro import MICRO_KERNELS, micro_kernel
 from repro.programs.suite import benchmark_suite
 from repro.trace.capture import capture_trace
+from repro.vp.confidence import SaturatingConfidenceEstimator
+from repro.vp.hybrid import HybridPredictor
+from repro.vp.last_value import LastValuePredictor
+from repro.vp.stride import StridePredictor
+from repro.vp.tagged import TaggedContextPredictor
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+VARIANT_DIR = GOLDEN_DIR / "variants"
 SPEC_TRACE_LIMIT = 2000
 MICRO_TRACE_LIMIT = 3000
 CONFIG = ProcessorConfig(issue_width=8, window_size=48)
+
+#: The variant matrix pins engine/predictor paths the main D/R snapshots
+#: never exercise: immediate update timing, saturating (non-resetting)
+#: confidence, and every alternative predictor implementation.  Each entry
+#: is (variant name, update timing, confidence factory, predictor factory).
+VARIANTS = (
+    ("great_IR", "I", None, None),
+    ("great_DS", "D", SaturatingConfidenceEstimator, None),
+    ("lastvalue_DR", "D", None, LastValuePredictor),
+    ("stride_DR", "D", None, StridePredictor),
+    ("hybrid_DR", "D", None, HybridPredictor),
+    ("tagged_IR", "I", None, TaggedContextPredictor),
+)
+
+#: Variant snapshots run on a workload subset (the full counter dumps pin
+#: the code path, not the workload sweep — the 13 main snapshots do that).
+VARIANT_WORKLOADS = ("micro_fib", "micro_pointer_chase",
+                     "micro_streaming", "spec_compress")
 
 
 def counters_dict(counters) -> dict:
@@ -58,6 +82,7 @@ def workloads():
 
 def main() -> None:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    VARIANT_DIR.mkdir(parents=True, exist_ok=True)
     for label, trace in workloads():
         base = run_baseline(trace, CONFIG)
         vp = run_trace(
@@ -76,6 +101,32 @@ def main() -> None:
         path = GOLDEN_DIR / f"{label}.json"
         path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
         print(f"wrote {path.name}: base {base.cycles} cyc, vp {vp.cycles} cyc")
+        if label not in VARIANT_WORKLOADS:
+            continue
+        for variant, timing, conf_factory, pred_factory in VARIANTS:
+            vp = run_trace(
+                trace,
+                CONFIG,
+                GREAT_MODEL,
+                confidence=conf_factory() if conf_factory else "R",
+                update_timing=timing,
+                predictor=pred_factory() if pred_factory else None,
+            )
+            vsnap = {
+                "workload": label,
+                "variant": variant,
+                "trace_length": len(trace),
+                "config": {"issue_width": CONFIG.issue_width,
+                           "window_size": CONFIG.window_size},
+                "model": "great",
+                "update_timing": timing,
+                "confidence": conf_factory.__name__ if conf_factory else "R",
+                "predictor": pred_factory.__name__ if pred_factory else "context",
+                "vp": counters_dict(vp.counters),
+            }
+            vpath = VARIANT_DIR / f"{label}__{variant}.json"
+            vpath.write_text(json.dumps(vsnap, indent=1, sort_keys=True) + "\n")
+            print(f"wrote variants/{vpath.name}: vp {vp.cycles} cyc")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_engine_perf.json against the committed record.
+
+CI regenerates the throughput record on every run, but absolute ips
+numbers are host-dependent; this script turns the two records into
+per-model ratios so a human can spot a real regression at a glance.  It
+is deliberately **non-blocking**: it always exits 0 unless asked to
+gate via ``--fail-below`` (cross-host ratios are too noisy for a hard
+CI gate — see docs/PERFORMANCE.md, "Methodology").
+
+Usage::
+
+    python scripts/perf_diff.py BENCH_engine_perf.json            # text
+    python scripts/perf_diff.py BENCH_engine_perf.json --markdown # CI summary
+    python scripts/perf_diff.py new.json --baseline old.json
+
+With no ``--baseline`` the committed record is read from ``git show
+HEAD:BENCH_engine_perf.json`` (the file in the worktree has just been
+overwritten by the benchmark run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_RECORD = "BENCH_engine_perf.json"
+
+
+def _committed_record() -> dict | None:
+    try:
+        shown = subprocess.run(
+            ["git", "show", f"HEAD:{_RECORD}"],
+            cwd=_REPO_ROOT, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if shown.returncode != 0:
+        return None
+    try:
+        return json.loads(shown.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def _model_aggregates(report: dict) -> dict[str, int]:
+    """Per-model aggregate ips, recomputed from points when the record
+    predates the ``model_aggregate_ips`` field."""
+    aggregates = report.get("model_aggregate_ips")
+    if aggregates:
+        return dict(aggregates)
+    instructions: dict[str, int] = {}
+    seconds: dict[str, float] = {}
+    for point in report.get("points", []):
+        model = point["model"]
+        instructions[model] = instructions.get(model, 0) + point["instructions"]
+        seconds[model] = seconds.get(model, 0.0) + point["best_seconds"]
+    return {
+        model: round(instructions[model] / seconds[model])
+        for model in instructions
+        if seconds.get(model)
+    }
+
+
+def diff(new: dict, baseline: dict) -> list[tuple[str, int | None, int, float | None]]:
+    """Rows of (model, baseline ips, new ips, ratio)."""
+    new_aggregates = _model_aggregates(new)
+    base_aggregates = _model_aggregates(baseline)
+    rows = []
+    for model, new_ips in new_aggregates.items():
+        old_ips = base_aggregates.get(model)
+        ratio = new_ips / old_ips if old_ips else None
+        rows.append((model, old_ips, new_ips, ratio))
+    return rows
+
+
+def render_text(rows, new: dict, baseline: dict) -> str:
+    lines = [
+        f"engine throughput: {new.get('git_revision', '?')} vs "
+        f"committed {baseline.get('git_revision', '?')}",
+        f"{'model':8s} {'committed':>12s} {'new':>12s} {'ratio':>8s}",
+    ]
+    for model, old_ips, new_ips, ratio in rows:
+        old_text = f"{old_ips:,}" if old_ips else "-"
+        ratio_text = f"{ratio:.3f}" if ratio else "-"
+        lines.append(f"{model:8s} {old_text:>12s} {new_ips:>12,} {ratio_text:>8s}")
+    lines.append(
+        "(ips are host-dependent; ratios across different machines are "
+        "indicative only)"
+    )
+    return "\n".join(lines)
+
+
+def render_markdown(rows, new: dict, baseline: dict) -> str:
+    lines = [
+        "### Engine throughput vs committed record",
+        "",
+        f"`{new.get('git_revision', '?')}` vs committed "
+        f"`{baseline.get('git_revision', '?')}` "
+        f"(trace limit {new.get('trace_limit', '?')}, "
+        f"best-of-{new.get('reps_best_of', '?')} process time)",
+        "",
+        "| model | committed ips | new ips | ratio |",
+        "|---|---:|---:|---:|",
+    ]
+    for model, old_ips, new_ips, ratio in rows:
+        old_text = f"{old_ips:,}" if old_ips else "–"
+        ratio_text = f"{ratio:.3f}" if ratio else "–"
+        lines.append(f"| {model} | {old_text} | {new_ips:,} | {ratio_text} |")
+    lines += [
+        "",
+        "_ips are host-dependent; this check is informational, not a gate._",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", help="freshly generated BENCH_engine_perf.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline record (default: `git show HEAD:{_RECORD}`)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit a GitHub step summary"
+    )
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 when any per-model ratio drops below RATIO",
+    )
+    args = parser.parse_args(argv)
+
+    new = json.loads(Path(args.new).read_text())
+    if args.baseline is not None:
+        baseline = json.loads(Path(args.baseline).read_text())
+    else:
+        baseline = _committed_record()
+        if baseline is None:
+            print(f"no committed {_RECORD} to diff against; skipping")
+            return 0
+
+    rows = diff(new, baseline)
+    print(render_markdown(rows, new, baseline) if args.markdown
+          else render_text(rows, new, baseline))
+
+    if args.fail_below is not None:
+        failing = [r for r in rows if r[3] is not None and r[3] < args.fail_below]
+        if failing:
+            print(
+                f"ratio below {args.fail_below} for: "
+                + ", ".join(model for model, *_ in failing),
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

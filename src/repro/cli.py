@@ -6,7 +6,14 @@ list                      list reproducible experiments
 run <id> [options]        run one experiment and print its table/figure
 describe <model>          print a speculative-execution model's two tables
 bench <name> [options]    simulate one benchmark kernel and print counters
+cache info|clear|warm     manage the persistent on-disk trace cache
 table1 / figure1 / figure3 / figure4   shorthands for ``run <id>``
+
+Trace acquisition (``bench``, ``analyze`` and every experiment sweep)
+goes through the content-addressed trace cache (``repro.trace.cache``,
+``REPRO_TRACE_CACHE`` to relocate or disable): a warm cache replays
+captured kernel traces from disk instead of re-running the functional
+simulator.
 """
 
 from __future__ import annotations
@@ -65,8 +72,10 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.trace.cache import cached_trace
+
     spec = kernel(args.name)
-    trace = spec.trace(args.max_instructions)
+    trace = cached_trace(args.name, args.max_instructions)
     config = paper_config(args.config)
     base = run_baseline(trace, config)
     print(summarize_counters(base.counters, f"{spec.name} @ {config.label} (base)"))
@@ -110,10 +119,44 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import render_workload_report
+    from repro.trace.cache import cached_trace
 
     spec = kernel(args.name)
-    trace = spec.trace(args.max_instructions)
+    trace = cached_trace(args.name, args.max_instructions)
     print(render_workload_report(trace, f"{spec.name} ({spec.input_label})"))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.trace import cache as trace_cache
+
+    if args.action == "info":
+        info = trace_cache.cache_info()
+        state = "enabled" if info["enabled"] else "disabled"
+        print(f"trace cache: {state}")
+        if info["enabled"]:
+            print(f"  dir      {info['dir']}")
+            print(f"  entries  {info['entries']}")
+            print(f"  bytes    {info['bytes']}")
+            for name in info["files"]:
+                print(f"    {name}")
+        return 0
+    if args.action == "clear":
+        removed = trace_cache.clear_cache()
+        print(f"removed {removed} cached trace(s)")
+        return 0
+    # warm
+    if not trace_cache.cache_enabled():
+        print(
+            f"trace cache is disabled ({trace_cache.ENV_VAR}); "
+            "nothing to warm",
+            file=sys.stderr,
+        )
+        return 2
+    names = args.benchmarks or kernel_names()
+    lengths = trace_cache.warm_cache(names, args.max_instructions)
+    for name, length in lengths.items():
+        print(f"{name:10s} {length:8d} instructions cached")
     return 0
 
 
@@ -178,6 +221,30 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("name", choices=kernel_names())
     analyze_parser.add_argument("--max-instructions", type=int, default=20000)
     analyze_parser.set_defaults(func=_cmd_analyze)
+
+    cache_parser = sub.add_parser(
+        "cache", help="manage the persistent on-disk trace cache"
+    )
+    cache_parser.add_argument(
+        "action",
+        choices=("info", "clear", "warm"),
+        help="info: show location/contents; clear: delete entries; "
+        "warm: pre-capture benchmark traces",
+    )
+    cache_parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="benchmarks to warm (default: the full suite)",
+    )
+    cache_parser.add_argument(
+        "--max-instructions",
+        type=int,
+        default=None,
+        help="trace limit for warmed entries (default: full traces)",
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     bench_parser = sub.add_parser("bench", help="simulate one kernel")
     bench_parser.add_argument("name", choices=kernel_names())

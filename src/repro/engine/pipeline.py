@@ -43,8 +43,8 @@ single cycle of behaviour (the golden-counter tests pin this):
 from __future__ import annotations
 
 import gc
-import heapq
 from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 
 from repro.core.latency import LatencyModel
 from repro.core.model import SpeculativeExecutionModel
@@ -59,8 +59,8 @@ from repro.core.variables import (
 )
 from repro.core.events import EventLog, SpecEventKind
 from repro.engine.config import ProcessorConfig
-from repro.isa.opcodes import OpClass
-from repro.frontend.fetch import FetchedInstruction, FetchEngine
+from repro.isa.opcodes import INSTRUCTION_BYTES, OpClass
+from repro.frontend.fetch import FetchEngine
 from repro.frontend.gshare import GsharePredictor
 from repro.mem.hierarchy import MemoryHierarchy, make_paper_hierarchy
 from repro.mem.lsq import LoadStoreQueue
@@ -75,6 +75,10 @@ from repro.window.ruu import InstructionWindow
 from repro.window.selection import select
 from repro.window.station import Operand, Station
 from repro.window.taintmask import TaintBitAllocator
+
+#: PC -> table-index shift used by the fused value-prediction fast path
+#: (the same shift the predictor and confidence tables use internally).
+_VP_PC_SHIFT = INSTRUCTION_BYTES.bit_length() - 1
 
 # Event kinds on the timing heap.
 _RESULT = 0
@@ -193,6 +197,20 @@ class PipelineSimulator:
             VerificationScheme.RETIREMENT_BASED,
             VerificationScheme.HYBRID,
         )
+        #: Non-flattened verification chains equality events through
+        #: ``_maybe_chain_equality``; False (the default scheme) lets
+        #: ``_clear_taints`` skip that helper entirely.
+        scheme = self.variables.verification
+        self._chain_equality = scheme is not VerificationScheme.PARALLEL_NETWORK
+        #: Scheme dispatch for ``_on_verify``, resolved once per run.
+        if scheme is VerificationScheme.PARALLEL_NETWORK:
+            self._verify_impl = self._verify_parallel
+        elif scheme is VerificationScheme.HIERARCHICAL:
+            self._verify_impl = self._verify_hierarchical
+        else:  # RETIREMENT_BASED and HYBRID
+            self._verify_impl = lambda source, cycle: (
+                self._verify_retirement_based(source, cycle, scheme)
+            )
         #: VP-gate fast flags: with the default config every register
         #: writer is prediction-eligible and ports are unlimited, so the
         #: per-dispatch gate collapses to two truthy attribute loads.
@@ -201,21 +219,85 @@ class PipelineSimulator:
         #: Default selection policy fast path: issue sorts native key
         #: tuples instead of calling a key function per candidate.
         self._sel_paper = self.variables.selection is SelectionPolicy.PAPER
+        #: Per-call constants, hoisted for the per-cycle stage methods.
+        self._wakeup_valid_only = self.variables.wakeup is WakeupPolicy.VALID_ONLY
+        self._branch_valid_only = (
+            self.variables.branch_resolution is BranchResolution.VALID_ONLY
+        )
+        self._issue_width = config.issue_width
+        self._dispatch_width = config.dispatch_width
+        self._retire_width = config.retire_width
+        self._fetch_width = config.fetch_width
+        self._dispatch_latency = config.dispatch_latency
+        self._model_on = model is not None
+        #: Value-prediction hot-path hoists: the update-timing branch flag,
+        #: the approximate-equality shift, and bound predictor/confidence
+        #: methods (``_predict_value`` runs once per register-writing
+        #: dispatch, so each saved attribute chain counts).
+        self._vp_delayed = update_timing is not UpdateTiming.IMMEDIATE
+        self._eq_shift = config.equality_ignore_low_bits
+        if self.predictor is not None:
+            self._vp_predict = self.predictor.predict
+            self._vp_predict_speculate = self.predictor.predict_speculate
+            self._vp_train = self.predictor.train
+        else:
+            self._vp_predict = self._vp_predict_speculate = None
+            self._vp_train = None
+        if self.confidence is not None:
+            self._conf_confident = self.confidence.confident
+            self._conf_update = self.confidence.update
+        else:
+            self._conf_confident = self._conf_update = None
+        #: Fused fast path for the default model stack — exact types only
+        #: (a subclass could override any of the methods being inlined),
+        #: delayed update timing, exact equality.  When it applies,
+        #: ``_predict_value`` is rebound to the fused variant and the
+        #: confidence table's internals are hoisted for the retire-side
+        #: inline update.  Behaviour is bit-identical either way (the
+        #: golden-counter tests run both stacks).
+        self._fast_vp = (
+            type(self.predictor) is ContextValuePredictor
+            and type(self.confidence) is ResettingConfidenceEstimator
+            and self._vp_delayed
+            and not self._eq_shift
+        )
+        if self._fast_vp:
+            self._fconf_counters = self.confidence._counters
+            self._fconf_mask = self.confidence._mask
+            self._fconf_max = self.confidence.max_count
+            self._predict_value = self._predict_value_fast
+        else:
+            self._fconf_counters = None
+            self._fconf_mask = self._fconf_max = 0
 
         self.cycle = 0
         self._next_sid = 0
-        self._events: list[tuple[int, int, int, Station, int]] = []
-        self._event_counter = 0
-        self._fetch_queue: deque[tuple[FetchedInstruction, int]] = deque()
+        #: Timing events bucketed by cycle (``cycle -> [entry, ...]``).
+        #: Latencies are non-negative, so no event is ever scheduled into
+        #: the past and a plain dict beats a heap: scheduling is an append,
+        #: the per-cycle poll is one membership test, and within a bucket
+        #: append order is exactly the old heap's tiebreak order.  An entry
+        #: is ``(kind, station, epoch)`` plus a trailing consumer frontier
+        #: for wave transactions.
+        self._events: dict[int, list[tuple]] = {}
+        #: Fetched instructions awaiting dispatch as raw
+        #: ``(rec, wrong_path, mispredicted, ready_cycle)`` tuples — the
+        #: :class:`FetchedInstruction` wrapper is public-API only.
+        self._fetch_queue: deque[tuple[TraceRecord, bool, bool, int]] = deque()
         self._fetch_limit = config.fetch_width * (config.dispatch_latency + 2)
         self._writers: dict[int, list[int]] = {}
-        self._pending_train: dict[int, tuple[int, int, bool, object]] = {}
         self._pending_branch: Station | None = None
         #: Loads whose address generation finished and whose memory access
         #: is pending (valid-address gate / prior stores / ports), as
         #: (station, epoch) pairs retried every cycle.
         self._waiting_access: list[tuple[Station, int]] = []
         self._last_retire_cycle = 0
+        #: Cycle before which no retirement can succeed: set when the head
+        #: is complete and merely waiting out its release delay (its
+        #: finality inputs are frozen at that point), letting the run loop
+        #: skip ``_retire`` calls entirely.  Never set under
+        #: retirement-based validation, which must run every cycle.
+        self._retire_gate = 0
         #: Bitmask of sources resolved correct, awaiting retirement-based
         #: propagation (RETIREMENT_BASED / HYBRID verification only).
         self._retire_verified = 0
@@ -239,19 +321,18 @@ class PipelineSimulator:
     # ------------------------------------------------------------------
 
     def _schedule(self, cycle: int, kind: int, station: Station) -> None:
-        self._event_counter += 1
-        heapq.heappush(
-            self._events, (cycle, self._event_counter, kind, station, station.epoch)
-        )
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            bucket = self._events[cycle] = []
+        bucket.append((kind, station, station.epoch))
 
     def _schedule_wave(
         self, cycle: int, kind: int, source: Station, wave: list[int]
     ) -> None:
-        self._event_counter += 1
-        heapq.heappush(
-            self._events,
-            (cycle, self._event_counter, kind, source, source.epoch, wave),  # type: ignore[arg-type]
-        )
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            bucket = self._events[cycle] = []
+        bucket.append((kind, source, source.epoch, wave))
 
     # -- wakeup plumbing ------------------------------------------------
 
@@ -265,7 +346,7 @@ class PipelineSimulator:
     def _gate_wakeup(self, cycle: int, station: Station) -> None:
         """Park ``station`` until ``cycle`` (a known future issue gate)."""
         self._wake_counter += 1
-        heapq.heappush(
+        _heappush(
             self._wake_heap, (cycle, self._wake_counter, station, station.epoch)
         )
 
@@ -280,11 +361,14 @@ class PipelineSimulator:
             union |= station.out_taints | station.exec_taints
             for operand in station.operands:
                 union |= operand.taints
-        for entry in self._events:
-            source = entry[3]
-            union |= source.taint_mask | source.out_taints | source.exec_taints
-            for operand in source.operands:
-                union |= operand.taints
+        for bucket in self._events.values():
+            for entry in bucket:
+                source = entry[1]
+                union |= (
+                    source.taint_mask | source.out_taints | source.exec_taints
+                )
+                for operand in source.operands:
+                    union |= operand.taints
         return union
 
     def _alloc_taint_mask(self, station: Station) -> int:
@@ -321,6 +405,7 @@ class PipelineSimulator:
         events = self._events
         pool = self._ready_pool
         wake_heap = self._wake_heap
+        rb_validate = self._rb_validate
         fetch_queue = self._fetch_queue
         fetch_engine = self.fetch_engine
         trace_len = len(fetch_engine.trace)
@@ -328,6 +413,9 @@ class PipelineSimulator:
         max_cycles = self.config.max_cycles
         sample_interval = self.config.sample_interval
         cycle = self.cycle
+        # Only _retire advances the gate, so run() mirrors it in a local
+        # and refreshes after each _retire call.
+        retire_gate = self._retire_gate
         # Stations and operands form an acyclic graph (no owner
         # backrefs), so everything the loop drops is reclaimed by
         # reference counting; pausing the cycle detector for the run
@@ -347,16 +435,29 @@ class PipelineSimulator:
                         f"{counters.retired}/{total} retired — deadlock?"
                     )
                 self.cycle = cycle
-                if win:
-                    self._retire()
-                if events and events[0][0] <= cycle:
+                if win and cycle >= retire_gate:
+                    # The _retire head early-out, inlined: most cycles the
+                    # head is wrong-path or still in flight, which three
+                    # attribute reads establish without a call (rb schemes
+                    # always call — their validation runs every cycle).
+                    head = next(iter(win.values()))
+                    if rb_validate or not (
+                        head.wrong_path or not head.executed or head.executing
+                    ):
+                        self._retire()
+                        retire_gate = self._retire_gate
+                if cycle in events:
                     self._process_events()
                 if pool or self._waiting_access or (
                     wake_heap and wake_heap[0][0] <= cycle
                 ):
                     self._issue()
                 if fetch_queue:
-                    self._dispatch()
+                    # The queue is FIFO on ready cycles, so a not-yet-ready
+                    # head means dispatch would break on its first
+                    # iteration without touching a counter.
+                    if fetch_queue[0][3] <= cycle:
+                        self._dispatch()
                 elif (
                     fetch_engine._index < trace_len
                     or fetch_engine._wrong_path_gen is not None
@@ -386,18 +487,18 @@ class PipelineSimulator:
         room = self._fetch_limit - len(self._fetch_queue)
         if room <= 0:
             return
-        batch = self.fetch_engine.fetch(
-            self.cycle, min(self.config.fetch_width, room)
+        batch = self.fetch_engine.fetch_raw(
+            self.cycle, min(self._fetch_width, room)
         )
         if not batch:
             return
-        ready = self.cycle + self.config.dispatch_latency
+        ready = self.cycle + self._dispatch_latency
         fetch_queue = self._fetch_queue
         log_on = self._log_on
-        for fetched in batch:
-            fetch_queue.append((fetched, ready))
-            if log_on and not fetched.wrong_path:
-                self.log.emit(fetched.rec.seq, SpecEventKind.FETCH, self.cycle)
+        for rec, wrong_path, mispredicted in batch:
+            fetch_queue.append((rec, wrong_path, mispredicted, ready))
+            if log_on and not wrong_path:
+                self.log.emit(rec.seq, SpecEventKind.FETCH, self.cycle)
 
     def _dispatch(self) -> None:
         """Dispatch up to ``dispatch_width`` instructions into the window
@@ -410,10 +511,12 @@ class PipelineSimulator:
         capacity = self.window.capacity
         counters = self.counters
         cycle = self.cycle
-        width = self.config.dispatch_width
+        width = self._dispatch_width
         writers = self._writers
         regfile_operands = self._regfile_operands
         lsq = self.lsq
+        lsq_entries = lsq._entries  # lsq.full, inlined below
+        lsq_capacity = lsq.capacity
         pool = self._ready_pool
         window = self.window
         log_on = self._log_on
@@ -421,21 +524,26 @@ class PipelineSimulator:
         predict_all = self._predict_all
         vp_unlimited = self._vp_unlimited
         next_sid = self._next_sid
+        # Per-instruction counters accumulate in locals and flush once
+        # after the loop (an attribute RMW per instruction is overhead).
+        n_wrong = n_branches = n_mispred = n_loads = n_stores = 0
         while dispatched < width:
             if not fetch_queue:
                 if dispatched == 0 and not self.fetch_engine.exhausted:
                     counters.stall_fetch_empty += 1
                 break
-            fetched, ready = fetch_queue[0]
+            rec, wrong_path, mispredicted, ready = fetch_queue[0]
             if ready > cycle:
                 break
             if len(win) >= capacity:
                 if dispatched == 0:
                     counters.stall_window_full += 1
                 break
-            rec = fetched.rec
-            wrong_path = fetched.wrong_path
-            if rec.is_memory and not wrong_path and lsq.full:
+            if (
+                rec.is_memory
+                and not wrong_path
+                and len(lsq_entries) >= lsq_capacity
+            ):
                 if dispatched == 0:
                     counters.stall_lsq_full += 1
                 break
@@ -493,17 +601,17 @@ class PipelineSimulator:
                 self._predict_value(station)
 
             if rec.is_branch and not wrong_path:
-                counters.branches += 1
-            if fetched.mispredicted:
+                n_branches += 1
+            if mispredicted:
                 station.branch_mispredicted = True
                 self._pending_branch = station
-                counters.branch_mispredictions += 1
+                n_mispred += 1
             if rec.is_memory and not wrong_path:
                 lsq.allocate(sid, rec.is_store)
                 if rec.is_load:
-                    counters.loads += 1
+                    n_loads += 1
                 else:
-                    counters.stores += 1
+                    n_stores += 1
             if writes:
                 dest_list = writers.get(rec.dest_reg)
                 if dest_list is None:
@@ -518,13 +626,19 @@ class PipelineSimulator:
             if len(win) > window.peak_occupancy:
                 window.peak_occupancy = len(win)
             pool[sid] = station
-            counters.dispatched += 1
             if wrong_path:
-                counters.dispatched_wrong_path += 1
+                n_wrong += 1
             if log_on and not wrong_path:
                 self.log.emit(rec.seq, SpecEventKind.DISPATCH, cycle)
             dispatched += 1
         self._next_sid = next_sid
+        if dispatched:
+            counters.dispatched += dispatched
+            counters.dispatched_wrong_path += n_wrong
+            counters.branches += n_branches
+            counters.branch_mispredictions += n_mispred
+            counters.loads += n_loads
+            counters.stores += n_stores
 
     _LONG_LATENCY_CLASSES = frozenset(
         (
@@ -564,22 +678,22 @@ class PipelineSimulator:
     def _predict_value(self, station: Station) -> None:
         rec = station.rec
         actual = rec.dest_value
-        delayed = self.update_timing is not UpdateTiming.IMMEDIATE
+        delayed = self._vp_delayed
         if delayed:
-            predicted, token = self.predictor.predict_speculate(rec.pc)
+            predicted, token = self._vp_predict_speculate(rec.pc)
         else:
-            predicted = self.predictor.predict(rec.pc)
+            predicted = self._vp_predict(rec.pc)
         pred_correct = predicted == actual
-        if not pred_correct and self.config.equality_ignore_low_bits:
+        if not pred_correct and self._eq_shift:
             # Approximate equality (Section 3.3 extension): the comparators
             # ignore the low bits, accepting near-miss predictions.  Timing
             # treats the prediction as correct; architectural results are
             # unaffected (the trace carries the true value).
-            shift = self.config.equality_ignore_low_bits
+            shift = self._eq_shift
             if (predicted >> shift) == ((actual or 0) >> shift):
                 pred_correct = True
                 self.counters.approximate_matches += 1
-        confident = self.confidence.confident(rec.pc, pred_correct)
+        confident = self._conf_confident(rec.pc, pred_correct)
 
         counters = self.counters
         counters.predictions += 1
@@ -595,10 +709,86 @@ class PipelineSimulator:
             counters.incorrect_low += 1
 
         if delayed:
-            self._pending_train[station.sid] = (rec.pc, actual, pred_correct, token)
+            station.pending_train = (
+                rec.pc, actual, pred_correct, token, rec.dest_fold,
+            )
         else:
-            self.predictor.train(rec.pc, actual)
-            self.confidence.update(rec.pc, pred_correct)
+            self._vp_train(rec.pc, actual, None, rec.dest_fold)
+            self._conf_update(rec.pc, pred_correct)
+
+        if confident:
+            station.predicted = True
+            station.predicted_confident = True
+            station.pred_correct = pred_correct
+            station.out_ready = True
+            station.taint_mask = self._alloc_taint_mask(station)
+            station.out_taints = station.taint_mask
+            station.out_correct = pred_correct
+            counters.speculated += 1
+            if not pred_correct:
+                counters.misspeculations += 1
+            if self._log_on:
+                self.log.emit(rec.seq, SpecEventKind.PREDICT, self.cycle)
+
+    def _predict_value_fast(self, station: Station) -> None:
+        """``_predict_value`` for the default stack, with the predictor's
+        fused predict+speculate and the confidence probe inlined so one
+        prediction performs zero intermediate calls (see the ``_fast_vp``
+        selection in ``__init__``; bit-identical to the generic path)."""
+        rec = station.rec
+        actual = rec.dest_value
+        pc = rec.pc
+        vp = self.predictor
+        # -- ContextValuePredictor.predict_speculate, inlined ------------
+        vp.stats.lookups += 1
+        index = (pc >> _VP_PC_SHIFT) & vp._l1_mask
+        entries = vp._entries
+        entry = entries.get(index)
+        if entry is None:
+            entry = entries[index] = vp._fresh.copy()
+        unmasked = entry[0]
+        ctx = unmasked & vp._ctx_mask
+        predicted = vp._values[ctx]
+        fold = vp._value_folds[ctx]
+        token = vp._next_token
+        vp._next_token = token + 1
+        spec_map = vp._spec
+        spec = spec_map.get(index)
+        if spec is None:
+            spec = spec_map[index] = []
+        order = vp.order
+        depth = len(spec)
+        if depth < order:
+            # Entry layout: [live, committed, head, folds…, values…].
+            oldest = entry[3 + (entry[2] + depth) % order]
+        else:
+            oldest = spec[depth - order][2]
+        entry[0] = ((unmasked ^ oldest) >> 1) ^ (fold << (order - 1))
+        spec.append((token, predicted, fold))
+
+        pred_correct = predicted == actual
+        # -- ResettingConfidenceEstimator.confident, inlined -------------
+        confident = (
+            self._fconf_counters[(pc >> _VP_PC_SHIFT) & self._fconf_mask]
+            == self._fconf_max
+        )
+
+        counters = self.counters
+        counters.predictions += 1
+        if pred_correct:
+            counters.predictions_correct += 1
+            if confident:
+                counters.correct_high += 1
+            else:
+                counters.correct_low += 1
+        elif confident:
+            counters.incorrect_high += 1
+        else:
+            counters.incorrect_low += 1
+
+        station.pending_train = (
+            pc, actual, pred_correct, token, rec.dest_fold,
+        )
 
         if confident:
             station.predicted = True
@@ -649,21 +839,19 @@ class PipelineSimulator:
         so the candidate set — and therefore every simulated cycle — is
         identical, just computed over O(ready) stations.
         """
-        self._drain_waiting_access()
+        if self._waiting_access:
+            self._drain_waiting_access()
         cycle = self.cycle
         pool = self._ready_pool
         heap = self._wake_heap
         while heap and heap[0][0] <= cycle:
-            __, __, station, epoch = heapq.heappop(heap)
+            __, __, station, epoch = _heappop(heap)
             if station.epoch == epoch and not station.issued and not station.retired:
                 pool[station.sid] = station
         if not pool:
             return
-        variables = self.variables
-        valid_only = variables.wakeup is WakeupPolicy.VALID_ONLY
-        branch_valid_only = (
-            variables.branch_resolution is BranchResolution.VALID_ONLY
-        )
+        valid_only = self._wakeup_valid_only
+        branch_valid_only = self._branch_valid_only
         sel_paper = self._sel_paper
         candidates: list = []
         parked: list[int] = []
@@ -704,7 +892,7 @@ class PipelineSimulator:
             del pool[sid]
         if not candidates:
             return
-        width = self.config.issue_width
+        width = self._issue_width
         if sel_paper:
             candidates.sort()
             if len(candidates) > width:
@@ -714,7 +902,7 @@ class PipelineSimulator:
                 self._start_execution(station)
                 del pool[station.sid]
         else:
-            for station in select(candidates, width, variables):
+            for station in select(candidates, width, self.variables):
                 self._start_execution(station)
                 del pool[station.sid]
 
@@ -803,40 +991,47 @@ class PipelineSimulator:
     # ------------------------------------------------------------------
 
     def _process_events(self) -> None:
+        """Drain this cycle's event bucket (repeatedly: a zero-latency
+        chain may schedule follow-up events into the same cycle, which
+        land in a fresh bucket and fire after the current batch — the
+        order the heap's schedule-counter tiebreak used to produce)."""
         events = self._events
         cycle = self.cycle
-        while events and events[0][0] <= cycle:
-            entry = heapq.heappop(events)
-            kind, station = entry[2], entry[3]
-            epoch = entry[4]
-            if kind in (_WAVE_VERIFY, _WAVE_INVALIDATE, _PROV_INVALIDATE):
-                # These transactions outlive nullification of their source:
-                # waves may ripple after the source retires, and a
-                # provisional invalidation must fire even if the source was
-                # itself just invalidated (the paper's Figure 1 packs both
-                # into one cycle).  A squash still kills them: squashed
-                # stations are marked retired with a bumped epoch, and
-                # their consumers died with them.
-                if station.retired and station.epoch != epoch:
+        while True:
+            bucket = events.pop(cycle, None)
+            if bucket is None:
+                return
+            for entry in bucket:
+                kind, station = entry[0], entry[1]
+                epoch = entry[2]
+                if kind in (_WAVE_VERIFY, _WAVE_INVALIDATE, _PROV_INVALIDATE):
+                    # These transactions outlive nullification of their
+                    # source: waves may ripple after the source retires,
+                    # and a provisional invalidation must fire even if the
+                    # source was itself just invalidated (the paper's
+                    # Figure 1 packs both into one cycle).  A squash still
+                    # kills them: squashed stations are marked retired with
+                    # a bumped epoch, and their consumers died with them.
+                    if station.retired and station.epoch != epoch:
+                        continue
+                elif station.epoch != epoch or station.retired:
                     continue
-            elif station.epoch != epoch or station.retired:
-                continue
-            if kind == _RESULT:
-                self._on_result(station, entry[0])
-            elif kind == _EQUALITY:
-                self._on_equality(station, entry[0])
-            elif kind == _VERIFY:
-                self._on_verify(station, entry[0])
-            elif kind == _INVALIDATE:
-                self._on_invalidate(station, entry[0])
-            elif kind == _WAVE_VERIFY:
-                self._on_wave(station, entry[0], entry[5], invalidate=False)
-            elif kind == _WAVE_INVALIDATE:
-                self._on_wave(station, entry[0], entry[5], invalidate=True)
-            elif kind == _ADDRGEN:
-                self._on_addrgen(station, entry[0])
-            elif kind == _PROV_INVALIDATE:
-                self._on_provisional_invalidate(station, entry[0])
+                if kind == _RESULT:
+                    self._on_result(station, cycle)
+                elif kind == _EQUALITY:
+                    self._on_equality(station, cycle)
+                elif kind == _VERIFY:
+                    self._on_verify(station, cycle)
+                elif kind == _INVALIDATE:
+                    self._on_invalidate(station, cycle)
+                elif kind == _WAVE_VERIFY:
+                    self._on_wave(station, cycle, entry[3], invalidate=False)
+                elif kind == _WAVE_INVALIDATE:
+                    self._on_wave(station, cycle, entry[3], invalidate=True)
+                elif kind == _ADDRGEN:
+                    self._on_addrgen(station, cycle)
+                elif kind == _PROV_INVALIDATE:
+                    self._on_provisional_invalidate(station, cycle)
 
     def _on_result(self, station: Station, cycle: int) -> None:
         # Operand *status* may have improved during execution (verification
@@ -985,13 +1180,7 @@ class PipelineSimulator:
     def _on_verify(self, source: Station, cycle: int) -> None:
         if source.prediction_resolved:
             return
-        scheme = self.variables.verification
-        if scheme is VerificationScheme.PARALLEL_NETWORK:
-            self._verify_parallel(source, cycle)
-        elif scheme is VerificationScheme.HIERARCHICAL:
-            self._verify_hierarchical(source, cycle)
-        else:  # RETIREMENT_BASED and HYBRID
-            self._verify_retirement_based(source, cycle, scheme)
+        self._verify_impl(source, cycle)
 
     def _resolve_correct(self, station: Station, cycle: int) -> None:
         station.prediction_resolved = True
@@ -1012,11 +1201,15 @@ class PipelineSimulator:
         resolved: list[Station] = [source]
         resolved_mask = source.taint_mask
         self._resolve_correct(source, cycle)
-        # Transitively resolve chained predictions.
+        # Transitively resolve chained predictions.  The closure is only
+        # recomputed after a pass that grew the resolved set, and the final
+        # one (always computed for the final root set) is handed to
+        # ``_clear_taints`` so it is walked, not rebuilt.
+        closure = self._consumer_closure(resolved)
         changed = True
         while changed:
             changed = False
-            for candidate in self._consumer_closure(resolved):
+            for candidate in closure:
                 if (
                     candidate.predicted
                     and not candidate.prediction_resolved
@@ -1042,16 +1235,27 @@ class PipelineSimulator:
                             candidate.verify_cycle = (
                                 cycle + self._lat_eq_inval
                             )
-        self._clear_taints(resolved, resolved_mask, cycle)
+            if changed:
+                closure = self._consumer_closure(resolved)
+        self._clear_taints(resolved, resolved_mask, cycle, closure)
 
     def _clear_taints(
-        self, resolved: list[Station], resolved_mask: int, cycle: int
+        self,
+        resolved: list[Station],
+        resolved_mask: int,
+        cycle: int,
+        closure: list[Station] | None = None,
     ) -> None:
         """Remove resolved sources from every reachable taint set (the
         resolved stations themselves included: a chain-resolved station's
-        operands are tainted by its resolved predecessors)."""
+        operands are tainted by its resolved predecessors).  ``closure``
+        lets callers that already walked ``_consumer_closure(resolved)``
+        pass it in instead of having it recomputed."""
+        if closure is None:
+            closure = self._consumer_closure(resolved)
         keep = ~resolved_mask
-        for station in resolved + self._consumer_closure(resolved):
+        chain_eq = self._chain_equality
+        for station in resolved + closure:
             touched = False
             for operand in station.operands:
                 if operand.taints & resolved_mask:
@@ -1078,9 +1282,15 @@ class PipelineSimulator:
             if touched:
                 station.in_dirty = True
                 self._mark_wakeup(station)
-            self._maybe_publish_store_address(station)
-            self._maybe_resolve_branch(station, cycle)
-            self._maybe_chain_equality(station, cycle)
+            # Each ``_maybe_*`` helper opens with a cheap attribute test
+            # that fails for almost every closure station; run those tests
+            # inline so the common case costs a branch, not a call.
+            if station.rec.is_store:
+                self._maybe_publish_store_address(station)
+            if station.branch_mispredicted:
+                self._maybe_resolve_branch(station, cycle)
+            if chain_eq and station.predicted and not station.prediction_resolved:
+                self._maybe_chain_equality(station, cycle)
 
     def _maybe_resolve_branch(self, station: Station, cycle: int) -> None:
         """A mispredicted branch that executed speculatively (resolution
@@ -1389,8 +1599,9 @@ class PipelineSimulator:
                 writer_list = self._writers.get(rec.dest_reg)
                 if writer_list and station.sid in writer_list:
                     writer_list.remove(station.sid)
-            pending = self._pending_train.pop(station.sid, None)
+            pending = station.pending_train
             if pending is not None:
+                station.pending_train = None
                 # The speculative history entry for this prediction will
                 # never be reconciled at retirement; drop the PC's
                 # speculative history wholesale.
@@ -1411,17 +1622,26 @@ class PipelineSimulator:
         loop body with every ``self`` lookup hoisted)."""
         if self._rb_validate:
             self._retirement_based_validate()
-        retired = 0
         win = self._win
+        # Most calls retire nothing (the head is wrong-path or still in
+        # flight); bail on those three attribute reads before hoisting the
+        # dozen locals the retirement loop wants.
+        head = next(iter(win.values()))
+        if head.wrong_path or not head.executed or head.executing:
+            return
+        retired = 0
         cycle = self.cycle
-        retire_width = self.config.retire_width
-        model_on = self.model is not None
+        retire_width = self._retire_width
+        model_on = self._model_on
         release_spec = self._lat_release_spec
         pool = self._ready_pool
         writers = self._writers
-        pending_train = self._pending_train
         counters = self.counters
         log_on = self._log_on
+        fast_conf = self._fconf_counters
+        conf_mask = self._fconf_mask
+        conf_max = self._fconf_max
+        lsq = self.lsq
         while retired < retire_width:
             if not win:
                 break
@@ -1455,28 +1675,48 @@ class PipelineSimulator:
                 final = head.out_valid_cycle
             delay = release_spec if (model_on and spec_involved) else 1
             if cycle < final + delay:
+                # The head is done and waiting out its delay; nothing can
+                # move ``final`` any more (its operands are valid, so taint
+                # clears no longer touch them), so retirement attempts
+                # before then are pure overhead.
+                if not self._rb_validate:
+                    self._retire_gate = final + delay
                 break
             # Release the head (the seed's _retire_one, inlined).
             sid = head.sid
             del win[sid]
             head.retired = True
             pool.pop(sid, None)
-            if rec.is_store:
-                self.hierarchy.data_access(rec.mem_addr, is_write=True)
-            self.lsq.release(sid)
+            if rec.is_memory:
+                # Only correct-path memory instructions ever allocate an
+                # LSQ entry (and the head is never wrong-path here).
+                if rec.is_store:
+                    self.hierarchy.data_access(rec.mem_addr, is_write=True)
+                lsq.release(sid)
             if writes:
                 writer_list = writers.get(rec.dest_reg)
                 if writer_list and writer_list[0] == sid:
                     writer_list.pop(0)
                 elif writer_list and sid in writer_list:
                     writer_list.remove(sid)
-            pending = pending_train.pop(sid, None)
+            pending = head.pending_train
             if pending is not None:
-                pc, actual, pred_correct, token = pending
-                self.predictor.train(pc, actual, token)
-                self.confidence.update(pc, pred_correct)
-            counters.retired += 1
-            self._last_retire_cycle = cycle
+                pc, actual, pred_correct, token, fold16 = pending
+                self._vp_train(pc, actual, token, fold16)
+                if fast_conf is not None:
+                    # ResettingConfidenceEstimator.update, inlined (the
+                    # ``_fast_vp`` stack guarantees the exact type).
+                    cidx = (pc >> _VP_PC_SHIFT) & conf_mask
+                    if pred_correct:
+                        if fast_conf[cidx] < conf_max:
+                            fast_conf[cidx] += 1
+                    else:
+                        fast_conf[cidx] = 0
+                else:
+                    self._conf_update(pc, pred_correct)
             if log_on:
                 self.log.emit(rec.seq, SpecEventKind.RETIRE, cycle)
             retired += 1
+        if retired:
+            counters.retired += retired
+            self._last_retire_cycle = cycle

@@ -45,49 +45,100 @@ class FetchedInstruction:
 
 
 class _WrongPathGenerator:
-    """Deterministic synthetic wrong-path instruction stream."""
+    """Deterministic synthetic wrong-path instruction stream.
 
-    def __init__(self, seed: int, start_pc: int, data_base: int = 0x600000):
-        self._state = _mix(seed | 1)
-        self._pc = start_pc
+    The stream for a given (seed, start pc) is a pure function of its
+    position, and a branch that mispredicts repeatedly replays the same
+    stream from the top — so generated records are memoized in a shared
+    ``[records, state, pc]`` cache (one per mispredicted branch, owned by
+    the :class:`FetchEngine`) and the generator only runs the synthesis
+    arithmetic when a replay walks past the longest previous one.
+    ``TraceRecord`` instances are immutable to the engine, so sharing
+    them across replays (and runs) is safe."""
+
+    __slots__ = ("_cache", "_pos", "_data_base")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start_pc: int = 0,
+        data_base: int = 0x600000,
+        cache: list | None = None,
+    ):
+        if cache is None:
+            cache = _wrong_path_cache(seed, start_pc)
+        self._cache = cache
+        self._pos = 0
         self._data_base = data_base
 
     def next(self) -> TraceRecord:
-        self._state = _mix(self._state)
-        roll = self._state % 100
-        pc = self._pc
-        self._pc += INSTRUCTION_BYTES
-        dest = 8 + (self._state >> 8) % 8
-        src = 8 + (self._state >> 16) % 8
+        cache = self._cache
+        records = cache[0]
+        pos = self._pos
+        self._pos = pos + 1
+        if pos < len(records):
+            return records[pos]
+        state = _mix(cache[1])
+        cache[1] = state
+        pc = cache[2]
+        next_pc = pc + INSTRUCTION_BYTES
+        cache[2] = next_pc
+        roll = state % 100
+        dest = 8 + (state >> 8) % 8
+        src = 8 + (state >> 16) % 8
         if roll < 70:
             opcode, mem_addr, mem_size = Opcode.ADD, None, None
         elif roll < 85:
             opcode = Opcode.LD
-            mem_addr = self._data_base + ((self._state >> 24) & 0xFFF) * 8
+            mem_addr = self._data_base + ((state >> 24) & 0xFFF) * 8
             mem_size = 8
         elif roll < 90:
             opcode, mem_addr, mem_size = Opcode.MUL, None, None
         else:
             # Wrong-path branch: executes but never redirects fetch.
-            return TraceRecord(
+            rec = TraceRecord(
                 seq=_WRONG_PATH_SEQ,
                 pc=pc,
                 opcode=Opcode.BNE,
                 src_regs=(src,),
-                branch_taken=bool(self._state & 1),
-                next_pc=self._pc,
+                branch_taken=bool(state & 1),
+                next_pc=next_pc,
             )
-        return TraceRecord(
+            records.append(rec)
+            return rec
+        rec = TraceRecord(
             seq=_WRONG_PATH_SEQ,
             pc=pc,
             opcode=opcode,
             src_regs=(src,),
             dest_reg=dest,
-            dest_value=self._state & 0xFFFF,
+            dest_value=state & 0xFFFF,
             mem_addr=mem_addr,
             mem_size=mem_size,
-            next_pc=self._pc,
+            next_pc=next_pc,
         )
+        records.append(rec)
+        return rec
+
+
+#: Process-wide wrong-path memo, keyed by ``(seed, start_pc)``.  A stream
+#: is a pure function of its key, so the memo is shared across engines and
+#: runs — repeated simulations of one trace (config sweeps, benchmark
+#: repetitions) replay recorded streams instead of re-synthesizing them.
+_WP_STREAMS: dict[tuple[int, int], list] = {}
+_WP_STREAM_LIMIT = 1 << 16
+
+
+def _wrong_path_cache(seed: int, start_pc: int) -> list:
+    """The memoized ``[records, rng_state, next_pc]`` stream cache for
+    ``(seed, start_pc)``, creating (and registering) it on first use."""
+    key = (seed, start_pc)
+    cache = _WP_STREAMS.get(key)
+    if cache is None:
+        if len(_WP_STREAMS) >= _WP_STREAM_LIMIT:
+            _WP_STREAMS.clear()
+        cache = _WP_STREAMS[key] = [[], _mix(seed | 1), start_pc]
+    return cache
 
 
 class FetchEngine:
@@ -170,9 +221,20 @@ class FetchEngine:
 
     def fetch(self, cycle: int, max_count: int) -> list[FetchedInstruction]:
         """Fetch up to ``max_count`` instructions in ``cycle``."""
+        return [
+            FetchedInstruction(rec, wrong_path=wrong, mispredicted=mispred)
+            for rec, wrong, mispred in self.fetch_raw(cycle, max_count)
+        ]
+
+    def fetch_raw(
+        self, cycle: int, max_count: int
+    ) -> list[tuple[TraceRecord, bool, bool]]:
+        """:meth:`fetch` as plain ``(rec, wrong_path, mispredicted)``
+        tuples — the engine-facing hot path, which skips building a
+        :class:`FetchedInstruction` per instruction."""
         if cycle < self._stall_until or max_count <= 0:
             return []
-        out: list[FetchedInstruction] = []
+        out: list[tuple[TraceRecord, bool, bool]] = []
         out_append = out.append
         trace = self.trace
         trace_len = len(trace)
@@ -191,7 +253,7 @@ class FetchEngine:
                     and not self._icache_ready(rec.pc, cycle)
                 ):
                     break
-                out_append(FetchedInstruction(rec, wrong_path=True))
+                out_append((rec, True, False))
                 self.fetched_wrong_path += 1
                 continue
             if index >= trace_len:
@@ -212,12 +274,14 @@ class FetchEngine:
                 if self.ras is not None and rec.opcode in (Opcode.JAL, Opcode.JALR):
                     self.ras.push(rec.pc + INSTRUCTION_BYTES)
                 mispredicted = not self._target_correct(rec)
-            out_append(FetchedInstruction(rec, mispredicted=mispredicted))
+            out_append((rec, False, mispredicted))
             self.fetched_correct += 1
             if mispredicted:
                 if self.model_wrong_path:
                     self._wrong_path_gen = _WrongPathGenerator(
-                        self._seed ^ rec.seq, rec.next_pc + 0x4000
+                        cache=_wrong_path_cache(
+                            self._seed ^ rec.seq, rec.next_pc + 0x4000
+                        )
                     )
                 else:
                     self._stall_until = 1 << 60  # wait for redirect

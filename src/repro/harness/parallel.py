@@ -74,25 +74,41 @@ class SimJob:
 
 
 #: Per-process memo of built traces.  Workers are long-lived (one pool
-#: services a whole grid), so each process pays trace construction once
+#: services a whole grid), so each process pays trace acquisition once
 #: per (benchmark, limit) no matter how many jobs it executes.
 _TRACE_CACHE: dict[tuple[str, int | None], list[TraceRecord]] = {}
 
 
 def _trace_for(benchmark: str, max_instructions: int | None) -> list[TraceRecord]:
+    """The trace for one grid point: process memo, then the persistent
+    on-disk cache (:mod:`repro.trace.cache`), then functional capture.
+
+    The disk tier makes trace construction a once-per-machine cost
+    instead of once-per-process: a warm cache means a sweep's workers
+    (and every later sweep over the same kernels) never run the
+    functional simulator at all.
+    """
     key = (benchmark, max_instructions)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
-        from repro.programs.suite import kernel
+        from repro.trace.cache import cached_trace
 
-        trace = kernel(benchmark).trace(max_instructions)
+        trace = cached_trace(benchmark, max_instructions)
         _TRACE_CACHE[key] = trace
     return trace
 
 
 def _execute(job: SimJob) -> SimulationResult:
-    """Run one job to completion (worker side; also the inline path)."""
-    random.seed(job.task_seed())
+    """Run one job to completion (worker side; also the inline path).
+
+    The job seed feeds a *local* :class:`random.Random`, not the global
+    module state: reseeding the process-wide RNG from a worker would
+    leak across jobs sharing the process (and, on the inline path, into
+    the caller's interpreter), making results depend on job order.
+    Nothing in the engine draws from global :mod:`random`; collaborators
+    that want stochasticity receive this instance explicitly.
+    """
+    rng = random.Random(job.task_seed())
     trace = _trace_for(job.benchmark, job.max_instructions)
     if job.model is None:
         return run_baseline(trace, job.config)

@@ -69,13 +69,21 @@ class Cache:
         self.next_level = next_level
         self.num_sets = size_bytes // (block_bytes * assoc)
         self._block_shift = block_bytes.bit_length() - 1
-        # Per-set list of tags in LRU order (index 0 = most recent).
-        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        # Per-set list of tags in LRU order (index 0 = most recent), keyed
+        # by set index and materialized on first touch: short runs visit a
+        # tiny fraction of a 4K-set cache, and hierarchies are rebuilt per
+        # simulation run, so eagerly allocating every set costs more than
+        # the simulation's accesses to it.
+        self._sets: dict[int, list[int]] = {}
         self.stats = CacheStats()
 
     def _set_tag(self, address: int) -> tuple[list[int], int]:
         block = address >> self._block_shift
-        return self._sets[block % self.num_sets], block // self.num_sets
+        index = block % self.num_sets
+        tags = self._sets.get(index)
+        if tags is None:
+            tags = self._sets[index] = []
+        return tags, block // self.num_sets
 
     def probe(self, address: int) -> bool:
         """Check residency without updating LRU state or statistics."""
@@ -89,18 +97,27 @@ class Cache:
         modeled as write-back (a dirty eviction counts a writeback but
         adds no latency: writeback buffers are assumed).
         """
-        self.stats.accesses += 1
-        tags, tag = self._set_tag(address)
+        stats = self.stats
+        stats.accesses += 1
+        # _set_tag inlined: access() dominates simulation time and the
+        # helper call was pure overhead on every memory reference.
+        block = address >> self._block_shift
+        index = block % self.num_sets
+        tags = self._sets.get(index)
+        if tags is None:
+            tags = self._sets[index] = []
+        tag = block // self.num_sets
         if tag in tags:
-            self.stats.hits += 1
-            tags.remove(tag)
-            tags.insert(0, tag)
+            stats.hits += 1
+            if tags[0] != tag:  # moving the MRU block is a no-op
+                tags.remove(tag)
+                tags.insert(0, tag)
             return self.hit_latency
-        self.stats.misses += 1
+        stats.misses += 1
         if len(tags) >= self.assoc:
             tags.pop()
             if is_write:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
         tags.insert(0, tag)
         if self.next_level is not None:
             return self.hit_latency + self.next_level.access(address, is_write)
@@ -108,5 +125,4 @@ class Cache:
 
     def flush(self) -> None:
         """Invalidate all blocks (statistics are preserved)."""
-        for tags in self._sets:
-            tags.clear()
+        self._sets.clear()

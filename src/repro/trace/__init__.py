@@ -28,6 +28,12 @@ from repro.trace.binary import (
     read_trace_binary,
     write_trace_binary,
 )
+from repro.trace.cache import (
+    cache_info,
+    cached_trace,
+    clear_cache,
+    warm_cache,
+)
 
 __all__ = [
     "TraceRecord",
@@ -50,4 +56,8 @@ __all__ = [
     "loads_trace_binary",
     "read_trace_binary",
     "write_trace_binary",
+    "cache_info",
+    "cached_trace",
+    "clear_cache",
+    "warm_cache",
 ]

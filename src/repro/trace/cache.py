@@ -1,0 +1,219 @@
+"""Persistent, content-addressed on-disk trace cache.
+
+Capturing a kernel trace means running the functional simulator for the
+whole instruction budget — for the full-scale experiments that is minutes
+of pure-Python interpretation per benchmark, repeated identically by
+every sweep, figure, benchmark run and CI job.  The dynamic trace is a
+pure function of (kernel source, instruction limit), so this module
+memoises it on disk: entries are stored in the VSRT v2 binary format
+(:mod:`repro.trace.binary`) under a key derived from the benchmark name,
+a hash of the kernel *source text*, and the limit.
+
+Content addressing makes invalidation automatic: editing a kernel changes
+its source hash, which changes the file name, so stale entries are simply
+never found again (``repro cache clear`` removes them).  The engine-side
+representation (``TraceRecord``) never enters the key — records are
+rebuilt from the binary form on load, so engine changes cannot be masked
+by a stale cache.
+
+Configuration is via the ``REPRO_TRACE_CACHE`` environment variable:
+
+* unset — cache under ``$XDG_CACHE_HOME/repro/traces`` (falling back to
+  ``~/.cache/repro/traces``);
+* a path — cache under that directory;
+* ``off``, ``none``, ``0`` or empty — disable the cache entirely.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweep
+workers can share one cache directory without coordination: the worst
+case is two workers capturing the same trace and one harmlessly
+overwriting the other's identical entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+from repro.trace.binary import (
+    BinaryTraceError,
+    dumps_trace_binary,
+    loads_trace_binary,
+)
+from repro.trace.record import TraceRecord
+
+ENV_VAR = "REPRO_TRACE_CACHE"
+
+#: ``REPRO_TRACE_CACHE`` values that turn the cache off.
+_DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled"})
+
+#: File suffix; bump together with the binary format's magic so readers
+#: of a new format never even open old-format files.
+_SUFFIX = ".vsrt2"
+
+#: Hex digits of the kernel-source SHA-256 kept in the key.
+_HASH_CHARS = 16
+
+
+def cache_dir() -> Path | None:
+    """The configured cache directory, or ``None`` when disabled.
+
+    The directory is *not* created here — only writers create it, so
+    read-only consumers (``repro cache info`` on a fresh machine) never
+    touch the filesystem.
+    """
+    override = os.environ.get(ENV_VAR)
+    if override is not None:
+        if override.strip().lower() in _DISABLED_VALUES:
+            return None
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+def cache_enabled() -> bool:
+    return cache_dir() is not None
+
+
+def source_hash(source: str) -> str:
+    """Content hash of a kernel's source text (the invalidation key)."""
+    return hashlib.sha256(source.encode()).hexdigest()[:_HASH_CHARS]
+
+
+def trace_key(benchmark: str, source: str, max_instructions: int | None) -> str:
+    """Content-addressed cache key: name, source hash, and limit."""
+    limit = "full" if max_instructions is None else str(max_instructions)
+    return f"{benchmark}-{source_hash(source)}-{limit}"
+
+
+def trace_path(
+    benchmark: str, source: str, max_instructions: int | None
+) -> Path | None:
+    """Where the entry for this key lives (``None`` when disabled)."""
+    directory = cache_dir()
+    if directory is None:
+        return None
+    return directory / (trace_key(benchmark, source, max_instructions) + _SUFFIX)
+
+
+def load_trace(
+    benchmark: str, source: str, max_instructions: int | None
+) -> list[TraceRecord] | None:
+    """Return the cached trace for this key, or ``None`` on a miss.
+
+    A corrupt or truncated entry (killed writer on a non-atomic
+    filesystem, format drift) is treated as a miss and deleted so the
+    next store replaces it.
+    """
+    path = trace_path(benchmark, source, max_instructions)
+    if path is None:
+        return None
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return None
+    try:
+        return loads_trace_binary(data)
+    except BinaryTraceError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store_trace(
+    benchmark: str,
+    source: str,
+    max_instructions: int | None,
+    records: list[TraceRecord],
+) -> Path | None:
+    """Atomically write ``records`` under this key; returns the path.
+
+    Returns ``None`` (and stores nothing) when the cache is disabled or
+    the directory is unwritable — caching is an optimisation, never a
+    hard dependency.
+    """
+    path = trace_path(benchmark, source, max_instructions)
+    if path is None:
+        return None
+    data = dumps_trace_binary(records)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return None
+    return path
+
+
+def cached_trace(
+    benchmark: str, max_instructions: int | None = None
+) -> list[TraceRecord]:
+    """The dynamic trace for ``benchmark``, from disk when possible.
+
+    This is the high-level entry the harness and CLI use in place of
+    ``kernel(name).trace(limit)``: a hit skips the functional simulator
+    entirely; a miss captures the trace and populates the cache for the
+    next caller.
+    """
+    from repro.programs.suite import kernel
+
+    spec = kernel(benchmark)
+    cached = load_trace(benchmark, spec.source, max_instructions)
+    if cached is not None:
+        return cached
+    trace = spec.trace(max_instructions)
+    store_trace(benchmark, spec.source, max_instructions, trace)
+    return trace
+
+
+# -- maintenance (the `repro cache` subcommand) ---------------------------
+
+
+def cache_entries() -> list[Path]:
+    """Every entry file currently in the cache directory."""
+    directory = cache_dir()
+    if directory is None or not directory.is_dir():
+        return []
+    return sorted(directory.glob(f"*{_SUFFIX}"))
+
+
+def cache_info() -> dict:
+    """Summary of the cache's location and contents."""
+    directory = cache_dir()
+    entries = cache_entries()
+    return {
+        "enabled": directory is not None,
+        "dir": str(directory) if directory is not None else None,
+        "entries": len(entries),
+        "bytes": sum(path.stat().st_size for path in entries),
+        "files": [path.name for path in entries],
+    }
+
+
+def clear_cache() -> int:
+    """Delete every cache entry; returns the number removed."""
+    removed = 0
+    for path in cache_entries():
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def warm_cache(
+    benchmarks: list[str], max_instructions: int | None = None
+) -> dict[str, int]:
+    """Capture-and-store each benchmark's trace; returns name -> length."""
+    return {
+        name: len(cached_trace(name, max_instructions)) for name in benchmarks
+    }

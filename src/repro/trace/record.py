@@ -4,6 +4,15 @@ from __future__ import annotations
 
 from repro.isa.opcodes import CLASS_LATENCY, OpClass, Opcode
 
+#: Width of the precomputed ``dest_fold`` value fold.  The value-prediction
+#: subsystem folds 64-bit values into ``context_bits``-wide chunks on every
+#: context hash; for the standard geometry (``context_bits == FOLD_BITS``)
+#: the fold is computed once here, when the record is built, and reused for
+#: every prediction/training touch of the value (see ``repro.vp.context``).
+FOLD_BITS = 16
+
+_MASK64 = (1 << 64) - 1
+
 #: Classification flags (plus functional-unit latency) per operation
 #: class, precomputed once so record construction (which runs for every
 #: wrong-path instruction synthesized during simulation) is one dict
@@ -73,6 +82,7 @@ class TraceRecord:
         "is_indirect",
         "exec_latency",
         "writes_register",
+        "dest_fold",
     )
 
     _COMPARED_SLOTS = (
@@ -125,6 +135,16 @@ class TraceRecord:
         #: True when the instruction produces a register value — the
         #: eligibility condition for value prediction.
         self.writes_register = dest_reg is not None and dest_reg != 0
+        #: ``FOLD_BITS``-bit XOR-fold of ``dest_value``, precomputed so the
+        #: value predictors never re-fold the committed value on their
+        #: training hot path (a fold of 0/None is 0).
+        if dest_value:
+            value = dest_value & _MASK64
+            self.dest_fold = (
+                value ^ (value >> 16) ^ (value >> 32) ^ (value >> 48)
+            ) & 0xFFFF
+        else:
+            self.dest_fold = 0
 
     def __repr__(self) -> str:
         return (

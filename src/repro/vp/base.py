@@ -59,13 +59,24 @@ class ValuePredictor(abc.ABC):
         retirement."""
 
     @abc.abstractmethod
-    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+    def train(
+        self,
+        pc: int,
+        actual: int,
+        token: object | None = None,
+        fold16: int | None = None,
+    ) -> None:
         """Train with the architecturally correct value.
 
         ``token=None`` is immediate timing: the history also advances with
         ``actual``.  A token from :meth:`speculate` is delayed timing: only
         the prediction structures are trained (against the saved context);
         the speculatively-updated history is left as is.
+
+        ``fold16`` is an optional precomputed 16-bit XOR-fold of ``actual``
+        (``TraceRecord.dest_fold``) — a pure caching hint.  Predictors that
+        hash value folds use it when their fold width is 16 bits and must
+        recompute otherwise; passing it never changes any result.
         """
 
     def predict_speculate(self, pc: int) -> tuple[int, object]:

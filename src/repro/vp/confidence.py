@@ -14,6 +14,12 @@ from dataclasses import dataclass
 
 from repro.isa.opcodes import INSTRUCTION_BYTES
 
+#: PC -> counter-index shift (instructions are fixed-size and aligned);
+#: the confidence tables are flat ``bytearray`` columns of saturating
+#: counters, so a confidence probe is one shift-mask and one byte read.
+_PC_SHIFT = INSTRUCTION_BYTES.bit_length() - 1
+assert 1 << _PC_SHIFT == INSTRUCTION_BYTES
+
 
 @dataclass
 class ConfidenceStats:
@@ -104,16 +110,16 @@ class SaturatingConfidenceEstimator(ConfidenceEstimator):
         self._counters = bytearray(1 << table_bits)
 
     def _index(self, pc: int) -> int:
-        return (pc // INSTRUCTION_BYTES) & self._mask
+        return (pc >> _PC_SHIFT) & self._mask
 
     def counter(self, pc: int) -> int:
         return self._counters[self._index(pc)]
 
     def confident(self, pc: int, prediction_correct: bool) -> bool:
-        return self._counters[self._index(pc)] >= self.threshold
+        return self._counters[(pc >> _PC_SHIFT) & self._mask] >= self.threshold
 
     def update(self, pc: int, correct: bool) -> None:
-        index = self._index(pc)
+        index = (pc >> _PC_SHIFT) & self._mask
         if correct:
             if self._counters[index] < self.max_count:
                 self._counters[index] += 1
@@ -146,13 +152,13 @@ class HistoryConfidenceEstimator(ConfidenceEstimator):
         self._history = bytearray(1 << table_bits)
 
     def _index(self, pc: int) -> int:
-        return (pc // INSTRUCTION_BYTES) & self._mask
+        return (pc >> _PC_SHIFT) & self._mask
 
     def confident(self, pc: int, prediction_correct: bool) -> bool:
-        return self._history[self._index(pc)] == self._full
+        return self._history[(pc >> _PC_SHIFT) & self._mask] == self._full
 
     def update(self, pc: int, correct: bool) -> None:
-        index = self._index(pc)
+        index = (pc >> _PC_SHIFT) & self._mask
         pattern = ((self._history[index] << 1) | int(correct)) & self._full
         self._history[index] = pattern
 
@@ -170,17 +176,17 @@ class ResettingConfidenceEstimator(ConfidenceEstimator):
         self._counters = bytearray(1 << table_bits)
 
     def _index(self, pc: int) -> int:
-        return (pc // INSTRUCTION_BYTES) & self._mask
+        return (pc >> _PC_SHIFT) & self._mask
 
     def counter(self, pc: int) -> int:
         """Current counter value for ``pc`` (tests/inspection)."""
         return self._counters[self._index(pc)]
 
     def confident(self, pc: int, prediction_correct: bool) -> bool:
-        return self._counters[self._index(pc)] == self.max_count
+        return self._counters[(pc >> _PC_SHIFT) & self._mask] == self.max_count
 
     def update(self, pc: int, correct: bool) -> None:
-        index = self._index(pc)
+        index = (pc >> _PC_SHIFT) & self._mask
         if correct:
             if self._counters[index] < self.max_count:
                 self._counters[index] += 1

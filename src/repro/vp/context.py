@@ -29,47 +29,63 @@ predicts correctly only while the speculative chain stays correct: the
 chain re-seeds from the committed history whenever the pipeline drains
 (branch mispredictions, long-latency stalls), so accuracy degrades as
 windows get deeper and drains get rarer.
+
+Storage layout (see docs/PERFORMANCE.md).  Both levels live in flat
+columns rather than per-entry objects with attribute access:
+
+* A level-1 entry is one plain list of ``3 + 2 * order`` slots —
+  ``[live_ctx, committed_ctx, ring_head, fold ring..., value ring...]``
+  — materialized on first touch (a direct-mapped 64K-entry table would
+  cost milliseconds to preallocate per run while a trace touches only a
+  few hundred entries).  The two leading slots are running context
+  accumulators: the *committed* context and the *live* (committed +
+  speculative) context, both kept **unmasked** so they can be advanced
+  incrementally.  Because the FCM hash is an XOR of position-shifted
+  folds, appending a value to a full window is
+  ``ctx' = ((ctx ^ oldest_fold) >> 1) ^ (new_fold << (order-1))`` — two
+  XORs and two shifts, independent of ``order``.  The ``context_bits``
+  mask is applied only at level-2 lookup, which makes the running value
+  bit-identical to hashing the window from scratch.
+* Level 2 is preallocated flat columns — a value list, a parallel list
+  of each value's fold (so the fused predict+speculate path never
+  re-folds the predicted value), and a ``bytearray`` of one-bit
+  replacement counters.
+* Outstanding speculative chains are kept only for entries that have
+  them, in a dict of ``(token, value, fold)`` lists; the live context is
+  advanced in O(1) on speculation and re-walked only at retirement when
+  a chain is reconciled.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from itertools import islice
-
 from repro.isa.opcodes import INSTRUCTION_BYTES
+from repro.trace.record import FOLD_BITS
 from repro.vp.base import ValuePredictor
 
 _MASK64 = (1 << 64) - 1
+
+#: PC -> table-index shift (instructions are fixed-size and aligned).
+_PC_SHIFT = INSTRUCTION_BYTES.bit_length() - 1
+assert 1 << _PC_SHIFT == INSTRUCTION_BYTES
+
+#: Level-1 entry layout: ``[live_ctx, committed_ctx, head, folds..., values...]``.
+_LIVE = 0
+_COMMITTED = 1
+_HEAD = 2
+_RING = 3
 
 
 def fold_value(value: int, bits: int) -> int:
     """Fold a 64-bit value into ``bits`` bits by XORing chunks."""
     value &= _MASK64
+    if bits == 16:
+        return (value ^ (value >> 16) ^ (value >> 32) ^ (value >> 48)) & 0xFFFF
     mask = (1 << bits) - 1
     folded = 0
     while value:
         folded ^= value & mask
         value >>= bits
     return folded
-
-
-class _HistoryEntry:
-    """Level-1 entry: committed history plus speculative extension.
-
-    Values are stored alongside their ``context_bits``-bit fold so the hash
-    recomputed on every prediction XOR-combines precomputed folds instead
-    of re-folding each 64-bit value.
-    """
-
-    __slots__ = ("committed", "committed_folded", "speculative")
-
-    def __init__(self, order: int):
-        self.committed: deque[int] = deque([0] * order, maxlen=order)
-        self.committed_folded: deque[int] = deque([0] * order, maxlen=order)
-        #: Outstanding speculative values as (token, value, folded) tuples,
-        #: oldest first.  Values are the *predictions* made for in-flight
-        #: instances of this entry's instructions.
-        self.speculative: list[tuple[int, int, int]] = []
 
 
 class ContextValuePredictor(ValuePredictor):
@@ -91,24 +107,25 @@ class ContextValuePredictor(ValuePredictor):
         self.order = order
         self._l1_mask = (1 << history_bits) - 1
         self._ctx_mask = (1 << context_bits) - 1
-        self._entries: dict[int, _HistoryEntry] = {}
         self._next_token = 0
-        size = 1 << context_bits
-        self._values = [0] * size
-        self._counters = bytearray(size)
+        #: Precomputed: the trace-supplied 16-bit fold is usable directly.
+        self._fold16_ok = context_bits == FOLD_BITS
+        #: Level-1 column table, materialized per entry on first touch.
+        self._entries: dict[int, list[int]] = {}
+        #: Zero-entry template; ``list.copy`` beats rebuilding from parts.
+        self._fresh = [0] * (_RING + order + order)
+        #: Outstanding speculative chains, only for entries that have any:
+        #: l1 index -> [(token, value, fold), ...] oldest first.
+        self._spec: dict[int, list[tuple[int, int, int]]] = {}
+        l2_size = 1 << context_bits
+        self._values = [0] * l2_size
+        self._value_folds = [0] * l2_size
+        self._counters = bytearray(l2_size)
 
     # -- level-1 helpers ----------------------------------------------------
 
     def _l1_index(self, pc: int) -> int:
-        return (pc // INSTRUCTION_BYTES) & self._l1_mask
-
-    def _entry(self, pc: int) -> _HistoryEntry:
-        index = self._l1_index(pc)
-        entry = self._entries.get(index)
-        if entry is None:
-            entry = _HistoryEntry(self.order)
-            self._entries[index] = entry
-        return entry
+        return (pc >> _PC_SHIFT) & self._l1_mask
 
     def _hash(self, values: list[int]) -> int:
         """The classic select-fold-shift-XOR FCM hash: each value is folded
@@ -119,25 +136,19 @@ class ContextValuePredictor(ValuePredictor):
             ctx ^= fold_value(value, self.context_bits) << position
         return ctx & self._ctx_mask
 
-    def _hash_folded(self, folded: list[int]) -> int:
-        """``_hash`` over values folded ahead of time (the hot path)."""
-        ctx = 0
-        for position, fold in enumerate(folded[-self.order :]):
-            ctx ^= fold << position
-        return ctx & self._ctx_mask
-
-    def _live_context(self, entry: _HistoryEntry) -> int:
-        """``_hash`` over committed-then-speculative history, walked in
-        place (the committed deque always holds exactly ``order`` folds,
-        so no intermediate list is built on the predict hot path)."""
+    def _walk_live(self, entry: list[int], spec: list[tuple[int, int, int]]) -> int:
+        """Recompute the (unmasked) live context for an entry from the
+        committed fold ring plus the outstanding speculative chain.  Only
+        runs when a chain is reconciled at retirement or trained past —
+        the predict path reads the running accumulator instead."""
         order = self.order
-        spec = entry.speculative
         depth = len(spec)
         ctx = 0
         position = 0
         if depth < order:
-            for fold in islice(entry.committed_folded, depth, order):
-                ctx ^= fold << position
+            head = entry[_HEAD]
+            for i in range(depth, order):
+                ctx ^= entry[_RING + (head + i) % order] << position
                 position += 1
             for __, __, fold in spec:
                 ctx ^= fold << position
@@ -146,93 +157,180 @@ class ContextValuePredictor(ValuePredictor):
             for __, __, fold in spec[depth - order :]:
                 ctx ^= fold << position
                 position += 1
-        return ctx & self._ctx_mask
-
-    def _committed_context(self, entry: _HistoryEntry) -> int:
-        ctx = 0
-        position = 0
-        for fold in entry.committed_folded:
-            ctx ^= fold << position
-            position += 1
-        return ctx & self._ctx_mask
+        return ctx
 
     # -- ValuePredictor interface --------------------------------------------
 
     def predict(self, pc: int) -> int:
         self.stats.lookups += 1
-        return self._values[self._live_context(self._entry(pc))]
+        entry = self._entries.get((pc >> _PC_SHIFT) & self._l1_mask)
+        if entry is None:
+            return self._values[0]
+        return self._values[entry[_LIVE] & self._ctx_mask]
+
+    def peek(self, pc: int) -> int:
+        """:meth:`predict` without touching the lookup statistics (used by
+        composite predictors that sample component predictions)."""
+        entry = self._entries.get((pc >> _PC_SHIFT) & self._l1_mask)
+        if entry is None:
+            return self._values[0]
+        return self._values[entry[_LIVE] & self._ctx_mask]
 
     def predict_speculate(self, pc: int) -> tuple[int, int]:
-        """Fused predict + speculate sharing one level-1 entry lookup."""
+        """Fused predict + speculate sharing one level-1 entry lookup; the
+        predicted value's fold is read back from the level-2 fold column,
+        so the whole call performs no value folding at all.  The O(1)
+        live-context advance is inlined — this is the hottest
+        delayed-timing entry point."""
         self.stats.lookups += 1
-        entry = self._entry(pc)
-        predicted = self._values[self._live_context(entry)]
+        index = (pc >> _PC_SHIFT) & self._l1_mask
+        entries = self._entries
+        entry = entries.get(index)
+        if entry is None:
+            entry = entries[index] = self._fresh.copy()
+        unmasked = entry[0]
+        ctx = unmasked & self._ctx_mask
+        predicted = self._values[ctx]
+        fold = self._value_folds[ctx]
         token = self._next_token
         self._next_token = token + 1
-        entry.speculative.append(
-            (token, predicted, fold_value(predicted, self.context_bits))
-        )
+        spec = self._spec.get(index)
+        if spec is None:
+            spec = self._spec[index] = []
+        order = self.order
+        depth = len(spec)
+        if depth < order:
+            oldest = entry[_RING + (entry[_HEAD] + depth) % order]
+        else:
+            oldest = spec[depth - order][2]
+        entry[0] = ((unmasked ^ oldest) >> 1) ^ (fold << (order - 1))
+        spec.append((token, predicted, fold))
         return predicted, token
 
     def speculate(self, pc: int, predicted: int) -> int:
         """Delayed timing: push the prediction onto the speculative history
         and return the token identifying this instance's entry."""
         token = self._next_token
-        self._next_token += 1
+        self._next_token = token + 1
         predicted &= _MASK64
-        self._entry(pc).speculative.append(
-            (token, predicted, fold_value(predicted, self.context_bits))
-        )
+        fold = fold_value(predicted, self.context_bits)
+        index = (pc >> _PC_SHIFT) & self._l1_mask
+        entries = self._entries
+        entry = entries.get(index)
+        if entry is None:
+            entry = entries[index] = self._fresh.copy()
+        spec = self._spec.get(index)
+        if spec is None:
+            spec = self._spec[index] = []
+        order = self.order
+        depth = len(spec)
+        if depth < order:
+            oldest = entry[_RING + (entry[_HEAD] + depth) % order]
+        else:
+            oldest = spec[depth - order][2]
+        entry[_LIVE] = ((entry[_LIVE] ^ oldest) >> 1) ^ (fold << (order - 1))
+        spec.append((token, predicted, fold))
         return token
 
-    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+    def train(
+        self,
+        pc: int,
+        actual: int,
+        token: object | None = None,
+        fold16: int | None = None,
+    ) -> None:
         actual &= _MASK64
-        entry = self._entry(pc)
+        if fold16 is not None and self._fold16_ok:
+            fold = fold16
+        else:
+            fold = fold_value(actual, self.context_bits)
+        index = (pc >> _PC_SHIFT) & self._l1_mask
+        entries = self._entries
+        entry = entries.get(index)
+        if entry is None:
+            entry = entries[index] = self._fresh.copy()
         # The training context is the committed one — the context this
         # instance would have predicted from had the pipeline been empty.
-        self._train_l2(self._committed_context(entry), actual)
-        entry.committed.append(actual)
-        entry.committed_folded.append(fold_value(actual, self.context_bits))
-        if token is not None:
-            self._consume_speculative(entry, int(token), actual)
+        committed = entry[1]
+        ctx = committed & self._ctx_mask
+        values = self._values
+        counters = self._counters
+        if values[ctx] == actual:
+            counters[ctx] = 1
+        elif counters[ctx]:
+            counters[ctx] = 0
+        else:
+            values[ctx] = actual
+            self._value_folds[ctx] = fold
+        # Advance the committed ring: the slot at the head holds the oldest
+        # value, which ages out of the running context as ``actual`` enters.
+        order = self.order
+        head = entry[2]
+        slot = 3 + head
+        committed = ((committed ^ entry[slot]) >> 1) ^ (fold << (order - 1))
+        entry[1] = committed
+        entry[slot] = fold
+        entry[slot + order] = actual
+        head += 1
+        entry[2] = 0 if head == order else head
+        spec_map = self._spec
+        if spec_map:
+            spec = spec_map.get(index)
+            if spec:
+                if token is not None:
+                    self._consume_speculative(spec, token, actual)
+                    if not spec:
+                        del spec_map[index]
+                        entry[0] = committed
+                        return
+                entry[0] = self._walk_live(entry, spec)
+                return
+        entry[0] = committed
 
+    @staticmethod
     def _consume_speculative(
-        self, entry: _HistoryEntry, token: int, actual: int
+        spec: list[tuple[int, int, int]], token: int, actual: int
     ) -> None:
-        for position, (spec_token, spec_value, __) in enumerate(entry.speculative):
+        for position, (spec_token, spec_value, __) in enumerate(spec):
             if spec_token == token:
                 if spec_value == actual:
-                    del entry.speculative[position]
+                    del spec[position]
                 else:
                     # Every younger speculative value chained from a wrong
                     # one; the chain re-seeds from committed history.
-                    del entry.speculative[position:]
+                    del spec[position:]
                 return
             if spec_token > token:
                 break
         # Token already squashed by an earlier chain clear: nothing to do.
 
-    def _train_l2(self, ctx: int, actual: int) -> None:
-        if self._values[ctx] == actual:
-            self._counters[ctx] = 1
-        elif self._counters[ctx]:
-            self._counters[ctx] = 0
-        else:
-            self._values[ctx] = actual
-
     def flush_speculative(self, pc: int) -> None:
-        self._entry(pc).speculative.clear()
+        index = (pc >> _PC_SHIFT) & self._l1_mask
+        if self._spec.pop(index, None):
+            entry = self._entries.get(index)
+            if entry is not None:
+                entry[_LIVE] = entry[_COMMITTED]
 
     # -- introspection --------------------------------------------------------
 
     def committed_history(self, pc: int) -> tuple[int, ...]:
         """The committed value history for ``pc`` (tests/debugging)."""
-        return tuple(self._entry(pc).committed)
+        index = (pc >> _PC_SHIFT) & self._l1_mask
+        order = self.order
+        entry = self._entries.get(index)
+        if entry is None:
+            return (0,) * order
+        head = entry[_HEAD]
+        base = _RING + order
+        return tuple(entry[base + (head + i) % order] for i in range(order))
 
     def speculative_depth(self, pc: int) -> int:
         """Number of outstanding speculative history values for ``pc``."""
-        return len(self._entry(pc).speculative)
+        return len(self._spec.get((pc >> _PC_SHIFT) & self._l1_mask, ()))
 
     def context_of(self, pc: int) -> int:
         """The context the next prediction for ``pc`` would use."""
-        return self._live_context(self._entry(pc))
+        entry = self._entries.get((pc >> _PC_SHIFT) & self._l1_mask)
+        if entry is None:
+            return 0
+        return entry[_LIVE] & self._ctx_mask

@@ -29,7 +29,13 @@ class FixedValuePredictor(ValuePredictor):
     def speculate(self, pc: int, predicted: int) -> None:
         return None
 
-    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+    def train(
+        self,
+        pc: int,
+        actual: int,
+        token: object | None = None,
+        fold16: int | None = None,
+    ) -> None:
         """Scripted predictors do not learn."""
 
 

@@ -14,6 +14,7 @@ from repro.vp.context import ContextValuePredictor
 from repro.vp.stride import StridePredictor
 
 _MASK64 = (1 << 64) - 1
+_PC_SHIFT = INSTRUCTION_BYTES.bit_length() - 1
 
 
 class HybridPredictor(ValuePredictor):
@@ -30,7 +31,7 @@ class HybridPredictor(ValuePredictor):
         self._chooser = bytearray([2] * (1 << table_bits))
 
     def _index(self, pc: int) -> int:
-        return (pc // INSTRUCTION_BYTES) & self._chooser_mask
+        return (pc >> _PC_SHIFT) & self._chooser_mask
 
     def predict(self, pc: int) -> int:
         self.stats.lookups += 1
@@ -42,29 +43,31 @@ class HybridPredictor(ValuePredictor):
     def speculate(self, pc: int, predicted: int) -> tuple:
         """Both components advance speculatively; the component predictions
         live in the token so the chooser can train at retirement."""
-        ctx_pred = self.context.predict(pc)
-        stride_pred = self.stride.predict(pc)
-        self.context.stats.lookups -= 1  # token peeks are not real lookups
-        self.stride.stats.lookups -= 1
+        ctx_pred = self.context.peek(pc)  # peeks are not real lookups
+        stride_pred = self.stride.peek(pc)
         ctx_token = self.context.speculate(pc, predicted)
         stride_token = self.stride.speculate(pc, predicted)
         return (ctx_token, stride_token, ctx_pred, stride_pred)
 
-    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+    def train(
+        self,
+        pc: int,
+        actual: int,
+        token: object | None = None,
+        fold16: int | None = None,
+    ) -> None:
         actual &= _MASK64
         if token is None:
-            ctx_pred = self.context.predict(pc)
-            stride_pred = self.stride.predict(pc)
-            self.context.stats.lookups -= 1
-            self.stride.stats.lookups -= 1
+            ctx_pred = self.context.peek(pc)
+            stride_pred = self.stride.peek(pc)
             self._train_chooser(pc, ctx_pred == actual, stride_pred == actual)
-            self.context.train(pc, actual)
-            self.stride.train(pc, actual)
+            self.context.train(pc, actual, fold16=fold16)
+            self.stride.train(pc, actual, fold16=fold16)
         else:
             ctx_token, stride_token, ctx_pred, stride_pred = token
             self._train_chooser(pc, ctx_pred == actual, stride_pred == actual)
-            self.context.train(pc, actual, ctx_token)
-            self.stride.train(pc, actual, stride_token)
+            self.context.train(pc, actual, ctx_token, fold16)
+            self.stride.train(pc, actual, stride_token, fold16)
 
     def _train_chooser(self, pc: int, ctx_right: bool, stride_right: bool) -> None:
         index = self._index(pc)

@@ -5,6 +5,10 @@ two most recent values, confirmed by a two-delta policy (the stride only
 changes after it repeats), which avoids thrashing on alternating values.
 Under delayed timing ``last`` advances speculatively with the prediction;
 stride learning happens at retirement from committed values only.
+
+Entry state lives in four flat preallocated parallel columns (speculative
+last, committed last, confirmed stride, pending stride) indexed by the
+PC hash — no per-entry objects, no dict on the hot path.
 """
 
 from __future__ import annotations
@@ -13,16 +17,8 @@ from repro.isa.opcodes import INSTRUCTION_BYTES
 from repro.vp.base import ValuePredictor
 
 _MASK64 = (1 << 64) - 1
-
-
-class _StrideEntry:
-    __slots__ = ("last", "committed_last", "stride", "pending_stride")
-
-    def __init__(self) -> None:
-        self.last = 0  # speculative front (advanced by predictions)
-        self.committed_last = 0  # architected last value
-        self.stride = 0
-        self.pending_stride: int | None = None
+_PC_SHIFT = INSTRUCTION_BYTES.bit_length() - 1
+assert 1 << _PC_SHIFT == INSTRUCTION_BYTES
 
 
 class StridePredictor(ValuePredictor):
@@ -33,37 +29,44 @@ class StridePredictor(ValuePredictor):
         if table_bits <= 0:
             raise ValueError("table_bits must be positive")
         self._mask = (1 << table_bits) - 1
-        self._table: dict[int, _StrideEntry] = {}
-
-    def _entry(self, pc: int) -> _StrideEntry:
-        index = (pc // INSTRUCTION_BYTES) & self._mask
-        entry = self._table.get(index)
-        if entry is None:
-            entry = _StrideEntry()
-            self._table[index] = entry
-        return entry
+        size = 1 << table_bits
+        self._last = [0] * size  # speculative front (advanced by predictions)
+        self._committed_last = [0] * size  # architected last value
+        self._stride = [0] * size
+        self._pending_stride: list[int | None] = [None] * size
 
     def predict(self, pc: int) -> int:
         self.stats.lookups += 1
-        entry = self._entry(pc)
-        return (entry.last + entry.stride) & _MASK64
+        index = (pc >> _PC_SHIFT) & self._mask
+        return (self._last[index] + self._stride[index]) & _MASK64
+
+    def peek(self, pc: int) -> int:
+        """:meth:`predict` without touching the lookup statistics."""
+        index = (pc >> _PC_SHIFT) & self._mask
+        return (self._last[index] + self._stride[index]) & _MASK64
 
     def speculate(self, pc: int, predicted: int) -> None:
-        self._entry(pc).last = predicted & _MASK64
+        self._last[(pc >> _PC_SHIFT) & self._mask] = predicted & _MASK64
         return None
 
-    def train(self, pc: int, actual: int, token: object | None = None) -> None:
+    def train(
+        self,
+        pc: int,
+        actual: int,
+        token: object | None = None,
+        fold16: int | None = None,
+    ) -> None:
         actual &= _MASK64
-        entry = self._entry(pc)
-        new_stride = (actual - entry.committed_last) & _MASK64
-        if new_stride == entry.stride:
-            entry.pending_stride = None
-        elif entry.pending_stride == new_stride:
-            entry.stride = new_stride
-            entry.pending_stride = None
+        index = (pc >> _PC_SHIFT) & self._mask
+        new_stride = (actual - self._committed_last[index]) & _MASK64
+        if new_stride == self._stride[index]:
+            self._pending_stride[index] = None
+        elif self._pending_stride[index] == new_stride:
+            self._stride[index] = new_stride
+            self._pending_stride[index] = None
         else:
-            entry.pending_stride = new_stride
-        entry.committed_last = actual
+            self._pending_stride[index] = new_stride
+        self._committed_last[index] = actual
         if token is None:
             # Immediate timing: the speculative front is the actual value.
-            entry.last = actual
+            self._last[index] = actual

@@ -132,6 +132,7 @@ class Station:
         "pred_correct",
         "prediction_resolved",
         "prediction_muted",
+        "pending_train",
         "spec_equal",
         "issued",
         "executing",
@@ -183,6 +184,9 @@ class Station:
         #: Final resolution (for retirement) still happens at the first
         #: valid-input execution.
         self.prediction_muted = False
+        #: Delayed-timing training record ``(pc, actual, pred_correct,
+        #: token, fold16)``, consumed when this station retires.
+        self.pending_train = None
         #: Outcome of the speculative equality comparison performed at the
         #: most recent execution (meaningful once ``executed``).
         self.spec_equal = False

@@ -1,0 +1,26 @@
+"""Shared test fixtures.
+
+The persistent trace cache (``repro.trace.cache``) defaults to the
+user's ``~/.cache``; tests must stay hermetic, so the whole suite runs
+against a throwaway per-session cache directory instead.  Individual
+tests still override ``REPRO_TRACE_CACHE`` freely (``monkeypatch.setenv``
+takes precedence and is undone per test).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_trace_cache(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("trace-cache")
+    previous = os.environ.get("REPRO_TRACE_CACHE")
+    os.environ["REPRO_TRACE_CACHE"] = str(directory)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE"] = previous
