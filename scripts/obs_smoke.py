@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Observability smoke check (the CI `obs-smoke` job, runnable locally).
+
+Runs one small kernel instrumented, validates the exported Chrome
+trace against the trace-event schema, and requires every one of the
+paper's eight latency-event kinds to have been observed.  Exit status
+is the check result; the exported files are left in ``--out-dir`` for
+upload as a build artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py [--out-dir obs-artifacts]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmark", default="micro:fib")
+    parser.add_argument("--model", default="good")
+    parser.add_argument("--max-instructions", type=int, default=8000)
+    parser.add_argument("--out-dir", default="obs-artifacts")
+    args = parser.parse_args(argv)
+
+    from repro.core.events import LatencyEventKind
+    from repro.obs import (
+        chrome_trace,
+        metrics_csv,
+        run_instrumented,
+        summary_table,
+        validate_chrome_trace,
+    )
+
+    run = run_instrumented(
+        args.benchmark,
+        model=args.model,
+        max_instructions=args.max_instructions,
+    )
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = args.benchmark.replace(":", "_").replace("/", "_")
+
+    doc = chrome_trace(run.tracer, label=f"{args.benchmark} {args.model}")
+    problems = validate_chrome_trace(doc)
+    trace_path = out_dir / f"{stem}.trace.json"
+    trace_path.write_text(json.dumps(doc))
+    (out_dir / f"{stem}.metrics.csv").write_text(metrics_csv(run.histograms))
+
+    print(summary_table(run.histograms, title=f"{args.benchmark} / {args.model}"))
+    print()
+    print(f"trace: {trace_path} ({len(doc['traceEvents'])} events)")
+
+    status = 0
+    if problems:
+        print("chrome trace schema problems:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        status = 1
+    missing = set(LatencyEventKind) - run.kinds_seen
+    if missing:
+        names = ", ".join(sorted(kind.value for kind in missing))
+        print(f"latency-event kinds not observed: {names}", file=sys.stderr)
+        status = 1
+    if status == 0:
+        print(f"all {len(LatencyEventKind)} latency-event kinds observed; "
+              "trace schema valid")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

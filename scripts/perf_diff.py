@@ -47,18 +47,49 @@ def _committed_record() -> dict | None:
         return None
 
 
+def _load_record(path: str) -> dict | None:
+    """Read a record file, degrading to ``None`` (with a note) on
+    missing/unreadable/malformed input instead of crashing."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        print(f"cannot read {path}: {exc.strerror or exc}")
+        return None
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"{path} is not valid JSON ({exc}); skipping")
+        return None
+    if not isinstance(record, dict):
+        print(f"{path} has an unrecognised schema (expected an object); skipping")
+        return None
+    return record
+
+
 def _model_aggregates(report: dict) -> dict[str, int]:
     """Per-model aggregate ips, recomputed from points when the record
-    predates the ``model_aggregate_ips`` field."""
+    predates the ``model_aggregate_ips`` field.
+
+    Tolerates older point schemas: entries missing the expected keys are
+    skipped rather than crashing, so a stale committed record degrades
+    to an empty (or partial) column instead of a traceback.
+    """
     aggregates = report.get("model_aggregate_ips")
-    if aggregates:
+    if isinstance(aggregates, dict) and aggregates:
         return dict(aggregates)
     instructions: dict[str, int] = {}
     seconds: dict[str, float] = {}
-    for point in report.get("points", []):
-        model = point["model"]
-        instructions[model] = instructions.get(model, 0) + point["instructions"]
-        seconds[model] = seconds.get(model, 0.0) + point["best_seconds"]
+    points = report.get("points")
+    for point in points if isinstance(points, list) else []:
+        if not isinstance(point, dict):
+            continue
+        model = point.get("model")
+        count = point.get("instructions")
+        best = point.get("best_seconds")
+        if model is None or count is None or best is None:
+            continue
+        instructions[model] = instructions.get(model, 0) + count
+        seconds[model] = seconds.get(model, 0.0) + best
     return {
         model: round(instructions[model] / seconds[model])
         for model in instructions
@@ -138,14 +169,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    new = json.loads(Path(args.new).read_text())
+    new = _load_record(args.new)
+    if new is None:
+        print("no fresh record to diff; skipping")
+        return 0
     if args.baseline is not None:
-        baseline = json.loads(Path(args.baseline).read_text())
+        baseline = _load_record(args.baseline)
     else:
         baseline = _committed_record()
-        if baseline is None:
-            print(f"no committed {_RECORD} to diff against; skipping")
-            return 0
+    if baseline is None:
+        print(f"no committed {_RECORD} to diff against; skipping")
+        return 0
+    if not _model_aggregates(baseline):
+        print(
+            f"committed {_RECORD} has no usable per-model aggregates "
+            "(older schema?); skipping"
+        )
+        return 0
 
     rows = diff(new, baseline)
     print(render_markdown(rows, new, baseline) if args.markdown

@@ -6,8 +6,12 @@ list                      list reproducible experiments
 run <id> [options]        run one experiment and print its table/figure
 describe <model>          print a speculative-execution model's two tables
 bench <name> [options]    simulate one benchmark kernel and print counters
+obs trace|histo|export    instrumented runs: timelines, latency histograms
 cache info|clear|warm     manage the persistent on-disk trace cache
 table1 / figure1 / figure3 / figure4   shorthands for ``run <id>``
+
+``obs`` accepts suite kernel names and micro kernels via the
+``micro:<name>`` form (e.g. ``micro:fib``).
 
 Trace acquisition (``bench``, ``analyze`` and every experiment sweep)
 goes through the content-addressed trace cache (``repro.trace.cache``,
@@ -124,6 +128,92 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     spec = kernel(args.name)
     trace = cached_trace(args.name, args.max_instructions)
     print(render_workload_report(trace, f"{spec.name} ({spec.input_label})"))
+    return 0
+
+
+def _run_obs(args: argparse.Namespace):
+    from repro.obs import run_instrumented
+
+    model = None if args.model == "none" else args.model
+    return run_instrumented(
+        args.name,
+        config=args.config,
+        model=model,
+        max_instructions=args.max_instructions,
+        confidence=args.confidence,
+        update_timing=args.timing,
+    )
+
+
+def _obs_out_path(args: argparse.Namespace, suffix: str) -> str:
+    if args.out:
+        return args.out
+    safe = args.name.replace(":", "_").replace("/", "_")
+    return f"{safe}_{args.model}{suffix}"
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        aggregate_by_opcode,
+        metrics_csv,
+        metrics_dict,
+        summary_table,
+    )
+    from repro.obs.export import write_chrome_trace
+
+    try:
+        run = _run_obs(args)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    label = (
+        f"{run.benchmark} @ {run.result.config.label} "
+        f"({run.model_name or 'base'}) — "
+        f"{run.result.cycles} cycles, ipc {run.result.ipc:.3f}"
+    )
+
+    if args.action == "trace":
+        path = _obs_out_path(args, "_trace.json")
+        doc = write_chrome_trace(run.tracer, path, label=run.benchmark)
+        print(label)
+        print(
+            f"wrote {path}: {len(doc['traceEvents'])} events "
+            "(load in Perfetto / chrome://tracing)"
+        )
+        dropped = run.tracer.marks.dropped + run.tracer.latencies.dropped
+        if dropped:
+            print(f"  note: ring buffers dropped {dropped} oldest events")
+        return 0
+
+    if args.action == "histo":
+        print(summary_table(run.histograms, title=label))
+        if args.by_opcode:
+            print()
+            for kind, per_op in sorted(
+                aggregate_by_opcode(run.tracer).items(),
+                key=lambda item: item[0].value,
+            ):
+                print(f"{kind.paper_name}:")
+                for op, hist in sorted(per_op.items()):
+                    print(
+                        f"  {op:10s} count={hist.count:6d} "
+                        f"mean={hist.mean:8.2f} max={hist.max}"
+                    )
+        return 0
+
+    # export
+    if args.format == "csv":
+        text = metrics_csv(run.histograms)
+    else:
+        import json as _json
+
+        text = _json.dumps(metrics_dict(run.histograms, label=label), indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
     return 0
 
 
@@ -245,6 +335,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace limit for warmed entries (default: full traces)",
     )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    obs_parser = sub.add_parser(
+        "obs", help="instrumented runs: lifecycle timelines, latency histograms"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="action", required=True)
+
+    def _obs_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "name",
+            help="suite kernel or micro:<name> (e.g. compress, micro:fib)",
+        )
+        p.add_argument("--config", default="8/48", help="4/24 | 8/48 | 16/96")
+        p.add_argument(
+            "--model", default="good", help="super|great|good|none (none = base)"
+        )
+        p.add_argument("--confidence", default="real", help="real | oracle")
+        p.add_argument("--timing", default="D", help="I | D")
+        p.add_argument("--max-instructions", type=int, default=20000)
+        p.set_defaults(func=_cmd_obs)
+
+    obs_trace = obs_sub.add_parser(
+        "trace", help="export a Chrome trace-event JSON timeline"
+    )
+    _obs_common(obs_trace)
+    obs_trace.add_argument("--out", default=None, help="output path")
+
+    obs_histo = obs_sub.add_parser(
+        "histo", help="print the latency-event summary table"
+    )
+    _obs_common(obs_histo)
+    obs_histo.add_argument(
+        "--by-opcode",
+        action="store_true",
+        help="additionally break each event kind down by opcode",
+    )
+
+    obs_export = obs_sub.add_parser(
+        "export", help="export latency-event metrics as CSV or JSON"
+    )
+    _obs_common(obs_export)
+    obs_export.add_argument("--format", choices=("csv", "json"), default="json")
+    obs_export.add_argument("--out", default=None, help="write to a file")
 
     bench_parser = sub.add_parser("bench", help="simulate one kernel")
     bench_parser.add_argument("name", choices=kernel_names())

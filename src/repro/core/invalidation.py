@@ -14,11 +14,14 @@ def invalidation_waves(
     scheme: InvalidationScheme,
     root: Node,
     successors: Callable[[Node], Iterable[Node]],
+    on_wave: Callable[[int, set[Node]], None] | None = None,
 ) -> list[set[Node]]:
     """Which successors are invalidated in which transaction.
 
     Returns a list of waves; wave ``k`` completes ``k`` transactions after
     the first (the engine assigns each transaction its cycle cost).
+    ``on_wave`` is an optional observability hook called with
+    ``(wave_index, nodes)`` per wave.
 
     * ``SELECTIVE_PARALLEL`` — one wave containing the full closure.
     * ``SELECTIVE_HIERARCHICAL`` — one wave per dependence level.
@@ -34,5 +37,7 @@ def invalidation_waves(
         )
     if scheme is InvalidationScheme.SELECTIVE_PARALLEL:
         everything = closure(root, successors)
+        if on_wave is not None and everything:
+            on_wave(0, everything)
         return [everything] if everything else []
-    return successor_levels(root, successors)
+    return successor_levels(root, successors, on_level=on_wave)

@@ -16,8 +16,16 @@ from typing import Callable, Hashable, Iterable, TypeVar
 Node = TypeVar("Node", bound=Hashable)
 
 
-def closure(root: Node, successors: Callable[[Node], Iterable[Node]]) -> set[Node]:
-    """All direct and indirect successors of ``root`` (excluding it)."""
+def closure(
+    root: Node,
+    successors: Callable[[Node], Iterable[Node]],
+    on_visit: Callable[[Node], None] | None = None,
+) -> set[Node]:
+    """All direct and indirect successors of ``root`` (excluding it).
+
+    ``on_visit`` is an optional observability hook called once per node
+    as it joins the closure (visit order, not dependence order).
+    """
     seen: set[Node] = set()
     frontier = list(successors(root))
     while frontier:
@@ -25,19 +33,24 @@ def closure(root: Node, successors: Callable[[Node], Iterable[Node]]) -> set[Nod
         if node in seen or node == root:
             continue
         seen.add(node)
+        if on_visit is not None:
+            on_visit(node)
         frontier.extend(successors(node))
     return seen
 
 
 def successor_levels(
-    root: Node, successors: Callable[[Node], Iterable[Node]]
+    root: Node,
+    successors: Callable[[Node], Iterable[Node]],
+    on_level: Callable[[int, set[Node]], None] | None = None,
 ) -> list[set[Node]]:
     """Successors of ``root`` grouped by minimum dependence distance.
 
     ``result[0]`` is the set of direct successors, ``result[1]`` their
     successors not already reached, and so on — the wave schedule of a
     hierarchical verification/invalidation that advances one level per
-    transaction.
+    transaction.  ``on_level`` is an optional observability hook called
+    with ``(depth, nodes)`` as each level is closed.
     """
     levels: list[set[Node]] = []
     seen: set[Node] = {root}
@@ -46,6 +59,8 @@ def successor_levels(
         level = {n for n in frontier if n not in seen}
         if not level:
             break
+        if on_level is not None:
+            on_level(len(levels), level)
         levels.append(level)
         seen |= level
         next_frontier: list[Node] = []

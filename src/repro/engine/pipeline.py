@@ -57,7 +57,7 @@ from repro.core.variables import (
     VerificationScheme,
     WakeupPolicy,
 )
-from repro.core.events import EventLog, SpecEventKind
+from repro.core.events import EventLog, LatencyEventKind, SpecEventKind
 from repro.engine.config import ProcessorConfig
 from repro.isa.opcodes import INSTRUCTION_BYTES, OpClass
 from repro.frontend.fetch import FetchEngine
@@ -75,6 +75,7 @@ from repro.window.ruu import InstructionWindow
 from repro.window.selection import select
 from repro.window.station import Operand, Station
 from repro.window.taintmask import TaintBitAllocator
+from repro.window.wakeup import operand_state_labels
 
 #: PC -> table-index shift used by the fused value-prediction fast path
 #: (the same shift the predictor and confidence tables use internally).
@@ -127,6 +128,7 @@ class PipelineSimulator:
         confidence: ConfidenceEstimator | None = None,
         update_timing: UpdateTiming = UpdateTiming.DELAYED,
         hierarchy: MemoryHierarchy | None = None,
+        tracer=None,
     ):
         self.trace = trace
         self.config = config
@@ -178,6 +180,21 @@ class PipelineSimulator:
         self.dports = PortPool(config.dcache_ports)
         self.counters = SimCounters()
         self.log = EventLog(config.log_events)
+        #: Observability tracer (see :mod:`repro.obs`).  ``None`` or a
+        #: NullTracer keeps every instrumentation site at one falsy check;
+        #: a PipelineTracer records lifecycle marks and latency events.
+        #: The duck type is deliberately untyped here so the engine never
+        #: imports repro.obs (which imports the engine back).
+        self.tracer = tracer
+        self._obs_on = tracer is not None and tracer.enabled
+        if tracer is not None:
+            tracer.bind(config)
+        if self._obs_on:
+            self._trc_mark = tracer.mark
+            self._trc_lat = tracer.latency
+            self.lsq.on_event = self._obs_lsq_event
+        else:
+            self._trc_mark = self._trc_lat = None
         #: Cached log flag and latency constants (hot-path attribute
         #: chains collapsed to single loads).
         self._log_on = self.log.enabled
@@ -350,6 +367,95 @@ class PipelineSimulator:
             self._wake_heap, (cycle, self._wake_counter, station, station.epoch)
         )
 
+    # -- observability plumbing (all callers guard on self._obs_on) ------
+
+    def _obs_lsq_event(self, sid: int, what: str) -> None:
+        """LSQ ``on_event`` callback: address/forward activity marks."""
+        station = self._win.get(sid)
+        seq = station.rec.seq if station is not None else -1
+        self._trc_mark(self.cycle, seq, sid, "lsq", what)
+
+    def _obs_issue(self, station: Station, cycle: int) -> None:
+        """Issue-side recording: the issue/reissue mark, plus the
+        Invalidation–Reissue and Verification–Branch latency events this
+        issue closes."""
+        rec = station.rec
+        op = rec.opcode.mnemonic
+        if station.exec_count > 0:
+            self._trc_mark(cycle, rec.seq, station.sid, "reissue")
+            if station.invalidate_cycle >= 0:
+                self._trc_lat(
+                    LatencyEventKind.INVALIDATION_REISSUE,
+                    rec.seq,
+                    station.sid,
+                    station.invalidate_cycle,
+                    cycle,
+                    op,
+                )
+                station.invalidate_cycle = -1
+        else:
+            self._trc_mark(cycle, rec.seq, station.sid, "issue")
+        if station.is_ctrl:
+            start = -1
+            for operand in station.operands:
+                if operand.via_network and operand.valid_cycle > start:
+                    start = operand.valid_cycle
+            if start >= 0:
+                self._trc_lat(
+                    LatencyEventKind.VERIFICATION_BRANCH,
+                    rec.seq,
+                    station.sid,
+                    start,
+                    cycle,
+                    op,
+                )
+
+    def _obs_mem_access(self, station: Station, cycle: int) -> None:
+        """Memory-access recording: the access mark, plus the
+        Verification-Address–Memory-Access latency event when the access
+        was gated on a network-verified operand."""
+        rec = station.rec
+        self._trc_mark(cycle, rec.seq, station.sid, "mem-access")
+        start = -1
+        for operand in station.operands:
+            if operand.via_network and operand.valid_cycle > start:
+                start = operand.valid_cycle
+        if start >= 0:
+            self._trc_lat(
+                LatencyEventKind.VERIFICATION_ADDR_MEM_ACCESS,
+                rec.seq,
+                station.sid,
+                start,
+                cycle,
+                rec.opcode.mnemonic,
+            )
+
+    def _obs_retire(self, station: Station, cycle: int, final: int, spec: bool) -> None:
+        """Retire-side recording: the retire mark, plus the unified
+        Verification–Free-Issue/Retirement-Resource release window when
+        speculation was involved (the engine releases both resources with
+        one ``max(free_issue, free_retirement)`` delay, so both events
+        share the measured span)."""
+        rec = station.rec
+        self._trc_mark(cycle, rec.seq, station.sid, "retire")
+        if spec and self._model_on:
+            op = rec.opcode.mnemonic
+            self._trc_lat(
+                LatencyEventKind.VERIFICATION_FREE_ISSUE,
+                rec.seq, station.sid, final, cycle, op,
+            )
+            self._trc_lat(
+                LatencyEventKind.VERIFICATION_FREE_RETIREMENT,
+                rec.seq, station.sid, final, cycle, op,
+            )
+
+    def _obs_invalidated(self, station: Station, cycle: int) -> None:
+        """A consumer was nullified by an invalidation transaction."""
+        station.invalidate_cycle = cycle
+        self._trc_mark(
+            cycle, station.rec.seq, station.sid, "invalidate", "nullified"
+        )
+
     # -- taint-bit plumbing ---------------------------------------------
 
     def _live_taint_union(self) -> int:
@@ -495,10 +601,13 @@ class PipelineSimulator:
         ready = self.cycle + self._dispatch_latency
         fetch_queue = self._fetch_queue
         log_on = self._log_on
+        obs_on = self._obs_on
         for rec, wrong_path, mispredicted in batch:
             fetch_queue.append((rec, wrong_path, mispredicted, ready))
             if log_on and not wrong_path:
                 self.log.emit(rec.seq, SpecEventKind.FETCH, self.cycle)
+            if obs_on and not wrong_path:
+                self._trc_mark(self.cycle, rec.seq, -1, "fetch")
 
     def _dispatch(self) -> None:
         """Dispatch up to ``dispatch_width`` instructions into the window
@@ -520,6 +629,7 @@ class PipelineSimulator:
         pool = self._ready_pool
         window = self.window
         log_on = self._log_on
+        obs_on = self._obs_on
         vp_on = self.vp_enabled
         predict_all = self._predict_all
         vp_unlimited = self._vp_unlimited
@@ -630,6 +740,8 @@ class PipelineSimulator:
                 n_wrong += 1
             if log_on and not wrong_path:
                 self.log.emit(rec.seq, SpecEventKind.DISPATCH, cycle)
+            if obs_on and not wrong_path:
+                self._trc_mark(cycle, rec.seq, sid, "dispatch")
             dispatched += 1
         self._next_sid = next_sid
         if dispatched:
@@ -729,6 +841,11 @@ class PipelineSimulator:
                 counters.misspeculations += 1
             if self._log_on:
                 self.log.emit(rec.seq, SpecEventKind.PREDICT, self.cycle)
+            if self._obs_on:
+                self._trc_mark(
+                    self.cycle, rec.seq, station.sid, "predict",
+                    "correct" if pred_correct else "incorrect",
+                )
 
     def _predict_value_fast(self, station: Station) -> None:
         """``_predict_value`` for the default stack, with the predictor's
@@ -803,6 +920,11 @@ class PipelineSimulator:
                 counters.misspeculations += 1
             if self._log_on:
                 self.log.emit(rec.seq, SpecEventKind.PREDICT, self.cycle)
+            if self._obs_on:
+                self._trc_mark(
+                    self.cycle, rec.seq, station.sid, "predict",
+                    "correct" if pred_correct else "incorrect",
+                )
 
     # ------------------------------------------------------------------
     # issue
@@ -853,6 +975,7 @@ class PipelineSimulator:
         valid_only = self._wakeup_valid_only
         branch_valid_only = self._branch_valid_only
         sel_paper = self._sel_paper
+        obs_on = self._obs_on
         candidates: list = []
         parked: list[int] = []
         for sid, station in pool.items():
@@ -878,6 +1001,12 @@ class PipelineSimulator:
                 parked.append(sid)
                 self._gate_wakeup(gate, station)
                 continue
+            if obs_on and station.wakeup_cycle < 0:
+                station.wakeup_cycle = cycle
+                self._trc_mark(
+                    cycle, station.rec.seq, sid, "wakeup",
+                    operand_state_labels(station),
+                )
             if sel_paper:
                 # Native-comparing key tuple (sid is unique, so the
                 # trailing station is never compared) — same total order
@@ -942,6 +1071,8 @@ class PipelineSimulator:
             return False
         latency = self._load_access_latency(station)
         self._schedule(cycle + latency, _RESULT, station)
+        if self._obs_on and not station.wrong_path:
+            self._obs_mem_access(station, cycle)
         return True
 
     def _start_execution(self, station: Station) -> None:
@@ -969,6 +1100,8 @@ class PipelineSimulator:
                 SpecEventKind.REISSUE if station.exec_count else SpecEventKind.ISSUE
             )
             self.log.emit(rec.seq, kind, cycle)
+        if self._obs_on and not station.wrong_path:
+            self._obs_issue(station, cycle)
 
     def _on_addrgen(self, station: Station, cycle: int) -> None:
         """A load's address generation completed; start (or queue) the
@@ -1113,6 +1246,11 @@ class PipelineSimulator:
             self._resolve_mispredicted_branch(station, cycle)
         if self._log_on and not station.wrong_path:
             self.log.emit(rec.seq, SpecEventKind.WRITE, cycle)
+        if self._obs_on and not station.wrong_path:
+            self._trc_mark(
+                cycle, rec.seq, station.sid, "result",
+                "valid" if valid else "speculative",
+            )
 
     def _broadcast(self, station: Station, cycle: int) -> None:
         """Deliver the current (non-prediction) output to all consumers."""
@@ -1146,6 +1284,20 @@ class PipelineSimulator:
         station.equality_cycle = cycle
         if self._log_on:
             self.log.emit(station.rec.seq, SpecEventKind.EQUALITY, cycle)
+        if self._obs_on:
+            rec = station.rec
+            self._trc_mark(
+                cycle, rec.seq, station.sid, "equality",
+                "match" if station.pred_correct else "mismatch",
+            )
+            self._trc_lat(
+                LatencyEventKind.EXEC_EQUALITY,
+                rec.seq,
+                station.sid,
+                station.result_cycle,
+                cycle,
+                rec.opcode.mnemonic,
+            )
         if station.pred_correct:
             self._schedule(
                 cycle + self._lat_eq_verify, _VERIFY, station
@@ -1193,6 +1345,19 @@ class PipelineSimulator:
         self.counters.verification_events += 1
         if self._log_on:
             self.log.emit(station.rec.seq, SpecEventKind.VERIFY, cycle)
+        if self._obs_on:
+            rec = station.rec
+            self._trc_mark(cycle, rec.seq, station.sid, "verify")
+            # Chain-resolved predictions fold into the source's
+            # transaction (equality_cycle 0 → a same-cycle sample).
+            self._trc_lat(
+                LatencyEventKind.EQUALITY_VERIFICATION,
+                rec.seq,
+                station.sid,
+                station.equality_cycle or cycle,
+                cycle,
+                rec.opcode.mnemonic,
+            )
 
     def _verify_parallel(self, source: Station, cycle: int) -> None:
         """Flattened-hierarchical verification: one transaction validates
@@ -1475,6 +1640,11 @@ class PipelineSimulator:
         self.counters.provisional_invalidations += 1
         if self._log_on:
             self.log.emit(source.rec.seq, SpecEventKind.INVALIDATE, cycle)
+        obs_on = self._obs_on
+        if obs_on:
+            self._trc_mark(
+                cycle, source.rec.seq, source.sid, "invalidate", "provisional"
+            )
         reissue_at = cycle + self._lat_inval_reissue
         mask = source.taint_mask
         for station in self._consumer_closure([source]):
@@ -1493,6 +1663,8 @@ class PipelineSimulator:
                         self.lsq.clear_address(station.sid)
                 if self._log_on and not station.wrong_path:
                     self.log.emit(station.rec.seq, SpecEventKind.INVALIDATE, cycle)
+                if obs_on and not station.wrong_path:
+                    self._obs_invalidated(station, cycle)
             self._mark_wakeup(station)
         # Re-expose the station's latest computed result (if any still
         # stands) so consumers wait on real dataflow from here on.
@@ -1518,6 +1690,17 @@ class PipelineSimulator:
         self.counters.invalidation_events += 1
         if self._log_on:
             self.log.emit(source.rec.seq, SpecEventKind.INVALIDATE, cycle)
+        if self._obs_on:
+            rec = source.rec
+            self._trc_mark(cycle, rec.seq, source.sid, "invalidate", "source")
+            self._trc_lat(
+                LatencyEventKind.EQUALITY_INVALIDATION,
+                rec.seq,
+                source.sid,
+                source.equality_cycle or cycle,
+                cycle,
+                rec.opcode.mnemonic,
+            )
 
         if self.variables.invalidation is InvalidationScheme.COMPLETE:
             self._complete_invalidation(source, cycle)
@@ -1537,6 +1720,7 @@ class PipelineSimulator:
         sid = source.sid
         mask = source.taint_mask
         reissue_at = cycle + self._lat_inval_reissue
+        obs_on = self._obs_on
         for station in affected:
             touched = False
             for operand in station.operands:
@@ -1563,6 +1747,8 @@ class PipelineSimulator:
                         self.lsq.clear_address(station.sid)
                 if self._log_on and not station.wrong_path:
                     self.log.emit(station.rec.seq, SpecEventKind.INVALIDATE, cycle)
+                if obs_on and not station.wrong_path:
+                    self._obs_invalidated(station, cycle)
             self._mark_wakeup(station)
 
     def _complete_invalidation(self, source: Station, cycle: int) -> None:
@@ -1590,11 +1776,14 @@ class PipelineSimulator:
     def _squash_younger(self, sid: int) -> None:
         removed = self.window.squash_younger_than(sid)
         pool = self._ready_pool
+        obs_on = self._obs_on
         for station in removed:
             station.epoch += 1
             station.retired = True  # dead: events and broadcasts skip it
             pool.pop(station.sid, None)
             rec = station.rec
+            if obs_on and not station.wrong_path:
+                self._trc_mark(self.cycle, rec.seq, station.sid, "squash")
             if rec.writes_register:
                 writer_list = self._writers.get(rec.dest_reg)
                 if writer_list and station.sid in writer_list:
@@ -1638,6 +1827,7 @@ class PipelineSimulator:
         writers = self._writers
         counters = self.counters
         log_on = self._log_on
+        obs_on = self._obs_on
         fast_conf = self._fconf_counters
         conf_mask = self._fconf_mask
         conf_max = self._fconf_max
@@ -1716,6 +1906,8 @@ class PipelineSimulator:
                     self._conf_update(pc, pred_correct)
             if log_on:
                 self.log.emit(rec.seq, SpecEventKind.RETIRE, cycle)
+            if obs_on:
+                self._obs_retire(head, cycle, final, spec_involved)
             retired += 1
         if retired:
             counters.retired += retired

@@ -65,10 +65,14 @@ def make_confidence(kind: str) -> ConfidenceEstimator:
 
 
 def run_baseline(
-    trace: list[TraceRecord], config: ProcessorConfig
+    trace: list[TraceRecord], config: ProcessorConfig, *, tracer=None
 ) -> SimulationResult:
-    """Simulate the base processor (no value prediction)."""
-    simulator = PipelineSimulator(trace, config, model=None)
+    """Simulate the base processor (no value prediction).
+
+    ``tracer`` optionally attaches a :class:`repro.obs.PipelineTracer`
+    (or any object with its duck type) for lifecycle/latency recording.
+    """
+    simulator = PipelineSimulator(trace, config, model=None, tracer=tracer)
     counters = simulator.run()
     return SimulationResult(counters=counters, config=config)
 
@@ -81,11 +85,14 @@ def run_trace(
     confidence: str | ConfidenceEstimator = "real",
     update_timing: UpdateTiming | str = UpdateTiming.DELAYED,
     predictor: ValuePredictor | None = None,
+    tracer=None,
 ) -> SimulationResult:
     """Simulate one value-speculative run.
 
     ``confidence`` accepts the paper's shorthand ("real"/"oracle") or a
-    ready estimator; ``update_timing`` accepts "I"/"D" or the enum.
+    ready estimator; ``update_timing`` accepts "I"/"D" or the enum;
+    ``tracer`` optionally attaches an observability tracer (see
+    :mod:`repro.obs`).
     """
     if isinstance(update_timing, str):
         update_timing = UpdateTiming(update_timing.strip().upper())
@@ -101,6 +108,7 @@ def run_trace(
         predictor=predictor or ContextValuePredictor(),
         confidence=confidence,
         update_timing=update_timing,
+        tracer=tracer,
     )
     counters = simulator.run()
     return SimulationResult(

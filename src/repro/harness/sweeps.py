@@ -51,7 +51,7 @@ class SweepPoint:
 
 
 @dataclass(frozen=True)
-class _Variant:
+class SweepVariant:
     """One sweep variant: the settings for a suite-wide engine run.
 
     ``base_config`` names the baseline (no-speculation) configuration the
@@ -59,6 +59,10 @@ class _Variant:
     config" (the common case — sweeps that perturb the processor itself,
     like branch predictors or width scaling, compare against a base
     machine with the same perturbation).
+
+    Variants are the unit of re-instrumentation: hand one to
+    :func:`instrument_variant` to re-run any sweep point with the
+    observability tracer attached.
     """
 
     label: str
@@ -72,6 +76,50 @@ class _Variant:
     @property
     def baseline(self) -> ProcessorConfig:
         return self.base_config if self.base_config is not None else self.config
+
+
+#: Backwards-compatible alias (the pre-observability private name).
+_Variant = SweepVariant
+
+
+def instrument_variant(
+    variant: SweepVariant,
+    benchmark: str,
+    max_instructions: int | None = 5000,
+):
+    """Re-run one sweep point instrumented; returns an
+    :class:`repro.obs.run.InstrumentedRun`.
+
+    ``benchmark`` accepts suite kernel names and the ``micro:<name>``
+    form.  The run reproduces the variant's exact settings (config,
+    model, confidence scheme, update timing, predictor), so a sweep
+    anomaly can be drilled into with latency-event histograms and a
+    Chrome trace without re-deriving the configuration by hand.
+    """
+    from repro.engine.sim import run_trace
+    from repro.obs.run import InstrumentedRun, resolve_trace
+    from repro.obs.tracer import PipelineTracer
+
+    trace = resolve_trace(benchmark, max_instructions)
+    tracer = PipelineTracer()
+    confidence = (
+        variant.confidence() if callable(variant.confidence) else variant.confidence
+    )
+    result = run_trace(
+        trace,
+        variant.config,
+        variant.model,
+        confidence=confidence,
+        update_timing=variant.update_timing,
+        predictor=variant.predictor() if variant.predictor is not None else None,
+        tracer=tracer,
+    )
+    return InstrumentedRun(
+        benchmark=benchmark,
+        model_name=variant.model.name,
+        tracer=tracer,
+        result=result,
+    )
 
 
 def _benchmark_names(benchmarks: list[str] | None) -> list[str]:
@@ -481,13 +529,10 @@ def confidence_scheme_sweep(
     ]
 
     def misspeculation_rate(chunk: list[SimulationResult]) -> dict[str, float]:
-        misspeculations = sum(r.counters.misspeculations for r in chunk)
-        speculated = sum(r.counters.speculated for r in chunk)
-        return {
-            "_misspeculation_rate": (
-                misspeculations / speculated if speculated else 0.0
-            )
-        }
+        from repro.metrics.counters import SimCounters
+
+        combined = SimCounters.merged(r.counters for r in chunk)
+        return {"_misspeculation_rate": combined.misspeculation_rate}
 
     return _run_sweep(
         names, max_instructions, variants, jobs=jobs,

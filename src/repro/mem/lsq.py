@@ -41,6 +41,12 @@ class LoadStoreQueue:
         #: retirement or youngest-first squash — keep the order intact).
         self._entries: dict[int, LSQEntry] = {}
         self.forwards = 0
+        #: Optional observability callback ``(seq, what)`` fired on
+        #: address publication, address invalidation, and store-to-load
+        #: forwards.  None (the default) costs one identity check per
+        #: state change; the timing engine installs it when a tracer is
+        #: attached.
+        self.on_event = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,6 +75,8 @@ class LoadStoreQueue:
         entry = self._entries[seq]
         entry.address = address
         entry.size = size
+        if self.on_event is not None:
+            self.on_event(seq, "addr-known")
 
     def set_store_data_ready(self, seq: int, ready: bool = True) -> None:
         entry = self._entries[seq]
@@ -81,6 +89,8 @@ class LoadStoreQueue:
         entry = self._entries[seq]
         entry.address = None
         entry.data_ready = False
+        if self.on_event is not None:
+            self.on_event(seq, "addr-cleared")
 
     def release(self, seq: int) -> None:
         """Remove an entry at retirement or squash."""
@@ -124,6 +134,8 @@ class LoadStoreQueue:
                 best = entry
         if best is not None and best.data_ready:
             self.forwards += 1
+            if self.on_event is not None:
+                self.on_event(seq, f"forwarded-from-{best.seq}")
             return best
         return None
 

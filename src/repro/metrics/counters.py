@@ -1,8 +1,18 @@
-"""Raw event counters collected during one simulation run."""
+"""Raw event counters collected during one simulation run.
+
+Besides the per-run dataclass, this module provides the aggregation
+primitives the harness uses to combine runs: :meth:`SimCounters.merge`
+(fold another run's counts into this one), :meth:`SimCounters.merged`
+(combine a whole batch, e.g. one per parallel worker), and
+:class:`CounterBatch` (phase-batched accumulation with idempotent
+flush, for consumers that collect per-phase counters and fold them into
+a running total at phase boundaries).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterable
 
 
 @dataclass
@@ -84,3 +94,73 @@ class SimCounters:
         if not self.cycles:
             return 0.0
         return self.window_occupancy_sum / self.cycles
+
+    # -- aggregation -------------------------------------------------------
+
+    #: Fields combined by maximum rather than summed when merging runs.
+    _MERGE_MAX = frozenset({"window_peak"})
+
+    def merge(self, other: "SimCounters") -> "SimCounters":
+        """Fold ``other``'s counts into this instance (returns self).
+
+        Integer fields add (``window_peak`` takes the maximum — a peak
+        across runs is the largest single-run peak); ``extra`` entries
+        add per key.  Derived rates are recomputed from the merged raw
+        counts by the properties, so a merged instance answers e.g.
+        ``misspeculation_rate`` for the combined population.
+        """
+        for spec in fields(self):
+            name = spec.name
+            if name == "extra":
+                continue
+            theirs = getattr(other, name)
+            if name in self._MERGE_MAX:
+                if theirs > getattr(self, name):
+                    setattr(self, name, theirs)
+            else:
+                setattr(self, name, getattr(self, name) + theirs)
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value
+        return self
+
+    @classmethod
+    def merged(cls, batch: Iterable["SimCounters"]) -> "SimCounters":
+        """Combine a batch of runs (e.g. one per parallel job) into one."""
+        out = cls()
+        for counters in batch:
+            out.merge(counters)
+        return out
+
+
+class CounterBatch:
+    """Phase-batched counter accumulation with idempotent flush.
+
+    Consumers that measure in phases (a sweep chunk, a parallel-job
+    wave) ``add()`` each run's counters as it completes and ``flush()``
+    at the phase boundary, folding the pending runs into ``total``.
+    Flushing an empty phase is a no-op and flushing twice is idempotent
+    — the pending list is consumed exactly once — so phase boundaries
+    can be signalled defensively from multiple places.
+    """
+
+    def __init__(self) -> None:
+        self.total = SimCounters()
+        self._pending: list[SimCounters] = []
+        self.flushes = 0  # flushes that folded at least one run
+
+    def add(self, counters: SimCounters) -> None:
+        self._pending.append(counters)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def flush(self) -> int:
+        """Fold pending runs into ``total``; returns how many were folded."""
+        count = len(self._pending)
+        if count:
+            for counters in self._pending:
+                self.total.merge(counters)
+            self._pending.clear()
+            self.flushes += 1
+        return count

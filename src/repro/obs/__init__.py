@@ -1,0 +1,69 @@
+"""Latency-event observability: tracing, histograms, timeline export.
+
+The paper's contribution is a *vocabulary* of latency events — the named
+delays (Execution–Equality, Equality–Verification, …) through which value
+speculation manifests — yet a simulation normally surfaces only end-of-run
+aggregate counters.  This package makes the event chains themselves
+visible:
+
+* :mod:`repro.obs.tracer` — a zero-cost-when-disabled tracer bound at
+  engine construction.  The default :data:`NULL_TRACER` keeps the hot
+  cycle loop at one attribute check; a :class:`PipelineTracer` records
+  per-instruction lifecycle marks and latency-event measurements into
+  bounded ring buffers.
+* :mod:`repro.obs.aggregate` — per-kind / per-opcode histograms and
+  percentiles over the recorded latency events.
+* :mod:`repro.obs.export` — exporters: Chrome trace-event JSON (loadable
+  in Perfetto / ``chrome://tracing``, one track per RUU station slot),
+  CSV/JSON metrics, and a text latency-event summary table.
+* :mod:`repro.obs.run` — one-call instrumented runs of suite kernels,
+  micro kernels, and harness sweep points.
+
+Surfaced as the ``repro obs trace|histo|export`` CLI subcommand and via
+:func:`repro.harness.sweeps.instrument_variant`.
+"""
+
+from repro.core.events import LatencyEventKind
+from repro.obs.tracer import (
+    EventRing,
+    LatencyEvent,
+    LifecycleMark,
+    NullTracer,
+    NULL_TRACER,
+    PipelineTracer,
+)
+from repro.obs.aggregate import (
+    LatencyHistogram,
+    aggregate_latency_events,
+    aggregate_by_opcode,
+    lifecycle_spans,
+)
+from repro.obs.export import (
+    chrome_trace,
+    metrics_csv,
+    metrics_dict,
+    summary_table,
+    validate_chrome_trace,
+)
+from repro.obs.run import InstrumentedRun, run_instrumented
+
+__all__ = [
+    "LatencyEventKind",
+    "EventRing",
+    "LatencyEvent",
+    "LifecycleMark",
+    "NullTracer",
+    "NULL_TRACER",
+    "PipelineTracer",
+    "LatencyHistogram",
+    "aggregate_latency_events",
+    "aggregate_by_opcode",
+    "lifecycle_spans",
+    "chrome_trace",
+    "metrics_csv",
+    "metrics_dict",
+    "summary_table",
+    "validate_chrome_trace",
+    "InstrumentedRun",
+    "run_instrumented",
+]

@@ -1,0 +1,153 @@
+"""Aggregation: latency-event histograms, percentiles, lifecycle spans."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, NamedTuple
+
+from repro.core.events import LatencyEventKind
+from repro.obs.tracer import LatencyEvent, LifecycleMark, PipelineTracer
+
+
+class LatencyHistogram:
+    """Distribution of one latency event's measured cycle counts."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, values: Iterable[int] = ()):
+        self.counts: Counter[int] = Counter(values)
+
+    def add(self, value: int) -> None:
+        self.counts[value] += 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        self.counts.update(other.counts)
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def min(self) -> int:
+        return min(self.counts) if self.counts else 0
+
+    @property
+    def max(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    @property
+    def mean(self) -> float:
+        total = self.count
+        if not total:
+            return 0.0
+        return sum(value * n for value, n in self.counts.items()) / total
+
+    def percentile(self, p: float) -> int:
+        """The smallest value with at least ``p`` of the mass at or below
+        it (nearest-rank); 0 for an empty histogram."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        total = self.count
+        if not total:
+            return 0
+        rank = max(1, -(-total * p // 100))  # ceil(total * p / 100)
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= rank:
+                return value
+        return self.max  # pragma: no cover - defensive
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.min,
+            "mean": round(self.mean, 4),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+            "values": {str(v): n for v, n in sorted(self.counts.items())},
+        }
+
+    def __repr__(self) -> str:
+        return f"LatencyHistogram(count={self.count}, mean={self.mean:.2f})"
+
+
+def _events_of(source) -> list[LatencyEvent]:
+    if isinstance(source, PipelineTracer):
+        return source.latency_events()
+    return list(source)
+
+
+def aggregate_latency_events(
+    source: PipelineTracer | Iterable[LatencyEvent],
+) -> dict[LatencyEventKind, LatencyHistogram]:
+    """Per-kind histograms over a tracer's recorded latency events."""
+    out: dict[LatencyEventKind, LatencyHistogram] = {}
+    for event in _events_of(source):
+        hist = out.get(event.kind)
+        if hist is None:
+            hist = out[event.kind] = LatencyHistogram()
+        hist.add(event.latency)
+    return out
+
+
+def aggregate_by_opcode(
+    source: PipelineTracer | Iterable[LatencyEvent],
+) -> dict[LatencyEventKind, dict[str, LatencyHistogram]]:
+    """Per-kind, per-opcode histograms (opcode = trace mnemonic)."""
+    out: dict[LatencyEventKind, dict[str, LatencyHistogram]] = {}
+    for event in _events_of(source):
+        per_op = out.setdefault(event.kind, {})
+        hist = per_op.get(event.op)
+        if hist is None:
+            hist = per_op[event.op] = LatencyHistogram()
+        hist.add(event.latency)
+    return out
+
+
+class LifecycleSpan(NamedTuple):
+    """One closed phase-to-phase interval of an instruction's lifecycle."""
+
+    seq: int
+    sid: int
+    name: str
+    start: int
+    end: int
+    detail: str = ""
+
+
+def lifecycle_spans(
+    source: PipelineTracer | Iterable[LifecycleMark],
+) -> list[LifecycleSpan]:
+    """Spans between consecutive lifecycle marks of each instruction.
+
+    The recorded mark stream for a seq — fetch, dispatch, wakeup, issue,
+    result, equality, verify/invalidate, reissue, retire — becomes a list
+    of named ``prev→next`` spans, the raw material of the Chrome trace
+    timeline.  Marks are paired in recorded order, so reissue loops
+    produce one span per traversal.
+    """
+    marks = (
+        source.lifecycle_marks()
+        if isinstance(source, PipelineTracer)
+        else list(source)
+    )
+    last: dict[int, LifecycleMark] = {}
+    spans: list[LifecycleSpan] = []
+    for mark in marks:
+        prev = last.get(mark.seq)
+        if prev is not None and mark.cycle >= prev.cycle:
+            spans.append(
+                LifecycleSpan(
+                    mark.seq,
+                    mark.sid if mark.sid >= 0 else prev.sid,
+                    f"{prev.phase}→{mark.phase}",
+                    prev.cycle,
+                    mark.cycle,
+                    mark.detail,
+                )
+            )
+        last[mark.seq] = mark
+    return spans

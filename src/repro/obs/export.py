@@ -1,0 +1,284 @@
+"""Exporters for recorded observability data.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` — Chrome trace-event JSON, loadable in Perfetto or
+  ``chrome://tracing``.  Lifecycle spans render as complete ("X") events
+  with one track per RUU station slot; latency events render on a second
+  process with one track per event kind.
+* :func:`metrics_dict` / :func:`metrics_csv` — machine-readable per-kind
+  histogram statistics for dashboards and diffing.
+* :func:`summary_table` — the human-readable latency-event table printed
+  by ``repro obs histo``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from repro.core.events import LatencyEventKind
+from repro.obs.aggregate import (
+    LatencyHistogram,
+    aggregate_latency_events,
+    lifecycle_spans,
+)
+from repro.obs.tracer import PipelineTracer
+
+#: pid used for the per-station lifecycle tracks.
+STATIONS_PID = 1
+#: pid used for the per-kind latency-event tracks.
+LATENCY_PID = 2
+
+_KIND_TID = {kind: tid for tid, kind in enumerate(LatencyEventKind)}
+
+
+def chrome_trace(tracer: PipelineTracer, label: str | None = None) -> dict:
+    """Chrome trace-event JSON for one instrumented run.
+
+    Returns the top-level object (``{"traceEvents": [...], ...}``); dump
+    with ``json.dump`` to get a file Perfetto accepts.  Timestamps are in
+    microseconds per the format, with one simulated cycle mapped to 1us.
+    """
+    window = tracer.window_size or 1
+    label = label or tracer.config_label or "repro"
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": STATIONS_PID,
+            "tid": 0,
+            "args": {"name": f"RUU stations ({label})"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": LATENCY_PID,
+            "tid": 0,
+            "args": {"name": "latency events"},
+        },
+    ]
+    for slot in range(window):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": STATIONS_PID,
+                "tid": slot,
+                "args": {"name": f"station {slot}"},
+            }
+        )
+    for kind, tid in _KIND_TID.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": LATENCY_PID,
+                "tid": tid,
+                "args": {"name": kind.paper_name},
+            }
+        )
+
+    for span in lifecycle_spans(tracer):
+        slot = span.sid % window if span.sid >= 0 else 0
+        event = {
+            "name": span.name,
+            "cat": "lifecycle",
+            "ph": "X",
+            "pid": STATIONS_PID,
+            "tid": slot,
+            "ts": span.start,
+            "dur": max(span.end - span.start, 0),
+            "args": {"seq": span.seq, "sid": span.sid},
+        }
+        if span.detail:
+            event["args"]["detail"] = span.detail
+        events.append(event)
+
+    for rec in tracer.latency_events():
+        events.append(
+            {
+                "name": rec.kind.value,
+                "cat": "latency",
+                "ph": "X",
+                "pid": LATENCY_PID,
+                "tid": _KIND_TID[rec.kind],
+                "ts": rec.start,
+                "dur": max(rec.latency, 0),
+                "args": {
+                    "seq": rec.seq,
+                    "sid": rec.sid,
+                    "op": rec.op,
+                    "paper_name": rec.kind.paper_name,
+                },
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "repro obs",
+            "config": label,
+            "marks_dropped": tracer.marks.dropped,
+            "latencies_dropped": tracer.latencies.dropped,
+        },
+    }
+
+
+_REQUIRED_EVENT_KEYS = ("name", "ph", "pid", "tid")
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema problems in a chrome_trace document; empty when valid.
+
+    Used by the CLI, the CI smoke job, and tests — one shared notion of
+    "loadable" so they cannot drift apart.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event[{i}] is not an object")
+            continue
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                problems.append(f"event[{i}] missing '{key}'")
+        ph = event.get("ph")
+        if ph == "X":
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"event[{i}] ph=X missing numeric 'ts'")
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event[{i}] ph=X missing non-negative 'dur'")
+        elif ph == "M":
+            if "args" not in event:
+                problems.append(f"event[{i}] ph=M missing 'args'")
+        elif ph not in ("B", "E", "i", "I", "C"):
+            problems.append(f"event[{i}] has unsupported ph {ph!r}")
+    return problems
+
+
+def metrics_dict(
+    histograms: dict[LatencyEventKind, LatencyHistogram] | PipelineTracer,
+    label: str | None = None,
+) -> dict:
+    """JSON-ready per-kind histogram statistics."""
+    if isinstance(histograms, PipelineTracer):
+        if label is None:
+            label = histograms.config_label
+        histograms = aggregate_latency_events(histograms)
+    return {
+        "config": label,
+        "latency_events": {
+            kind.value: {
+                "paper_name": kind.paper_name,
+                "latency_field": kind.latency_field,
+                **hist.as_dict(),
+            }
+            for kind, hist in sorted(
+                histograms.items(), key=lambda item: item[0].value
+            )
+        },
+    }
+
+
+_CSV_COLUMNS = ("kind", "paper_name", "count", "min", "mean", "p50", "p90", "p99", "max")
+
+
+def metrics_csv(
+    histograms: dict[LatencyEventKind, LatencyHistogram] | PipelineTracer,
+) -> str:
+    """One CSV row per latency-event kind."""
+    if isinstance(histograms, PipelineTracer):
+        histograms = aggregate_latency_events(histograms)
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(_CSV_COLUMNS)
+    for kind, hist in sorted(histograms.items(), key=lambda item: item[0].value):
+        writer.writerow(
+            [
+                kind.value,
+                kind.paper_name,
+                hist.count,
+                hist.min,
+                f"{hist.mean:.4f}",
+                hist.percentile(50),
+                hist.percentile(90),
+                hist.percentile(99),
+                hist.max,
+            ]
+        )
+    return out.getvalue()
+
+
+def summary_table(
+    histograms: dict[LatencyEventKind, LatencyHistogram] | PipelineTracer,
+    title: str | None = None,
+    kinds: Iterable[LatencyEventKind] = tuple(LatencyEventKind),
+) -> str:
+    """Text latency-event summary table, one row per kind.
+
+    Kinds with no recorded events still get a row (count 0), so the table
+    doubles as a coverage checklist for the paper's eight events.
+    """
+    if isinstance(histograms, PipelineTracer):
+        if title is None:
+            title = histograms.config_label
+        histograms = aggregate_latency_events(histograms)
+    rows = []
+    for kind in kinds:
+        hist = histograms.get(kind, LatencyHistogram())
+        rows.append(
+            (
+                kind.paper_name,
+                str(hist.count),
+                str(hist.min),
+                f"{hist.mean:.2f}",
+                str(hist.percentile(50)),
+                str(hist.percentile(90)),
+                str(hist.max),
+            )
+        )
+    header = ("latency event", "count", "min", "mean", "p50", "p90", "max")
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        for col in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(
+            header[col].ljust(widths[col]) if col == 0 else header[col].rjust(widths[col])
+            for col in range(len(header))
+        )
+    )
+    lines.append("  ".join("-" * widths[col] for col in range(len(header))))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                row[col].ljust(widths[col]) if col == 0 else row[col].rjust(widths[col])
+                for col in range(len(header))
+            )
+        )
+    return "\n".join(lines)
+
+
+def write_chrome_trace(tracer: PipelineTracer, path, label: str | None = None) -> dict:
+    """Build, validate, and write a Chrome trace; returns the document."""
+    doc = chrome_trace(tracer, label=label)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ValueError("invalid chrome trace: " + "; ".join(problems[:5]))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc

@@ -1,0 +1,165 @@
+"""The tracer the engine binds at construction.
+
+Two implementations share one duck type:
+
+* :class:`NullTracer` (singleton :data:`NULL_TRACER`) — ``enabled`` is
+  False and every hook is a no-op.  The engine hoists ``enabled`` into a
+  local flag at construction, so with tracing off the hot cycle loop pays
+  exactly one attribute check per instrumentation site and the golden
+  counter snapshots stay bit-identical.
+* :class:`PipelineTracer` — records two bounded streams into ring
+  buffers: *lifecycle marks* (which pipeline phase an instruction reached
+  in which cycle) and *latency events* (one measured occurrence of a
+  paper latency variable, tagged with its
+  :class:`~repro.core.events.LatencyEventKind`).
+
+Recording never mutates simulation state: the tracer only reads cycles
+and record metadata the engine already computed, which is what keeps an
+instrumented run cycle-identical to an uninstrumented one (pinned by
+tests/test_obs.py).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.events import LatencyEventKind
+
+#: Default ring capacity: enough for every event of a ~100k-instruction
+#: micro-kernel run while bounding memory on long instrumented sweeps.
+DEFAULT_CAPACITY = 1 << 20
+
+
+class LifecycleMark(NamedTuple):
+    """One pipeline phase reached by one dynamic instruction."""
+
+    cycle: int
+    seq: int
+    sid: int
+    phase: str
+    detail: str = ""
+
+
+class LatencyEvent(NamedTuple):
+    """One measured occurrence of a paper latency variable."""
+
+    kind: LatencyEventKind
+    seq: int
+    sid: int
+    start: int
+    end: int
+    op: str = ""
+
+    @property
+    def latency(self) -> int:
+        return self.end - self.start
+
+
+class EventRing:
+    """Fixed-capacity append-only ring buffer.
+
+    Appends past capacity overwrite the oldest entries (counted in
+    ``dropped``), so a tracer left attached to an arbitrarily long run
+    keeps the *most recent* window of events and bounded memory.
+    """
+
+    __slots__ = ("capacity", "_buf", "_next", "dropped")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buf: list = []
+        self._next = 0  # write cursor once the buffer is full
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def append(self, item) -> None:
+        buf = self._buf
+        if len(buf) < self.capacity:
+            buf.append(item)
+        else:
+            buf[self._next] = item
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+
+    def items(self) -> list:
+        """Contents in append order (oldest surviving entry first)."""
+        buf = self._buf
+        if len(buf) < self.capacity or self._next == 0:
+            return list(buf)
+        return buf[self._next:] + buf[: self._next]
+
+    def clear(self) -> None:
+        self._buf = []
+        self._next = 0
+        self.dropped = 0
+
+
+class NullTracer:
+    """Tracing disabled: one falsy attribute, no-op hooks.
+
+    The engine never calls the hooks when ``enabled`` is False; they
+    exist so a collaborator holding a tracer reference (the LSQ's
+    ``on_event``, a viz helper) can call them unconditionally.
+    """
+
+    enabled = False
+
+    def bind(self, config) -> None:  # pragma: no cover - trivial
+        pass
+
+    def mark(self, cycle, seq, sid, phase, detail="") -> None:
+        pass
+
+    def latency(self, kind, seq, sid, start, end, op="") -> None:
+        pass
+
+
+#: Shared disabled tracer; the engine default.
+NULL_TRACER = NullTracer()
+
+
+class PipelineTracer:
+    """Ring-buffer recorder for lifecycle marks and latency events."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.marks = EventRing(capacity)
+        self.latencies = EventRing(capacity)
+        #: Filled by :meth:`bind` when the engine adopts this tracer.
+        self.window_size: int | None = None
+        self.config_label: str | None = None
+
+    def bind(self, config) -> None:
+        """Adopt the engine's configuration (called at construction)."""
+        self.window_size = config.window_size
+        self.config_label = config.label
+
+    def mark(self, cycle: int, seq: int, sid: int, phase: str, detail: str = "") -> None:
+        self.marks.append(LifecycleMark(cycle, seq, sid, phase, detail))
+
+    def latency(
+        self,
+        kind: LatencyEventKind,
+        seq: int,
+        sid: int,
+        start: int,
+        end: int,
+        op: str = "",
+    ) -> None:
+        self.latencies.append(LatencyEvent(kind, seq, sid, start, end, op))
+
+    # -- convenience views -------------------------------------------------
+
+    def lifecycle_marks(self) -> list[LifecycleMark]:
+        return self.marks.items()
+
+    def latency_events(self) -> list[LatencyEvent]:
+        return self.latencies.items()
+
+    def kinds_seen(self) -> set[LatencyEventKind]:
+        return {event.kind for event in self.latencies.items()}

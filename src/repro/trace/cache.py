@@ -44,8 +44,10 @@ from repro.trace.record import TraceRecord
 
 ENV_VAR = "REPRO_TRACE_CACHE"
 
-#: ``REPRO_TRACE_CACHE`` values that turn the cache off.
-_DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled"})
+#: ``REPRO_TRACE_CACHE`` values that turn the cache off.  Any common
+#: falsy spelling disables the cache everywhere rather than being
+#: misread as a relocation path named "false"/"no".
+_DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled", "false", "no"})
 
 #: File suffix; bump together with the binary format's magic so readers
 #: of a new format never even open old-format files.

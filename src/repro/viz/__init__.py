@@ -6,8 +6,14 @@ occupancy (from engine samples) and side-by-side run comparisons.
 
 from repro.viz.timeline import (
     sparkline,
+    samples_from_tracer,
     render_timeline,
     render_ipc_comparison,
 )
 
-__all__ = ["sparkline", "render_timeline", "render_ipc_comparison"]
+__all__ = [
+    "sparkline",
+    "samples_from_tracer",
+    "render_timeline",
+    "render_ipc_comparison",
+]

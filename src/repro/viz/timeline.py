@@ -1,4 +1,12 @@
-"""Sparkline time-series rendering of engine samples."""
+"""Sparkline time-series rendering of engine samples.
+
+Samples are cumulative ``(cycle, retired, occupancy)`` triples.  They
+come either from the engine's own periodic sampling
+(``ProcessorConfig.sample_interval``) or, via
+:func:`samples_from_tracer`, reconstructed from an observability
+tracer's lifecycle marks — so any instrumented run can be rendered
+without re-running it with sampling enabled.
+"""
 
 from __future__ import annotations
 
@@ -65,6 +73,48 @@ def render_timeline(
         + sparkline(occupancy, width)
     )
     return "\n".join(lines)
+
+
+def samples_from_tracer(
+    tracer, interval: int = 100
+) -> list[tuple[int, int, int]]:
+    """Reconstruct cumulative (cycle, retired, occupancy) samples from a
+    tracer's lifecycle marks.
+
+    Dispatch marks grow window occupancy; retire and squash marks shrink
+    it (retire also advances the retired count).  One sample is emitted
+    per ``interval`` cycles, carrying the state at the end of that
+    interval, so the output plugs straight into :func:`render_timeline`.
+    Marks beyond the tracer's ring capacity are dropped oldest-first,
+    in which case the series covers only the retained suffix of the run.
+    """
+    if interval < 1:
+        raise ValueError("interval must be positive")
+    deltas: dict[int, tuple[int, int]] = {}  # cycle -> (d_retired, d_occupancy)
+    for mark in tracer.lifecycle_marks():
+        if mark.phase == "dispatch":
+            d_ret, d_occ = deltas.get(mark.cycle, (0, 0))
+            deltas[mark.cycle] = (d_ret, d_occ + 1)
+        elif mark.phase == "retire":
+            d_ret, d_occ = deltas.get(mark.cycle, (0, 0))
+            deltas[mark.cycle] = (d_ret + 1, d_occ - 1)
+        elif mark.phase == "squash":
+            d_ret, d_occ = deltas.get(mark.cycle, (0, 0))
+            deltas[mark.cycle] = (d_ret, d_occ - 1)
+    if not deltas:
+        return []
+    samples: list[tuple[int, int, int]] = []
+    retired = occupancy = 0
+    boundary = interval
+    for cycle in sorted(deltas):
+        while cycle >= boundary:
+            samples.append((boundary, retired, max(occupancy, 0)))
+            boundary += interval
+        d_ret, d_occ = deltas[cycle]
+        retired += d_ret
+        occupancy += d_occ
+    samples.append((boundary, retired, max(occupancy, 0)))
+    return samples
 
 
 def render_ipc_comparison(

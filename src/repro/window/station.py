@@ -164,6 +164,8 @@ class Station:
         "in_taint_union",
         "in_correct",
         "in_spec",
+        "wakeup_cycle",
+        "invalidate_cycle",
     )
 
     def __init__(self, sid: int, rec: TraceRecord, wrong_path: bool = False):
@@ -234,6 +236,10 @@ class Station:
         self.in_taint_union = 0
         self.in_correct = True
         self.in_spec = False
+        # -- observability timestamps (written only when a tracer is
+        # attached; -1 = not seen) --
+        self.wakeup_cycle = -1
+        self.invalidate_cycle = -1
 
     # -- derived state ----------------------------------------------------
 

@@ -51,3 +51,10 @@ def can_wake(station: Station, variables: ModelVariables, cycle: int) -> bool:
     # address generation") and the memory access, which the engine gates on
     # operand validity when memory resolution is VALID_ONLY.
     return True
+
+
+def operand_state_labels(station: Station) -> str:
+    """Compact four-valued operand summary, e.g. ``"V,P"`` (observability
+    detail string: VALID/INVALID/PREDICTED/SPECULATIVE initials in operand
+    order, empty for zero-operand instructions)."""
+    return ",".join(op.state.name[0] for op in station.operands)

@@ -65,3 +65,11 @@ def test_predictor_comparison():
 def test_design_space_exploration():
     out = _run("design_space_exploration.py", timeout=900)
     assert "Equality-Verification" in out
+
+
+def test_latency_events():
+    out = _run("latency_events.py")
+    assert "latency events — good" in out
+    assert "latency events — great" in out
+    assert "Verification - Free Issue Resource" in out
+    assert "Invalidation - Reissue" in out

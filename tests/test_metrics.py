@@ -103,3 +103,81 @@ def test_summary_renders():
     # no predictions: the VP section is omitted
     plain = summarize_counters(SimCounters(cycles=10, retired=20))
     assert "value predictions" not in plain
+
+
+# -- aggregation: merge / merged / CounterBatch ---------------------------
+
+
+def test_merge_sums_counts_and_maxes_peak():
+    from repro.metrics.counters import CounterBatch  # noqa: F401  (import check)
+
+    a = SimCounters(cycles=10, retired=20, speculated=4, misspeculations=1,
+                    window_peak=7, extra={"x": 1.0})
+    b = SimCounters(cycles=5, retired=10, speculated=6, misspeculations=2,
+                    window_peak=3, extra={"x": 2.0, "y": 0.5})
+    out = a.merge(b)
+    assert out is a
+    assert a.cycles == 15 and a.retired == 30
+    assert a.speculated == 10 and a.misspeculations == 3
+    assert a.window_peak == 7  # max, not sum
+    assert a.extra == {"x": 3.0, "y": 0.5}
+    # derived rates answer for the combined population
+    assert a.misspeculation_rate == pytest.approx(3 / 10)
+
+
+def test_merged_combines_parallel_jobs():
+    chunks = [SimCounters(cycles=c, retired=2 * c, window_peak=c)
+              for c in (3, 9, 6)]
+    combined = SimCounters.merged(chunks)
+    assert combined.cycles == 18
+    assert combined.retired == 36
+    assert combined.window_peak == 9
+    # inputs are untouched
+    assert [c.cycles for c in chunks] == [3, 9, 6]
+    assert SimCounters.merged([]).cycles == 0
+
+
+def test_counter_batch_zero_length_phase_flush():
+    from repro.metrics.counters import CounterBatch
+
+    batch = CounterBatch()
+    assert batch.flush() == 0  # flushing an empty phase is a no-op
+    assert batch.flushes == 0
+    assert batch.total.cycles == 0
+
+
+def test_counter_batch_double_flush_idempotent():
+    from repro.metrics.counters import CounterBatch
+
+    batch = CounterBatch()
+    batch.add(SimCounters(cycles=4, retired=8))
+    batch.add(SimCounters(cycles=6, retired=2))
+    assert batch.pending == 2
+    assert batch.flush() == 2
+    snapshot = (batch.total.cycles, batch.total.retired)
+    assert batch.flush() == 0  # second flush folds nothing
+    assert (batch.total.cycles, batch.total.retired) == snapshot == (10, 10)
+    assert batch.flushes == 1
+
+
+def test_counter_batch_merges_across_parallel_jobs():
+    """Folding per-job counters phase by phase equals one big merge."""
+    from repro.metrics.counters import CounterBatch
+
+    jobs = [SimCounters(cycles=i, retired=i * 2, speculated=i,
+                        misspeculations=i // 2, window_peak=i,
+                        extra={"warm": float(i)})
+            for i in (1, 2, 3, 4, 5)]
+    batch = CounterBatch()
+    for wave in (jobs[:2], jobs[2:]):  # two phases of parallel jobs
+        for counters in wave:
+            batch.add(counters)
+        batch.flush()
+    direct = SimCounters.merged(
+        SimCounters(cycles=i, retired=i * 2, speculated=i,
+                    misspeculations=i // 2, window_peak=i,
+                    extra={"warm": float(i)})
+        for i in (1, 2, 3, 4, 5)
+    )
+    assert batch.flushes == 2
+    assert batch.total == direct

@@ -1,0 +1,110 @@
+"""scripts/perf_diff.py: graceful degradation on missing/old records."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "perf_diff.py"
+
+
+@pytest.fixture(scope="module")
+def perf_diff():
+    spec = importlib.util.spec_from_file_location("perf_diff", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["perf_diff"] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop("perf_diff", None)
+
+
+def _record(**overrides) -> dict:
+    record = {
+        "git_revision": "abc1234",
+        "trace_limit": 1000,
+        "reps_best_of": 3,
+        "model_aggregate_ips": {"base": 100_000, "good": 80_000},
+    }
+    record.update(overrides)
+    return record
+
+
+def test_normal_diff_exits_zero(perf_diff, tmp_path, capsys):
+    new = tmp_path / "new.json"
+    old = tmp_path / "old.json"
+    new.write_text(json.dumps(_record()))
+    old.write_text(json.dumps(_record(model_aggregate_ips={"base": 50_000})))
+    assert perf_diff.main([str(new), "--baseline", str(old)]) == 0
+    out = capsys.readouterr().out
+    assert "2.000" in out  # 100k vs 50k
+
+
+def test_missing_new_record_is_informational(perf_diff, tmp_path, capsys):
+    assert perf_diff.main([str(tmp_path / "nope.json")]) == 0
+    out = capsys.readouterr().out
+    assert "cannot read" in out and "skipping" in out
+
+
+def test_missing_baseline_is_informational(perf_diff, tmp_path, capsys):
+    new = tmp_path / "new.json"
+    new.write_text(json.dumps(_record()))
+    assert perf_diff.main([str(new), "--baseline",
+                           str(tmp_path / "absent.json")]) == 0
+    out = capsys.readouterr().out
+    assert "skipping" in out
+
+
+def test_malformed_baseline_is_informational(perf_diff, tmp_path, capsys):
+    new = tmp_path / "new.json"
+    bad = tmp_path / "bad.json"
+    new.write_text(json.dumps(_record()))
+    bad.write_text("{not json")
+    assert perf_diff.main([str(new), "--baseline", str(bad)]) == 0
+    assert "not valid JSON" in capsys.readouterr().out
+
+
+def test_non_object_baseline_is_informational(perf_diff, tmp_path, capsys):
+    new = tmp_path / "new.json"
+    old = tmp_path / "old.json"
+    new.write_text(json.dumps(_record()))
+    old.write_text(json.dumps([1, 2, 3]))  # pre-dict schema
+    assert perf_diff.main([str(new), "--baseline", str(old)]) == 0
+    assert "unrecognised schema" in capsys.readouterr().out
+
+
+def test_old_schema_without_aggregates_is_informational(perf_diff, tmp_path, capsys):
+    """A baseline record with neither aggregates nor usable points
+    degrades to a note, not a traceback."""
+    new = tmp_path / "new.json"
+    old = tmp_path / "old.json"
+    new.write_text(json.dumps(_record()))
+    old.write_text(json.dumps({
+        "git_revision": "old0000",
+        "points": [{"benchmark": "compress", "seconds": 1.0}],  # old keys
+    }))
+    assert perf_diff.main([str(new), "--baseline", str(old)]) == 0
+    assert "no usable per-model aggregates" in capsys.readouterr().out
+
+
+def test_aggregates_recomputed_from_points(perf_diff):
+    report = {
+        "points": [
+            {"model": "good", "instructions": 1000, "best_seconds": 0.5},
+            {"model": "good", "instructions": 1000, "best_seconds": 0.5},
+            {"benchmark": "stray-old-schema-point"},  # skipped, not fatal
+        ]
+    }
+    assert perf_diff._model_aggregates(report) == {"good": 2000}
+
+
+def test_fail_below_still_gates(perf_diff, tmp_path, capsys):
+    new = tmp_path / "new.json"
+    old = tmp_path / "old.json"
+    new.write_text(json.dumps(_record(model_aggregate_ips={"base": 50_000})))
+    old.write_text(json.dumps(_record(model_aggregate_ips={"base": 100_000})))
+    assert perf_diff.main([str(new), "--baseline", str(old),
+                           "--fail-below", "0.9"]) == 1

@@ -60,6 +60,35 @@ def test_env_disables_cache(monkeypatch):
         assert trace_cache.load_trace("x", "s", 1) is None
 
 
+def test_env_falsy_spellings_disable_not_relocate(monkeypatch, tmp_path):
+    """Regression: "false"/"no" (and case/space variants) must disable the
+    cache, not be interpreted as a relocation directory of that name."""
+    monkeypatch.chdir(tmp_path)
+    for value in ("false", "no", "False", "NO", " off ", "Disabled"):
+        monkeypatch.setenv(trace_cache.ENV_VAR, value)
+        assert trace_cache.cache_dir() is None, value
+        assert not trace_cache.cache_enabled()
+        assert trace_cache.trace_path("x", "s", 1) is None
+        assert trace_cache.store_trace("x", "s", 1, []) is None
+        assert trace_cache.cache_entries() == []
+    # No stray "false"/"no" directories were created anywhere nearby.
+    assert sorted(p.name for p in tmp_path.iterdir()) == []
+
+
+def test_env_disabled_cached_trace_no_writes(monkeypatch, tmp_path, capture_counter):
+    """cached_trace must work (re-capturing each time) with the cache off,
+    without creating any directory."""
+    from repro.trace.cache import cached_trace
+
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv(trace_cache.ENV_VAR, "false")
+    first = cached_trace("compress", 50)
+    second = cached_trace("compress", 50)
+    assert [r.seq for r in first] == [r.seq for r in second]
+    assert capture_counter["count"] == 2  # no cache hit: captured both times
+    assert sorted(p.name for p in tmp_path.iterdir()) == []
+
+
 def test_env_overrides_location(cache_dir):
     assert trace_cache.cache_dir() == cache_dir
 
