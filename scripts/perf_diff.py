@@ -97,6 +97,33 @@ def _model_aggregates(report: dict) -> dict[str, int]:
     }
 
 
+def dirty_warnings(new: dict, baseline: dict) -> list[str]:
+    """Warnings for records whose revision does not identify the code.
+
+    A ``-dirty`` suffix means the benchmark ran on a tree with
+    uncommitted changes, so the recorded numbers cannot be attributed to
+    the named commit; an ``unknown`` revision means git was unavailable.
+    Either way the record is still diffable — the warning asks for a
+    regeneration, it does not block.
+    """
+    warnings = []
+    for label, record in (("fresh", new), ("committed baseline", baseline)):
+        revision = str(record.get("git_revision", ""))
+        if revision.endswith("-dirty"):
+            warnings.append(
+                f"warning: the {label} record was generated from a dirty "
+                f"tree ({revision}); regenerate it from a clean checkout "
+                "so its revision identifies the measured code"
+            )
+        elif revision in ("", "unknown"):
+            warnings.append(
+                f"warning: the {label} record has no git revision; "
+                "regenerate it inside the repository so the measurement "
+                "is attributable"
+            )
+    return warnings
+
+
 def diff(new: dict, baseline: dict) -> list[tuple[str, int | None, int, float | None]]:
     """Rows of (model, baseline ips, new ips, ratio)."""
     new_aggregates = _model_aggregates(new)
@@ -188,8 +215,16 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     rows = diff(new, baseline)
-    print(render_markdown(rows, new, baseline) if args.markdown
-          else render_text(rows, new, baseline))
+    warnings = dirty_warnings(new, baseline)
+    if args.markdown:
+        body = render_markdown(rows, new, baseline)
+        if warnings:
+            body += "\n\n" + "\n".join(f"> ⚠️ {w}" for w in warnings)
+        print(body)
+    else:
+        print(render_text(rows, new, baseline))
+        for warning in warnings:
+            print(warning, file=sys.stderr)
 
     if args.fail_below is not None:
         failing = [r for r in rows if r[3] is not None and r[3] < args.fail_below]

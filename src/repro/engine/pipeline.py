@@ -45,6 +45,7 @@ from __future__ import annotations
 import gc
 from collections import deque
 from heapq import heappop as _heappop, heappush as _heappush
+from itertools import islice as _islice
 
 from repro.core.latency import LatencyModel
 from repro.core.model import SpeculativeExecutionModel
@@ -80,6 +81,7 @@ from repro.window.wakeup import operand_state_labels
 #: PC -> table-index shift used by the fused value-prediction fast path
 #: (the same shift the predictor and confidence tables use internally).
 _VP_PC_SHIFT = INSTRUCTION_BYTES.bit_length() - 1
+_MASK64 = (1 << 64) - 1
 
 # Event kinds on the timing heap.
 _RESULT = 0
@@ -175,7 +177,13 @@ class PipelineSimulator:
         #: A register-file read at dispatch never changes state (ready,
         #: untainted, correct, cycle 0), so all stations can share one
         #: Operand instance per register instead of allocating a fresh one.
-        self._regfile_operands: dict[int, Operand] = {}
+        #: Shared always-VALID operand singletons, one per architected
+        #: register (never mutated — no producer means no deliver/clear/
+        #: reset can reach them).  Pre-built so dispatch reads are a plain
+        #: list index.
+        self._regfile_operands: list[Operand] = [
+            Operand(reg, None) for reg in range(256)
+        ]
         self.lsq = LoadStoreQueue(config.window_size)
         self.dports = PortPool(config.dcache_ports)
         self.counters = SimCounters()
@@ -203,6 +211,8 @@ class PipelineSimulator:
         self._lat_eq_verify = latencies.equality_to_verification
         self._lat_eq_inval = latencies.equality_to_invalidation
         self._lat_inval_reissue = latencies.invalidation_to_reissue
+        self._lat_verify_branch = latencies.verification_to_branch
+        self._lat_verify_mem = latencies.verification_addr_to_mem_access
         #: Resource-release delay applied to speculation-involved
         #: retirements (the base rule — one cycle after completion —
         #: applies otherwise).
@@ -240,6 +250,9 @@ class PipelineSimulator:
         self._wakeup_valid_only = self.variables.wakeup is WakeupPolicy.VALID_ONLY
         self._branch_valid_only = (
             self.variables.branch_resolution is BranchResolution.VALID_ONLY
+        )
+        self._mem_valid_only = (
+            self.variables.memory_resolution is MemoryResolution.VALID_ONLY
         )
         self._issue_width = config.issue_width
         self._dispatch_width = config.dispatch_width
@@ -282,10 +295,32 @@ class PipelineSimulator:
             self._fconf_counters = self.confidence._counters
             self._fconf_mask = self.confidence._mask
             self._fconf_max = self.confidence.max_count
+            # Predictor table internals, hoisted once so the fused
+            # predict path performs no repeated attribute chains (the
+            # containers are never rebound by ContextValuePredictor,
+            # only mutated in place; ``_next_token`` is an int and must
+            # keep living on the predictor).
+            vp = self.predictor
+            self._fvp_stats = vp.stats
+            self._fvp_l1_mask = vp._l1_mask
+            self._fvp_entries = vp._entries
+            self._fvp_fresh = vp._fresh
+            self._fvp_ctx_mask = vp._ctx_mask
+            self._fvp_values = vp._values
+            self._fvp_folds = vp._value_folds
+            self._fvp_spec = vp._spec
+            self._fvp_order = vp.order
+            # Train-side internals for the retire-side inline (same
+            # never-rebound guarantee as the predict-side hoists above).
+            self._fvp_counters = vp._counters
+            self._fvp_fold16_ok = vp._fold16_ok
+            self._fvp_consume = vp._consume_speculative
+            self._fvp_walk = vp._walk_live
             self._predict_value = self._predict_value_fast
         else:
             self._fconf_counters = None
             self._fconf_mask = self._fconf_max = 0
+            self._fvp_fold16_ok = False
 
         self.cycle = 0
         self._next_sid = 0
@@ -297,12 +332,33 @@ class PipelineSimulator:
         #: is ``(kind, station, epoch)`` plus a trailing consumer frontier
         #: for wave transactions.
         self._events: dict[int, list[tuple]] = {}
+        #: kind -> bound handler for the point-event kinds (wave and
+        #: provisional-invalidate entries carry extra state and keep
+        #: their explicit dispatch in ``_process_events``).
+        self._event_handlers = (
+            self._on_result,
+            self._on_equality,
+            self._on_verify,
+            self._on_invalidate,
+            None,
+            None,
+            self._on_addrgen,
+            None,
+        )
         #: Fetched instructions awaiting dispatch as raw
         #: ``(rec, wrong_path, mispredicted, ready_cycle)`` tuples — the
         #: :class:`FetchedInstruction` wrapper is public-API only.
         self._fetch_queue: deque[tuple[TraceRecord, bool, bool, int]] = deque()
         self._fetch_limit = config.fetch_width * (config.dispatch_latency + 2)
-        self._writers: dict[int, list[int]] = {}
+        #: Last-writer table: register -> sid of the newest station
+        #: writing it (-1 = none in flight).  Dispatch resolves sources
+        #: with one list index instead of a dict-of-lists lookup; each
+        #: station records the previous entry (``prev_writer``) so a
+        #: squash can unwind the table youngest-first.  Stale (retired)
+        #: sids are harmless — the window lookup filters them.
+        self._last_writer: list[int] = [-1] * 256
+        #: Closure-walk visit stamp (see ``_consumer_closure``).
+        self._stamp = 0
         self._pending_branch: Station | None = None
         #: Loads whose address generation finished and whose memory access
         #: is pending (valid-address gate / prior stores / ports), as
@@ -593,21 +649,24 @@ class PipelineSimulator:
         room = self._fetch_limit - len(self._fetch_queue)
         if room <= 0:
             return
+        cycle = self.cycle
         batch = self.fetch_engine.fetch_raw(
-            self.cycle, min(self._fetch_width, room)
+            cycle, min(self._fetch_width, room), cycle + self._dispatch_latency
         )
         if not batch:
             return
-        ready = self.cycle + self._dispatch_latency
-        fetch_queue = self._fetch_queue
+        # fetch_raw already stamped the dispatch-ready cycle into each
+        # tuple, so the whole batch lands in the queue in one C-level
+        # extend.
+        self._fetch_queue.extend(batch)
         log_on = self._log_on
         obs_on = self._obs_on
-        for rec, wrong_path, mispredicted in batch:
-            fetch_queue.append((rec, wrong_path, mispredicted, ready))
-            if log_on and not wrong_path:
-                self.log.emit(rec.seq, SpecEventKind.FETCH, self.cycle)
-            if obs_on and not wrong_path:
-                self._trc_mark(self.cycle, rec.seq, -1, "fetch")
+        if log_on or obs_on:
+            for rec, wrong_path, __, __ready in batch:
+                if log_on and not wrong_path:
+                    self.log.emit(rec.seq, SpecEventKind.FETCH, cycle)
+                if obs_on and not wrong_path:
+                    self._trc_mark(cycle, rec.seq, -1, "fetch")
 
     def _dispatch(self) -> None:
         """Dispatch up to ``dispatch_width`` instructions into the window
@@ -621,7 +680,7 @@ class PipelineSimulator:
         counters = self.counters
         cycle = self.cycle
         width = self._dispatch_width
-        writers = self._writers
+        last_writer = self._last_writer
         regfile_operands = self._regfile_operands
         lsq = self.lsq
         lsq_entries = lsq._entries  # lsq.full, inlined below
@@ -634,9 +693,43 @@ class PipelineSimulator:
         predict_all = self._predict_all
         vp_unlimited = self._vp_unlimited
         next_sid = self._next_sid
+        new_station = Station.__new__
+        new_operand = Operand.__new__
+        peak = window.peak_occupancy
+        # Under paper selection (totally ordered candidates) a station
+        # with an un-ready operand never needs to enter the ready pool at
+        # dispatch: it cannot pass the wakeup predicate until a producer
+        # broadcast arrives, and _broadcast re-pools it at that moment.
+        # Skipping the insert avoids the pool round-trip (insert, predicate
+        # walk, park-delete) for the common in-flight-dependency case.
+        # Order-sensitive selection policies keep the unconditional insert
+        # so pool iteration order stays byte-identical.
+        pool_all = not self._sel_paper
+        # Fused value-prediction inline (see _predict_value_fast): with the
+        # default stack active, the whole predict+confidence body runs here
+        # with every table hoisted to a local — zero calls per prediction.
+        fast_vp = vp_on and self._fast_vp
+        if fast_vp:
+            predictor = self.predictor
+            fvp_stats = self._fvp_stats
+            fvp_l1_mask = self._fvp_l1_mask
+            fvp_entries = self._fvp_entries
+            fvp_fresh = self._fvp_fresh
+            fvp_ctx_mask = self._fvp_ctx_mask
+            fvp_values = self._fvp_values
+            fvp_folds = self._fvp_folds
+            fvp_spec = self._fvp_spec
+            fvp_order = self._fvp_order
+            fconf_counters = self._fconf_counters
+            fconf_mask = self._fconf_mask
+            fconf_max = self._fconf_max
+            alloc_taint_mask = self._alloc_taint_mask
+            vp_shift = _VP_PC_SHIFT
         # Per-instruction counters accumulate in locals and flush once
         # after the loop (an attribute RMW per instruction is overhead).
         n_wrong = n_branches = n_mispred = n_loads = n_stores = 0
+        n_lookups = n_pred = n_pred_correct = 0
+        n_ch = n_cl = n_ih = n_il = n_specd = n_misspec = 0
         while dispatched < width:
             if not fetch_queue:
                 if dispatched == 0 and not self.fetch_engine.exhausted:
@@ -649,8 +742,9 @@ class PipelineSimulator:
                 if dispatched == 0:
                     counters.stall_window_full += 1
                 break
+            is_memory = rec.is_memory
             if (
-                rec.is_memory
+                is_memory
                 and not wrong_path
                 and len(lsq_entries) >= lsq_capacity
             ):
@@ -660,44 +754,100 @@ class PipelineSimulator:
             fetch_queue.popleft()
             sid = next_sid
             next_sid += 1
-            station = Station(sid, rec, wrong_path)
+            # Station.__init__, inlined (kept in lockstep with
+            # window/station.py — the golden-counter tests pin the
+            # behaviour): constructing ~1 station per instruction through
+            # a Python-level __init__ frame is pure dispatch overhead.
+            station = new_station(Station)
+            station.sid = sid
+            station.rec = rec
+            station.wrong_path = wrong_path
+            operands = station.operands = []
+            station.consumers = []
+            station.prev_writer = -1
+            station.stamp = 0
+            station.predicted = False
+            station.predicted_confident = False
+            station.pred_correct = False
+            station.prediction_resolved = False
+            station.prediction_muted = False
+            station.pending_train = None
+            station.spec_equal = False
+            station.issued = False
+            station.executing = False
+            station.executed = False
+            station.exec_valid_inputs = False
+            station.exec_count = 0
+            station.out_ready = False
+            station.out_taints = 0
+            station.out_correct = False
+            station.exec_taints = 0
+            station.taint_mask = 0
+            station.out_valid_cycle = 0
+            station.out_via_network = False
             station.dispatch_cycle = cycle
+            station.issue_cycle = 0
+            station.result_cycle = 0
+            station.equality_cycle = 0
+            station.verify_cycle = 0
             station.min_issue_cycle = cycle + 1
-            operands_append = station.operands.append
-            for op_index, reg in enumerate(rec.src_regs):
-                writer_list = writers.get(reg)
+            station.epoch = 0
+            station.sel_priority = rec.sel_priority
+            station.is_ctrl = rec.is_ctrl
+            station.branch_mispredicted = False
+            station.mem_done = False
+            station.retired = False
+            station.misspeculations = 0
+            station.in_dirty = True
+            station.in_usable = True
+            station.in_taint_union = 0
+            station.in_correct = True
+            station.in_spec = False
+            station.wakeup_cycle = -1
+            station.invalidate_cycle = -1
+            operands_append = operands.append
+            pool_ready = True
+            op_index = -1
+            for reg in rec.src_regs:
+                op_index += 1
+                producer_sid = last_writer[reg]
                 producer = None
-                if writer_list:
-                    producer = win_get(writer_list[-1])
+                if producer_sid >= 0:
+                    producer = win_get(producer_sid)
                     if producer is not None and producer.retired:
                         producer = None
                 if producer is None:
-                    # Architected register-file read: permanently VALID, so
-                    # the shared per-register singleton stands in (never
-                    # mutated — no producer means no deliver/clear/reset
-                    # can reach it).
-                    operand = regfile_operands.get(reg)
-                    if operand is None:
-                        operand = Operand(reg, None)
-                        regfile_operands[reg] = operand
-                    operands_append(operand)
+                    # Architected register-file read: permanently VALID —
+                    # the shared pre-built per-register singleton stands in.
+                    operands_append(regfile_operands[reg])
                     continue
-                operand = Operand(reg, producer.sid)
-                producer.consumers.append((sid, op_index))
+                # Operand.__init__, inlined (same lockstep note).
+                operand = new_operand(Operand)
+                operand.reg = reg
+                operand.producer_sid = producer_sid
+                operand.from_prediction = False
+                operand.valid_cycle = 0
+                operand.via_network = False
+                producer.consumers.append((station, op_index))
                 if producer.out_ready:
                     # Dispatch-time capture reads the producer's RS
                     # field directly — no network transaction involved,
                     # so no Verification–Branch/Memory surcharge.
                     operand.ready = True
-                    operand.taints = producer.out_taints
+                    taints = operand.taints = producer.out_taints
                     operand.correct = producer.out_correct
                     operand.from_prediction = (
                         producer.predicted
                         and not producer.prediction_resolved
                         and not producer.prediction_muted
                     )
-                    if not operand.taints:
+                    if not taints:
                         operand.valid_cycle = cycle
+                else:
+                    operand.ready = False
+                    operand.taints = 0
+                    operand.correct = False
+                    pool_ready = False
                 operands_append(operand)
 
             writes = rec.writes_register
@@ -708,7 +858,79 @@ class PipelineSimulator:
                 and (predict_all or self._prediction_eligible(rec))
                 and (vp_unlimited or self._vp_port_available())
             ):
-                self._predict_value(station)
+                if fast_vp:
+                    # _predict_value_fast, inlined (kept in lockstep; the
+                    # golden-counter tests pin bit-identical behaviour).
+                    actual = rec.dest_value
+                    pc = rec.pc
+                    n_lookups += 1
+                    index = (pc >> vp_shift) & fvp_l1_mask
+                    entry = fvp_entries.get(index)
+                    if entry is None:
+                        entry = fvp_entries[index] = fvp_fresh.copy()
+                    unmasked = entry[0]
+                    ctx = unmasked & fvp_ctx_mask
+                    predicted = fvp_values[ctx]
+                    fold = fvp_folds[ctx]
+                    token = predictor._next_token
+                    predictor._next_token = token + 1
+                    spec = fvp_spec.get(index)
+                    if spec is None:
+                        spec = fvp_spec[index] = []
+                    depth = len(spec)
+                    if depth < fvp_order:
+                        # Entry layout: [live, committed, head, folds…,
+                        # values…].
+                        oldest = entry[3 + (entry[2] + depth) % fvp_order]
+                    else:
+                        oldest = spec[depth - fvp_order][2]
+                    entry[0] = (
+                        ((unmasked ^ oldest) >> 1)
+                        ^ (fold << (fvp_order - 1))
+                    )
+                    spec.append((token, predicted, fold))
+
+                    pred_correct = predicted == actual
+                    confident = (
+                        fconf_counters[(pc >> vp_shift) & fconf_mask]
+                        == fconf_max
+                    )
+                    n_pred += 1
+                    if pred_correct:
+                        n_pred_correct += 1
+                        if confident:
+                            n_ch += 1
+                        else:
+                            n_cl += 1
+                    elif confident:
+                        n_ih += 1
+                    else:
+                        n_il += 1
+                    station.pending_train = (
+                        pc, actual, pred_correct, token, rec.dest_fold,
+                    )
+                    if confident:
+                        station.predicted = True
+                        station.predicted_confident = True
+                        station.pred_correct = pred_correct
+                        station.out_ready = True
+                        station.taint_mask = alloc_taint_mask(station)
+                        station.out_taints = station.taint_mask
+                        station.out_correct = pred_correct
+                        n_specd += 1
+                        if not pred_correct:
+                            n_misspec += 1
+                        if log_on:
+                            self.log.emit(
+                                rec.seq, SpecEventKind.PREDICT, cycle
+                            )
+                        if obs_on:
+                            self._trc_mark(
+                                cycle, rec.seq, sid, "predict",
+                                "correct" if pred_correct else "incorrect",
+                            )
+                else:
+                    self._predict_value(station)
 
             if rec.is_branch and not wrong_path:
                 n_branches += 1
@@ -716,26 +938,27 @@ class PipelineSimulator:
                 station.branch_mispredicted = True
                 self._pending_branch = station
                 n_mispred += 1
-            if rec.is_memory and not wrong_path:
-                lsq.allocate(sid, rec.is_store)
-                if rec.is_load:
-                    n_loads += 1
-                else:
+            if is_memory and not wrong_path:
+                is_store = rec.is_store
+                lsq.allocate(sid, is_store)
+                if is_store:
                     n_stores += 1
-            if writes:
-                dest_list = writers.get(rec.dest_reg)
-                if dest_list is None:
-                    writers[rec.dest_reg] = [sid]
                 else:
-                    dest_list.append(sid)
+                    n_loads += 1
+            if writes:
+                dest = rec.dest_reg
+                station.prev_writer = last_writer[dest]
+                last_writer[dest] = sid
 
             # InstructionWindow.insert, inlined (the full/ordering checks
             # are guaranteed by the window gate above and the monotonic
             # sid).
             win[sid] = station
-            if len(win) > window.peak_occupancy:
-                window.peak_occupancy = len(win)
-            pool[sid] = station
+            occ = len(win)
+            if occ > peak:
+                peak = occ
+            if pool_ready or pool_all:
+                pool[sid] = station
             if wrong_path:
                 n_wrong += 1
             if log_on and not wrong_path:
@@ -744,6 +967,7 @@ class PipelineSimulator:
                 self._trc_mark(cycle, rec.seq, sid, "dispatch")
             dispatched += 1
         self._next_sid = next_sid
+        window.peak_occupancy = peak
         if dispatched:
             counters.dispatched += dispatched
             counters.dispatched_wrong_path += n_wrong
@@ -751,6 +975,16 @@ class PipelineSimulator:
             counters.branch_mispredictions += n_mispred
             counters.loads += n_loads
             counters.stores += n_stores
+        if n_lookups:
+            fvp_stats.lookups += n_lookups
+            counters.predictions += n_pred
+            counters.predictions_correct += n_pred_correct
+            counters.correct_high += n_ch
+            counters.correct_low += n_cl
+            counters.incorrect_high += n_ih
+            counters.incorrect_low += n_il
+            counters.speculated += n_specd
+            counters.misspeculations += n_misspec
 
     _LONG_LATENCY_CLASSES = frozenset(
         (
@@ -857,23 +1091,22 @@ class PipelineSimulator:
         pc = rec.pc
         vp = self.predictor
         # -- ContextValuePredictor.predict_speculate, inlined ------------
-        vp.stats.lookups += 1
-        index = (pc >> _VP_PC_SHIFT) & vp._l1_mask
-        entries = vp._entries
+        self._fvp_stats.lookups += 1
+        index = (pc >> _VP_PC_SHIFT) & self._fvp_l1_mask
+        entries = self._fvp_entries
         entry = entries.get(index)
         if entry is None:
-            entry = entries[index] = vp._fresh.copy()
+            entry = entries[index] = self._fvp_fresh.copy()
         unmasked = entry[0]
-        ctx = unmasked & vp._ctx_mask
-        predicted = vp._values[ctx]
-        fold = vp._value_folds[ctx]
+        ctx = unmasked & self._fvp_ctx_mask
+        predicted = self._fvp_values[ctx]
+        fold = self._fvp_folds[ctx]
         token = vp._next_token
         vp._next_token = token + 1
-        spec_map = vp._spec
-        spec = spec_map.get(index)
+        spec = self._fvp_spec.get(index)
         if spec is None:
-            spec = spec_map[index] = []
-        order = vp.order
+            spec = self._fvp_spec[index] = []
+        order = self._fvp_order
         depth = len(spec)
         if depth < order:
             # Entry layout: [live, committed, head, folds…, values…].
@@ -974,9 +1207,133 @@ class PipelineSimulator:
             return
         valid_only = self._wakeup_valid_only
         branch_valid_only = self._branch_valid_only
-        sel_paper = self._sel_paper
         obs_on = self._obs_on
+        width = self._issue_width
+        # Verification–Branch gate, inlined: with the latency at zero
+        # (base/great models) no operand term can exceed the current cycle
+        # (valid_cycle is always a past or present cycle), so the gate
+        # reduces to min_issue_cycle and the operand walk is skipped.
+        lat_vb = self._lat_verify_branch
         candidates: list = []
+        if self._sel_paper:
+            # Pool order is irrelevant under paper selection (the
+            # candidate sort key is total), so the walk rebuilds the pool
+            # in place: parking an entry is simply not re-adding it, which
+            # replaces a list append plus a keyed delete per parked
+            # station.  Selected candidates were never re-added; overflow
+            # candidates go back at the end.
+            stations = list(pool.values())
+            pool.clear()
+            for station in stations:
+                if station.issued or station.retired:
+                    continue
+                if station.in_dirty:
+                    # Station.refresh_inputs, inlined (kept in lockstep
+                    # with window/station.py): the wakeup walk is the
+                    # hottest consumer of the cached operand summary.
+                    usable = correct = True
+                    union = 0
+                    spec = False
+                    for op in station.operands:
+                        if op.ready:
+                            t = op.taints
+                            if t:
+                                union |= t
+                                spec = True
+                            if not op.correct:
+                                correct = False
+                        else:
+                            usable = False
+                            correct = False
+                    station.in_usable = usable
+                    station.in_taint_union = union
+                    station.in_correct = correct
+                    station.in_spec = spec
+                    station.in_dirty = False
+                if not station.in_usable:
+                    # Waiting on a producer broadcast; deliver() re-arms.
+                    continue
+                tainted = station.in_taint_union
+                is_ctrl = station.is_ctrl
+                if tainted and (valid_only or (is_ctrl and branch_valid_only)):
+                    # Waiting on verification; taint clears re-arm.
+                    continue
+                gate = station.min_issue_cycle
+                if lat_vb and is_ctrl and not tainted:
+                    # _branch_ready_cycle, inlined (only network-verified
+                    # operands can push the gate past the current cycle).
+                    for operand in station.operands:
+                        if operand.via_network:
+                            g = operand.valid_cycle + lat_vb
+                            if g > gate:
+                                gate = g
+                if gate > cycle:
+                    self._gate_wakeup(gate, station)
+                    continue
+                if obs_on and station.wakeup_cycle < 0:
+                    station.wakeup_cycle = cycle
+                    self._trc_mark(
+                        cycle, station.rec.seq, station.sid, "wakeup",
+                        operand_state_labels(station),
+                    )
+                # Native-comparing key tuple (sid is unique, so the
+                # trailing station is never compared) — same total order
+                # as selection_key without a key-function call per sort
+                # comparison.
+                candidates.append(
+                    (station.sel_priority, station.in_spec, station.sid, station)
+                )
+            if not candidates:
+                return
+            candidates.sort()
+            for entry in candidates[width:]:
+                overflow = entry[3]
+                pool[overflow.sid] = overflow
+            del candidates[width:]
+            # _start_execution, inlined for the selected group: the
+            # per-station hoists (events dict, counters, log gates) are
+            # shared across the whole issue group and the issued/
+            # speculative/reissue counters flush once.
+            events = self._events
+            counters = self.counters
+            log_on = self._log_on
+            n_spec = 0
+            n_reissue = 0
+            for entry in candidates:
+                station = entry[3]
+                rec = station.rec
+                station.issued = True
+                station.executing = True
+                station.issue_cycle = cycle
+                if station.in_dirty:
+                    station.refresh_inputs()
+                if station.in_spec:
+                    n_spec += 1
+                exec_count = station.exec_count
+                if exec_count > 0:
+                    n_reissue += 1
+                when = cycle + rec.exec_latency
+                bucket = events.get(when)
+                if bucket is None:
+                    bucket = events[when] = []
+                if rec.is_load:
+                    bucket.append((_ADDRGEN, station, station.epoch))
+                else:
+                    bucket.append((_RESULT, station, station.epoch))
+                if log_on and not station.wrong_path:
+                    self.log.emit(
+                        rec.seq,
+                        SpecEventKind.REISSUE if exec_count else SpecEventKind.ISSUE,
+                        cycle,
+                    )
+                if obs_on and not station.wrong_path:
+                    self._obs_issue(station, cycle)
+            counters.issued += len(candidates)
+            if n_spec:
+                counters.issued_speculative += n_spec
+            if n_reissue:
+                counters.reissues += n_reissue
+            return
         parked: list[int] = []
         for sid, station in pool.items():
             if station.issued or station.retired:
@@ -995,8 +1352,13 @@ class PipelineSimulator:
                 parked.append(sid)
                 continue
             gate = station.min_issue_cycle
-            if is_ctrl and not tainted:
-                gate = self._branch_ready_cycle(station)
+            if lat_vb and is_ctrl and not tainted:
+                # _branch_ready_cycle, inlined (same reduction as above).
+                for operand in station.operands:
+                    if operand.via_network:
+                        g = operand.valid_cycle + lat_vb
+                        if g > gate:
+                            gate = g
             if gate > cycle:
                 parked.append(sid)
                 self._gate_wakeup(gate, station)
@@ -1007,33 +1369,14 @@ class PipelineSimulator:
                     cycle, station.rec.seq, sid, "wakeup",
                     operand_state_labels(station),
                 )
-            if sel_paper:
-                # Native-comparing key tuple (sid is unique, so the
-                # trailing station is never compared) — same total order
-                # as selection_key without a key-function call per sort
-                # comparison.
-                candidates.append(
-                    (station.sel_priority, station.in_spec, sid, station)
-                )
-            else:
-                candidates.append(station)
+            candidates.append(station)
         for sid in parked:
             del pool[sid]
         if not candidates:
             return
-        width = self._issue_width
-        if sel_paper:
-            candidates.sort()
-            if len(candidates) > width:
-                del candidates[width:]
-            for entry in candidates:
-                station = entry[3]
-                self._start_execution(station)
-                del pool[station.sid]
-        else:
-            for station in select(candidates, width, self.variables):
-                self._start_execution(station)
-                del pool[station.sid]
+        for station in select(candidates, width, self.variables):
+            self._start_execution(station)
+            del pool[station.sid]
 
     def _drain_waiting_access(self) -> None:
         """Retry pending load accesses (they issued already; only cache
@@ -1052,11 +1395,26 @@ class PipelineSimulator:
         """Attempt the memory-access half of a load; True when started."""
         rec = station.rec
         cycle = self.cycle
-        if self.variables.memory_resolution is MemoryResolution.VALID_ONLY:
-            if not station.inputs_valid:
+        if self._mem_valid_only:
+            # station.inputs_valid, decomposed (property call avoided on
+            # the per-cycle load-retry path).
+            if station.in_dirty:
+                station.refresh_inputs()
+            if not station.in_usable or station.in_taint_union:
                 return False
-            if cycle < self._memory_ready_cycle(station):
+            # _memory_ready_cycle, inlined and decomposed (cycle < max(...)
+            # is a disjunction; zero-latency terms can never fire because
+            # valid_cycle is always a past or present cycle).
+            if cycle < station.min_issue_cycle:
                 return False
+            lat_vm = self._lat_verify_mem
+            if lat_vm:
+                for operand in station.operands:
+                    if (
+                        operand.via_network
+                        and cycle < operand.valid_cycle + lat_vm
+                    ):
+                        return False
         elif not station.inputs_usable:
             return False
         if not station.wrong_path:
@@ -1069,8 +1427,12 @@ class PipelineSimulator:
         if not self.dports.try_acquire(cycle):
             self.counters.dcache_port_conflicts += 1
             return False
-        latency = self._load_access_latency(station)
-        self._schedule(cycle + latency, _RESULT, station)
+        when = cycle + self._load_access_latency(station)
+        events = self._events
+        bucket = events.get(when)
+        if bucket is None:
+            bucket = events[when] = []
+        bucket.append((_RESULT, station, station.epoch))
         if self._obs_on and not station.wrong_path:
             self._obs_mem_access(station, cycle)
         return True
@@ -1089,12 +1451,18 @@ class PipelineSimulator:
         counters.issued += 1
         if station.exec_count > 0:
             counters.reissues += 1
+        # _schedule, inlined (hottest scheduling site in the machine).
+        events = self._events
+        when = cycle + rec.exec_latency
+        bucket = events.get(when)
+        if bucket is None:
+            bucket = events[when] = []
         if rec.is_load:
             # Two-phase memory operation: address generation now; the
             # access starts when the address is valid (and disambiguated).
-            self._schedule(cycle + rec.exec_latency, _ADDRGEN, station)
+            bucket.append((_ADDRGEN, station, station.epoch))
         else:
-            self._schedule(cycle + rec.exec_latency, _RESULT, station)
+            bucket.append((_RESULT, station, station.epoch))
         if self._log_on and not station.wrong_path:
             kind = (
                 SpecEventKind.REISSUE if station.exec_count else SpecEventKind.ISSUE
@@ -1130,6 +1498,7 @@ class PipelineSimulator:
         order the heap's schedule-counter tiebreak used to produce)."""
         events = self._events
         cycle = self.cycle
+        handlers = self._event_handlers
         while True:
             bucket = events.pop(cycle, None)
             if bucket is None:
@@ -1137,34 +1506,30 @@ class PipelineSimulator:
             for entry in bucket:
                 kind, station = entry[0], entry[1]
                 epoch = entry[2]
-                if kind in (_WAVE_VERIFY, _WAVE_INVALIDATE, _PROV_INVALIDATE):
-                    # These transactions outlive nullification of their
-                    # source: waves may ripple after the source retires,
-                    # and a provisional invalidation must fire even if the
-                    # source was itself just invalidated (the paper's
-                    # Figure 1 packs both into one cycle).  A squash still
-                    # kills them: squashed stations are marked retired with
-                    # a bumped epoch, and their consumers died with them.
+                if kind < _WAVE_VERIFY or kind == _ADDRGEN:
+                    if station.epoch != epoch or station.retired:
+                        continue
+                    handlers[kind](station, cycle)
+                else:
+                    # Wave / provisional-invalidate transactions outlive
+                    # nullification of their source: waves may ripple after
+                    # the source retires, and a provisional invalidation
+                    # must fire even if the source was itself just
+                    # invalidated (the paper's Figure 1 packs both into one
+                    # cycle).  A squash still kills them: squashed stations
+                    # are marked retired with a bumped epoch, and their
+                    # consumers died with them.
                     if station.retired and station.epoch != epoch:
                         continue
-                elif station.epoch != epoch or station.retired:
-                    continue
-                if kind == _RESULT:
-                    self._on_result(station, cycle)
-                elif kind == _EQUALITY:
-                    self._on_equality(station, cycle)
-                elif kind == _VERIFY:
-                    self._on_verify(station, cycle)
-                elif kind == _INVALIDATE:
-                    self._on_invalidate(station, cycle)
-                elif kind == _WAVE_VERIFY:
-                    self._on_wave(station, cycle, entry[3], invalidate=False)
-                elif kind == _WAVE_INVALIDATE:
-                    self._on_wave(station, cycle, entry[3], invalidate=True)
-                elif kind == _ADDRGEN:
-                    self._on_addrgen(station, cycle)
-                elif kind == _PROV_INVALIDATE:
-                    self._on_provisional_invalidate(station, cycle)
+                    if kind == _PROV_INVALIDATE:
+                        self._on_provisional_invalidate(station, cycle)
+                    else:
+                        self._on_wave(
+                            station,
+                            cycle,
+                            entry[3],
+                            invalidate=kind == _WAVE_INVALIDATE,
+                        )
 
     def _on_result(self, station: Station, cycle: int) -> None:
         # Operand *status* may have improved during execution (verification
@@ -1173,12 +1538,35 @@ class PipelineSimulator:
         # this event.  The result's speculation state is therefore the
         # operands' current state.
         if station.in_dirty:
-            station.refresh_inputs()
-        # Unready operands always carry an empty taint mask, so the cached
-        # ready-operand taint union is the full input taint union.
-        taints = station.in_taint_union
-        valid = station.in_usable and not taints
-        correct = station.in_correct
+            # Station.refresh_inputs, inlined (kept in lockstep with
+            # window/station.py) — every result event reads the summary.
+            usable = correct = True
+            union = 0
+            spec = False
+            for op in station.operands:
+                if op.ready:
+                    t = op.taints
+                    if t:
+                        union |= t
+                        spec = True
+                    if not op.correct:
+                        correct = False
+                else:
+                    usable = False
+                    correct = False
+            station.in_usable = usable
+            station.in_taint_union = union
+            station.in_correct = correct
+            station.in_spec = spec
+            station.in_dirty = False
+            taints = union
+            valid = usable and not taints
+        else:
+            # Unready operands always carry an empty taint mask, so the
+            # cached ready-operand taint union is the full input union.
+            taints = station.in_taint_union
+            valid = station.in_usable and not taints
+            correct = station.in_correct
         station.executing = False
         station.executed = True
         station.exec_count += 1
@@ -1202,9 +1590,12 @@ class PipelineSimulator:
             station.spec_equal = correct and station.pred_correct
             station.exec_taints = taints
             if valid:
-                self._schedule(
-                    cycle + self._lat_exec_eq, _EQUALITY, station
-                )
+                when = cycle + self._lat_exec_eq
+                events = self._events
+                bucket = events.get(when)
+                if bucket is None:
+                    bucket = events[when] = []
+                bucket.append((_EQUALITY, station, station.epoch))
             elif not station.spec_equal:
                 self._schedule(
                     cycle
@@ -1229,9 +1620,12 @@ class PipelineSimulator:
             ):
                 # Muted prediction: final equality still needed for the
                 # retirement gate and predictor bookkeeping.
-                self._schedule(
-                    cycle + self._lat_exec_eq, _EQUALITY, station
-                )
+                when = cycle + self._lat_exec_eq
+                events = self._events
+                bucket = events.get(when)
+                if bucket is None:
+                    bucket = events[when] = []
+                bucket.append((_EQUALITY, station, station.epoch))
 
         if rec.is_store and not station.wrong_path and valid:
             self.lsq.set_address(station.sid, rec.mem_addr, rec.mem_size)
@@ -1254,13 +1648,11 @@ class PipelineSimulator:
 
     def _broadcast(self, station: Station, cycle: int) -> None:
         """Deliver the current (non-prediction) output to all consumers."""
-        window_get = self._win.get
         out_taints = station.out_taints
         out_correct = station.out_correct
         pool = self._ready_pool
-        for consumer_sid, op_index in station.consumers:
-            consumer = window_get(consumer_sid)
-            if consumer is None or consumer.retired:
+        for consumer, op_index in station.consumers:
+            if consumer.retired:
                 continue
             # Operand.deliver(via_network=False), inlined: broadcast is the
             # hottest transaction in the machine.
@@ -1274,7 +1666,7 @@ class PipelineSimulator:
                 operand.via_network = False
             consumer.in_dirty = True
             if not consumer.issued:
-                pool[consumer_sid] = consumer
+                pool[consumer.sid] = consumer
 
     # -- equality / verification / invalidation -------------------------
 
@@ -1308,22 +1700,27 @@ class PipelineSimulator:
             )
 
     def _consumer_closure(self, roots: list[Station]) -> list[Station]:
-        """All in-flight stations reachable through consumer edges."""
-        seen: set[int] = {s.sid for s in roots}
-        seen_add = seen.add
-        window_get = self._win.get
+        """All in-flight stations reachable through consumer edges.
+
+        Dedup is by visit stamp — one int compare/store per edge against
+        a monotonically increasing walk id — instead of a ``set`` of
+        sids, so a closure walk allocates nothing but its output list.
+        """
+        stamp = self._stamp + 1
+        self._stamp = stamp
         out: list[Station] = []
         frontier = list(roots)
+        for station in frontier:
+            station.stamp = stamp
         frontier_pop = frontier.pop
         frontier_append = frontier.append
         while frontier:
             current = frontier_pop()
-            for consumer_sid, __ in current.consumers:
-                if consumer_sid in seen:
+            for consumer, __ in current.consumers:
+                if consumer.stamp == stamp:
                     continue
-                seen_add(consumer_sid)
-                consumer = window_get(consumer_sid)
-                if consumer is None or consumer.retired:
+                consumer.stamp = stamp
+                if consumer.retired:
                     continue
                 out.append(consumer)
                 frontier_append(consumer)
@@ -1420,6 +1817,7 @@ class PipelineSimulator:
             closure = self._consumer_closure(resolved)
         keep = ~resolved_mask
         chain_eq = self._chain_equality
+        ready_pool = self._ready_pool
         for station in resolved + closure:
             touched = False
             for operand in station.operands:
@@ -1446,7 +1844,9 @@ class PipelineSimulator:
                 station.exec_taints &= keep
             if touched:
                 station.in_dirty = True
-                self._mark_wakeup(station)
+                # _mark_wakeup, inlined (hot re-arm path).
+                if not station.issued and not station.retired:
+                    ready_pool[station.sid] = station
             # Each ``_maybe_*`` helper opens with a cheap attribute test
             # that fails for almost every closure station; run those tests
             # inline so the common case costs a branch, not a call.
@@ -1507,29 +1907,24 @@ class PipelineSimulator:
         tainted value after the transaction started are still reached."""
         self._resolve_correct(source, cycle)
         self._schedule_wave(
-            cycle, _WAVE_VERIFY, source, [c for c, __ in source.consumers]
+            cycle, _WAVE_VERIFY, source, [s for s, __ in source.consumers]
         )
 
     def _on_wave(
-        self, source: Station, cycle: int, wave: list[int], *, invalidate: bool
+        self, source: Station, cycle: int, wave: list[Station], *, invalidate: bool
     ) -> None:
         """One hierarchical (in)validation transaction: handle the current
         frontier, then schedule the next dependence level one cycle later.
         The next frontier is the frontier's current consumers, computed at
         fire time so late captures of tainted values are still covered."""
-        win_get = self._win.get
-        stations = [
-            s
-            for sid in wave
-            if (s := win_get(sid)) is not None and not s.retired
-        ]
+        stations = [s for s in wave if not s.retired]
         mask = source.taint_mask
         keep = ~mask
-        next_frontier: set[int] = set()
+        next_frontier: set[Station] = set()
 
         def extend_frontier(station: Station) -> None:
-            for consumer_sid, __ in station.consumers:
-                next_frontier.add(consumer_sid)
+            for consumer, __ in station.consumers:
+                next_frontier.add(consumer)
 
         if invalidate:
             affected = []
@@ -1579,7 +1974,12 @@ class PipelineSimulator:
                     self._maybe_chain_equality(station, cycle)
         if next_frontier:
             kind = _WAVE_INVALIDATE if invalidate else _WAVE_VERIFY
-            self._schedule_wave(cycle + 1, kind, source, sorted(next_frontier))
+            self._schedule_wave(
+                cycle + 1,
+                kind,
+                source,
+                sorted(next_frontier, key=lambda s: s.sid),
+            )
 
     def _verify_retirement_based(
         self, source: Station, cycle: int, scheme: VerificationScheme
@@ -1591,7 +1991,7 @@ class PipelineSimulator:
         self._retire_verified |= source.taint_mask
         if scheme is VerificationScheme.HYBRID:
             self._schedule_wave(
-                cycle + 1, _WAVE_VERIFY, source, [c for c, __ in source.consumers]
+                cycle + 1, _WAVE_VERIFY, source, [s for s, __ in source.consumers]
             )
 
     def _retirement_based_validate(self) -> None:
@@ -1710,7 +2110,7 @@ class PipelineSimulator:
             self._apply_invalidation(source, closure, cycle)
         else:  # SELECTIVE_HIERARCHICAL
             self._schedule_wave(
-                cycle, _WAVE_INVALIDATE, source, [c for c, __ in source.consumers]
+                cycle, _WAVE_INVALIDATE, source, [s for s, __ in source.consumers]
             )
 
     def _apply_invalidation(
@@ -1777,6 +2177,11 @@ class PipelineSimulator:
         removed = self.window.squash_younger_than(sid)
         pool = self._ready_pool
         obs_on = self._obs_on
+        last_writer = self._last_writer
+        # ``removed`` is youngest-first, so unwinding the last-writer
+        # table cascades correctly through runs of squashed writers: each
+        # entry restores its predecessor, which (if also squashed) is
+        # restored in a later iteration.
         for station in removed:
             station.epoch += 1
             station.retired = True  # dead: events and broadcasts skip it
@@ -1784,10 +2189,8 @@ class PipelineSimulator:
             rec = station.rec
             if obs_on and not station.wrong_path:
                 self._trc_mark(self.cycle, rec.seq, station.sid, "squash")
-            if rec.writes_register:
-                writer_list = self._writers.get(rec.dest_reg)
-                if writer_list and station.sid in writer_list:
-                    writer_list.remove(station.sid)
+            if rec.writes_register and last_writer[rec.dest_reg] == station.sid:
+                last_writer[rec.dest_reg] = station.prev_writer
             pending = station.pending_train
             if pending is not None:
                 station.pending_train = None
@@ -1824,7 +2227,6 @@ class PipelineSimulator:
         model_on = self._model_on
         release_spec = self._lat_release_spec
         pool = self._ready_pool
-        writers = self._writers
         counters = self.counters
         log_on = self._log_on
         obs_on = self._obs_on
@@ -1832,10 +2234,26 @@ class PipelineSimulator:
         conf_mask = self._fconf_mask
         conf_max = self._fconf_max
         lsq = self.lsq
-        while retired < retire_width:
-            if not win:
-                break
-            head = next(iter(win.values()))
+        # Retire-side train inline: applies on the fast stack when the
+        # 16-bit fold carried by pending_train matches the predictor's
+        # context width (always true for the paper configuration).
+        fast_train = fast_conf is not None and self._fvp_fold16_ok
+        if fast_train:
+            vp_l1_mask = self._fvp_l1_mask
+            vp_entries = self._fvp_entries
+            vp_fresh = self._fvp_fresh
+            vp_ctx_mask = self._fvp_ctx_mask
+            vp_values = self._fvp_values
+            vp_vfolds = self._fvp_folds
+            vp_counters = self._fvp_counters
+            vp_order = self._fvp_order
+            vp_spec_map = self._fvp_spec
+            vp_consume = self._fvp_consume
+            vp_walk = self._fvp_walk
+        # One bounded snapshot of the window head replaces a fresh
+        # ``next(iter(...))`` per retirement (we delete exactly the heads
+        # we iterate, in order, so the snapshot stays the live head run).
+        for head in list(_islice(win.values(), retire_width)):
             if head.wrong_path:
                 break
             if not head.executed or head.executing:
@@ -1883,16 +2301,54 @@ class PipelineSimulator:
                 if rec.is_store:
                     self.hierarchy.data_access(rec.mem_addr, is_write=True)
                 lsq.release(sid)
-            if writes:
-                writer_list = writers.get(rec.dest_reg)
-                if writer_list and writer_list[0] == sid:
-                    writer_list.pop(0)
-                elif writer_list and sid in writer_list:
-                    writer_list.remove(sid)
+            # The last-writer table needs no retire-side maintenance: a
+            # stale entry is filtered by dispatch's window lookup, and a
+            # retired newest writer implies every older writer of that
+            # register retired before it (retirement is in order).
             pending = head.pending_train
             if pending is not None:
                 pc, actual, pred_correct, token, fold16 = pending
-                self._vp_train(pc, actual, token, fold16)
+                if fast_train:
+                    # ContextValuePredictor.train, inlined (kept in
+                    # lockstep with vp/context.py; the fused predict path
+                    # guarantees token and fold16 are present).
+                    actual &= _MASK64
+                    index = (pc >> _VP_PC_SHIFT) & vp_l1_mask
+                    entry = vp_entries.get(index)
+                    if entry is None:
+                        entry = vp_entries[index] = vp_fresh.copy()
+                    committed = entry[1]
+                    ctx = committed & vp_ctx_mask
+                    if vp_values[ctx] == actual:
+                        vp_counters[ctx] = 1
+                    elif vp_counters[ctx]:
+                        vp_counters[ctx] = 0
+                    else:
+                        vp_values[ctx] = actual
+                        vp_vfolds[ctx] = fold16
+                    ring_head = entry[2]
+                    slot = 3 + ring_head
+                    committed = (
+                        ((committed ^ entry[slot]) >> 1)
+                        ^ (fold16 << (vp_order - 1))
+                    )
+                    entry[1] = committed
+                    entry[slot] = fold16
+                    entry[slot + vp_order] = actual
+                    ring_head += 1
+                    entry[2] = 0 if ring_head == vp_order else ring_head
+                    spec = vp_spec_map.get(index) if vp_spec_map else None
+                    if spec:
+                        vp_consume(spec, token, actual)
+                        if not spec:
+                            del vp_spec_map[index]
+                            entry[0] = committed
+                        else:
+                            entry[0] = vp_walk(entry, spec)
+                    else:
+                        entry[0] = committed
+                else:
+                    self._vp_train(pc, actual, token, fold16)
                 if fast_conf is not None:
                     # ResettingConfidenceEstimator.update, inlined (the
                     # ``_fast_vp`` stack guarantees the exact type).

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.isa.opcodes import INSTRUCTION_BYTES, Opcode
 from repro.mem.cache import Cache
 from repro.trace.record import TraceRecord
+from repro.trace.columnar import ColumnarTrace
 
 _MASK64 = (1 << 64) - 1
 _WRONG_PATH_SEQ = -1
@@ -131,13 +132,24 @@ _WP_STREAM_LIMIT = 1 << 16
 
 def _wrong_path_cache(seed: int, start_pc: int) -> list:
     """The memoized ``[records, rng_state, next_pc]`` stream cache for
-    ``(seed, start_pc)``, creating (and registering) it on first use."""
+    ``(seed, start_pc)``, creating (and registering) it on first use.
+
+    The memo is a bounded LRU: a hit reinserts its key at the dict tail
+    (dicts preserve insertion order), so the head is always the coldest
+    stream and reaching the cap evicts exactly one entry instead of
+    dropping the whole memo.  The move-to-end runs once per wrong-path
+    episode, not per fetched instruction, so it stays off the hot path.
+    """
     key = (seed, start_pc)
-    cache = _WP_STREAMS.get(key)
+    streams = _WP_STREAMS
+    cache = streams.get(key)
     if cache is None:
-        if len(_WP_STREAMS) >= _WP_STREAM_LIMIT:
-            _WP_STREAMS.clear()
-        cache = _WP_STREAMS[key] = [[], _mix(seed | 1), start_pc]
+        if len(streams) >= _WP_STREAM_LIMIT:
+            del streams[next(iter(streams))]
+        cache = streams[key] = [[], _mix(seed | 1), start_pc]
+    else:
+        del streams[key]
+        streams[key] = cache
     return cache
 
 
@@ -156,7 +168,10 @@ class FetchEngine:
         ras=None,
         seed: int = 7,
     ):
-        self.trace = trace
+        # A ColumnarTrace duck-types list[TraceRecord], but its
+        # __getitem__ goes through a Python-level method; replaying
+        # indexes the materialized row list directly at list speed.
+        self.trace = trace.rows() if isinstance(trace, ColumnarTrace) else trace
         self.icache = icache
         self.branch_predictor = branch_predictor
         self.model_wrong_path = model_wrong_path
@@ -223,59 +238,89 @@ class FetchEngine:
         """Fetch up to ``max_count`` instructions in ``cycle``."""
         return [
             FetchedInstruction(rec, wrong_path=wrong, mispredicted=mispred)
-            for rec, wrong, mispred in self.fetch_raw(cycle, max_count)
+            for rec, wrong, mispred, __ in self.fetch_raw(cycle, max_count)
         ]
 
     def fetch_raw(
-        self, cycle: int, max_count: int
-    ) -> list[tuple[TraceRecord, bool, bool]]:
-        """:meth:`fetch` as plain ``(rec, wrong_path, mispredicted)``
-        tuples — the engine-facing hot path, which skips building a
-        :class:`FetchedInstruction` per instruction."""
+        self, cycle: int, max_count: int, ready: int = 0
+    ) -> list[tuple[TraceRecord, bool, bool, int]]:
+        """:meth:`fetch` as plain ``(rec, wrong_path, mispredicted,
+        ready)`` tuples — the engine-facing hot path, which skips building
+        a :class:`FetchedInstruction` per instruction.  ``ready`` is
+        stamped into every tuple verbatim so the engine can extend its
+        dispatch queue with the batch directly (the queue's entries carry
+        the cycle the instruction becomes dispatchable)."""
         if cycle < self._stall_until or max_count <= 0:
             return []
-        out: list[tuple[TraceRecord, bool, bool]] = []
+        out: list[tuple[TraceRecord, bool, bool, int]] = []
         out_append = out.append
         trace = self.trace
         trace_len = len(trace)
         icache = self.icache
         # Same-block accesses are free; inline that fast path so the
-        # I-cache model is only consulted on block boundaries.
+        # I-cache model is only consulted on block boundaries.  The whole
+        # of ``_icache_ready`` is inlined below (both call sites) with the
+        # last-block/latency state held in locals for the duration of the
+        # fetch group.
         block_bytes = icache.block_bytes if icache is not None else 0
+        icache_hit = icache.hit_latency if icache is not None else 0
+        last_block = self._last_block
         index = self._index
-        while len(out) < max_count:
-            wrong_gen = self._wrong_path_gen
-            if wrong_gen is not None:
-                rec = wrong_gen.next()
-                if (
-                    icache is not None
-                    and rec.pc // block_bytes != self._last_block
-                    and not self._icache_ready(rec.pc, cycle)
-                ):
-                    break
-                out_append((rec, True, False))
-                self.fetched_wrong_path += 1
+        wrong_gen = self._wrong_path_gen
+        wrong_next = wrong_gen.next if wrong_gen is not None else None
+        bpred = self.branch_predictor
+        bp_update = bpred.update if bpred is not None else None
+        ideal_targets = self.ideal_branch_targets
+        ras = self.ras
+        n_correct = 0
+        n_wrong = 0
+        count = 0
+        while count < max_count:
+            if wrong_next is not None:
+                rec = wrong_next()
+                if icache is not None:
+                    block = rec.pc // block_bytes
+                    if block != last_block:
+                        latency = icache.access(rec.pc)
+                        last_block = block
+                        if latency > icache_hit:
+                            self._stall_until = cycle + latency
+                            self.icache_stall_cycles += latency - icache_hit
+                            break
+                out_append((rec, True, False, ready))
+                n_wrong += 1
+                count += 1
                 continue
             if index >= trace_len:
                 break
             rec = trace[index]
-            if (
-                icache is not None
-                and rec.pc // block_bytes != self._last_block
-                and not self._icache_ready(rec.pc, cycle)
-            ):
-                break
+            if icache is not None:
+                block = rec.pc // block_bytes
+                if block != last_block:
+                    latency = icache.access(rec.pc)
+                    last_block = block
+                    if latency > icache_hit:
+                        self._stall_until = cycle + latency
+                        self.icache_stall_cycles += latency - icache_hit
+                        break
             index += 1
             mispredicted = False
             if rec.is_branch:
-                direction_ok = self._predict_direction(rec)
-                mispredicted = not direction_ok or not self._target_correct(rec)
+                direction_ok = (
+                    bp_update(rec.pc, bool(rec.branch_taken))
+                    if bp_update is not None
+                    else True
+                )
+                mispredicted = not direction_ok or not (
+                    ideal_targets or self._target_correct(rec)
+                )
             elif rec.is_control:
-                if self.ras is not None and rec.opcode in (Opcode.JAL, Opcode.JALR):
-                    self.ras.push(rec.pc + INSTRUCTION_BYTES)
-                mispredicted = not self._target_correct(rec)
-            out_append((rec, False, mispredicted))
-            self.fetched_correct += 1
+                if ras is not None and rec.opcode in (Opcode.JAL, Opcode.JALR):
+                    ras.push(rec.pc + INSTRUCTION_BYTES)
+                mispredicted = not (ideal_targets or self._target_correct(rec))
+            out_append((rec, False, mispredicted, ready))
+            n_correct += 1
+            count += 1
             if mispredicted:
                 if self.model_wrong_path:
                     self._wrong_path_gen = _WrongPathGenerator(
@@ -287,6 +332,11 @@ class FetchEngine:
                     self._stall_until = 1 << 60  # wait for redirect
                 break
         self._index = index
+        self._last_block = last_block
+        if n_correct:
+            self.fetched_correct += n_correct
+        if n_wrong:
+            self.fetched_wrong_path += n_wrong
         return out
 
     def redirect(self, cycle: int, *, penalty: int = 1) -> None:

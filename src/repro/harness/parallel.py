@@ -27,12 +27,26 @@ Design rules that keep ``--jobs N`` cycle-exact against ``--jobs 1``:
 The sequential path (``jobs <= 1``) runs the exact same ``_execute``
 function inline — same trace cache, same factory handling — so it is not
 a separate code path that can drift.
+
+Trace distribution is zero-copy.  Before spawning workers, ``run_jobs``
+*stages* every distinct (benchmark, limit) the grid needs exactly once:
+when the persistent disk cache is enabled the stage is just "make sure
+the VSRT v3 entry exists", and each worker ``mmap``s the entry file;
+when it is disabled, the parent serializes the columnar trace into one
+``multiprocessing.shared_memory`` segment per key and workers attach to
+it.  Either way the instruction stream crosses the process boundary as
+*shared pages*, not pickled ``TraceRecord`` lists — a host materializes
+each trace at most once per sweep, and worker startup cost is O(1) in
+trace length.  Setting ``REPRO_TRACE_STRICT=1`` makes workers *fail*
+instead of falling back to functional capture, which is how the tests
+and the CI warm-sweep smoke assert the zero-materialization property.
 """
 
 from __future__ import annotations
 
 import os
 import random
+import tempfile
 import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -41,7 +55,19 @@ from typing import Callable
 from repro.core.model import SpeculativeExecutionModel
 from repro.engine.config import ProcessorConfig
 from repro.engine.sim import SimulationResult, run_baseline, run_trace
-from repro.trace.record import TraceRecord
+from repro.trace.columnar import ColumnarTrace
+
+#: Env var: when truthy, workers refuse to regenerate traces (memo or
+#: staged handle only).  Used by tests/CI to assert warm sweeps perform
+#: zero per-worker trace materializations.
+STRICT_ENV_VAR = "REPRO_TRACE_STRICT"
+
+_STRICT_TRUE = frozenset({"1", "true", "yes", "on"})
+
+
+def strict_no_capture() -> bool:
+    """Whether ``REPRO_TRACE_STRICT`` asks workers to never capture."""
+    return os.environ.get(STRICT_ENV_VAR, "").strip().lower() in _STRICT_TRUE
 
 
 @dataclass(frozen=True)
@@ -76,26 +102,164 @@ class SimJob:
 #: Per-process memo of built traces.  Workers are long-lived (one pool
 #: services a whole grid), so each process pays trace acquisition once
 #: per (benchmark, limit) no matter how many jobs it executes.
-_TRACE_CACHE: dict[tuple[str, int | None], list[TraceRecord]] = {}
+_TRACE_CACHE: dict[tuple[str, int | None], ColumnarTrace | list] = {}
 
 
-def _trace_for(benchmark: str, max_instructions: int | None) -> list[TraceRecord]:
-    """The trace for one grid point: process memo, then the persistent
-    on-disk cache (:mod:`repro.trace.cache`), then functional capture.
+@dataclass(frozen=True)
+class TraceHandle:
+    """A picklable pointer to a staged trace's shared v3 bytes.
 
-    The disk tier makes trace construction a once-per-machine cost
-    instead of once-per-process: a warm cache means a sweep's workers
-    (and every later sweep over the same kernels) never run the
-    functional simulator at all.
+    ``kind`` is ``"file"`` (``name`` is a VSRT v3 file to mmap — usually
+    a disk-cache entry, sometimes a staged temp file) or ``"shm"``
+    (``name`` is a ``multiprocessing.shared_memory`` segment holding
+    ``nbytes`` of v3 payload).
+    """
+
+    kind: str
+    name: str
+    nbytes: int
+
+
+#: Handles staged by the parent, installed by the pool initializer.
+_TRACE_HANDLES: dict[tuple[str, int | None], TraceHandle] = {}
+
+#: Worker-side strictness (parent processes are never strict — staging
+#: itself may legitimately capture on a cold cache).
+_WORKER_STRICT = False
+
+#: Attached shared-memory segments, kept alive for the process lifetime
+#: (their buffers back live ColumnarTrace columns).
+_ATTACHED_SEGMENTS: list = []
+
+
+def _init_worker(
+    handles: dict[tuple[str, int | None], TraceHandle], strict: bool
+) -> None:
+    """Pool initializer: receive staged trace handles (cheap — a few
+    strings per benchmark, never trace data)."""
+    global _WORKER_STRICT
+    _TRACE_HANDLES.clear()
+    _TRACE_HANDLES.update(handles)
+    _WORKER_STRICT = strict
+
+
+def _attach_handle(handle: TraceHandle) -> ColumnarTrace:
+    """Open a staged trace without copying its payload."""
+    from repro.trace.binary import loads_trace_binary_v3, read_trace_binary_v3
+
+    if handle.kind == "file":
+        return read_trace_binary_v3(handle.name)
+    from multiprocessing import resource_tracker
+    from multiprocessing.shared_memory import SharedMemory
+
+    segment = SharedMemory(name=handle.name)
+    try:
+        # Attaching registers the segment with this process's resource
+        # tracker (fixed by track=False in 3.13); unregister so a worker
+        # exit does not unlink a segment the parent still owns.
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+    _ATTACHED_SEGMENTS.append(segment)
+    return loads_trace_binary_v3(segment.buf[: handle.nbytes])
+
+
+def _trace_for(benchmark: str, max_instructions: int | None):
+    """The trace for one grid point: process memo, then a staged
+    zero-copy handle, then the persistent on-disk cache
+    (:mod:`repro.trace.cache`), then functional capture.
+
+    The handle tier is what makes parallel sweeps O(1) in trace length
+    per worker: the parent stages each distinct trace once and workers
+    map the same physical pages.  The disk tier behind it makes trace
+    *construction* a once-per-machine cost.  Under
+    ``REPRO_TRACE_STRICT`` a worker that would fall past the handle
+    tier raises instead — the regression tests' proof that warm sweeps
+    never re-materialize traces in workers.
     """
     key = (benchmark, max_instructions)
     trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        return trace
+    handle = _TRACE_HANDLES.get(key)
+    if handle is not None:
+        try:
+            trace = _attach_handle(handle)
+        except Exception:
+            if _WORKER_STRICT:
+                raise
+            trace = None
     if trace is None:
+        if _WORKER_STRICT:
+            raise RuntimeError(
+                f"{STRICT_ENV_VAR}: no staged trace for {key!r} and "
+                "capture is forbidden in workers"
+            )
         from repro.trace.cache import cached_trace
 
         trace = cached_trace(benchmark, max_instructions)
-        _TRACE_CACHE[key] = trace
+    _TRACE_CACHE[key] = trace
     return trace
+
+
+def _stage_traces(
+    job_list: list[SimJob],
+) -> tuple[dict[tuple[str, int | None], TraceHandle], list]:
+    """Materialize each distinct trace the grid needs exactly once and
+    expose it as a shared buffer; returns (handles, cleanup callables).
+
+    Preference order per key: an existing (or freshly stored) disk-cache
+    entry mmap'd by name; a ``multiprocessing.shared_memory`` segment
+    with the v3 bytes; a temp file as the last resort when shared memory
+    is unavailable.  Cleanups run after the pool has shut down.
+    """
+    from repro.trace import cache as trace_cache
+    from repro.trace.binary import dumps_trace_binary_v3
+
+    handles: dict[tuple[str, int | None], TraceHandle] = {}
+    cleanups: list = []
+    for key in dict.fromkeys((job.benchmark, job.max_instructions) for job in job_list):
+        benchmark, limit = key
+        if trace_cache.cache_enabled():
+            from repro.programs.suite import kernel
+
+            source = kernel(benchmark).source
+            path = trace_cache.trace_path(benchmark, source, limit)
+            if path is not None and not path.is_file():
+                # Cold cache: capture once here in the parent (also
+                # memoized, so the inline path reuses it) and store.
+                _TRACE_CACHE[key] = trace_cache.cached_trace(benchmark, limit)
+            if path is not None and path.is_file():
+                handles[key] = TraceHandle("file", str(path), path.stat().st_size)
+                continue
+        data = dumps_trace_binary_v3(_trace_for(benchmark, limit))
+        handle = None
+        try:
+            from multiprocessing.shared_memory import SharedMemory
+
+            segment = SharedMemory(create=True, size=len(data))
+        except (ImportError, OSError):
+            segment = None
+        if segment is not None:
+            segment.buf[: len(data)] = data
+            handle = TraceHandle("shm", segment.name, len(data))
+
+            def _release(segment=segment):
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+
+            cleanups.append(_release)
+        else:  # pragma: no cover - hosts without POSIX shared memory
+            fd, tmp_path = tempfile.mkstemp(suffix=".vsrt3")
+            with os.fdopen(fd, "wb") as tmp:
+                tmp.write(data)
+            handle = TraceHandle("file", tmp_path, len(data))
+            cleanups.append(lambda tmp_path=tmp_path: os.unlink(tmp_path))
+        handles[key] = handle
+    return handles, cleanups
 
 
 def _execute(job: SimJob) -> SimulationResult:
@@ -147,16 +311,25 @@ def run_jobs(job_list: list[SimJob], jobs: int = 1) -> list[SimulationResult]:
     workers = effective_jobs(jobs, len(job_list))
     if workers <= 1:
         return [_execute(job) for job in job_list]
+    handles, cleanups = _stage_traces(job_list)
     results: list[SimulationResult | None] = [None] * len(job_list)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {
-            pool.submit(_execute, job): index
-            for index, job in enumerate(job_list)
-        }
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                results[pending.pop(future)] = future.result()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(handles, strict_no_capture()),
+        ) as pool:
+            pending = {
+                pool.submit(_execute, job): index
+                for index, job in enumerate(job_list)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results[pending.pop(future)] = future.result()
+    finally:
+        for release in cleanups:
+            release()
     return results  # type: ignore[return-value]
 
 

@@ -24,10 +24,15 @@ from repro.trace.transform import (
 )
 from repro.trace.binary import (
     dumps_trace_binary,
+    dumps_trace_binary_v3,
     loads_trace_binary,
+    loads_trace_binary_v3,
     read_trace_binary,
+    read_trace_binary_v3,
     write_trace_binary,
+    write_trace_binary_v3,
 )
+from repro.trace.columnar import ColumnarTrace, as_columnar
 from repro.trace.cache import (
     cache_info,
     cached_trace,
@@ -56,6 +61,12 @@ __all__ = [
     "loads_trace_binary",
     "read_trace_binary",
     "write_trace_binary",
+    "dumps_trace_binary_v3",
+    "loads_trace_binary_v3",
+    "read_trace_binary_v3",
+    "write_trace_binary_v3",
+    "ColumnarTrace",
+    "as_columnar",
     "cache_info",
     "cached_trace",
     "clear_cache",

@@ -1,9 +1,12 @@
-"""Binary trace format (v2): varint + delta encoded.
+"""Binary trace formats.
 
-Kernel traces compress well — PCs cluster, sequence numbers increment,
-addresses stride — so records are encoded as a flags byte plus
-LEB128-style varints with PC/address deltas against the previous record.
-Typical traces are 5–10x smaller than the text format and parse faster.
+Two generations coexist here:
+
+**v2 (varint + delta, sequential).**  Kernel traces compress well — PCs
+cluster, sequence numbers increment, addresses stride — so records are
+encoded as a flags byte plus LEB128-style varints with PC/address deltas
+against the previous record.  Typical traces are 5–10x smaller than the
+text format and parse faster.
 
 Layout::
 
@@ -19,16 +22,53 @@ Layout::
       dest    1 byte + value varint         (if bit0)
       addr    signed varint delta from previous addr + size 1 byte (if bit1)
       next_pc signed varint delta from pc   (if not bit5)
+
+**v3 (fixed-width columnar, mmap-able).**  The trace cache's hot
+operation is not the cold write but the warm *read* — every sweep, CI
+job and parallel worker re-loads the same entries — so v3 trades disk
+bytes for zero parse cost: the file body IS the in-memory column layout
+of :class:`~repro.trace.columnar.ColumnarTrace`.  A warm load is an
+``mmap`` plus header validation; no per-record decode, no per-record
+allocation, and the OS page cache shares the physical pages between
+every process mapping the same entry.
+
+Layout (all integers little-endian)::
+
+    magic   b"VSRT\\x03"
+    pad     3 bytes (zero)
+    count   u64
+    columns (each 8-byte aligned, ``count`` items, in COLUMN_SPEC order):
+      pc u64 | next_pc u64 | dest_value u64 | mem_addr u64 |
+      srcs u32 (count | r0<<8 | r1<<16 | r2<<24) | dest_fold u16 |
+      opcode u8 | flags u8 (bit0 has_dest, bit1 has_mem,
+      bit2 branch_taken, bit3 has_branch_outcome) | mem_size u8 |
+      dest_reg u8 (0xFF = none)
+
+The file size is an exact function of ``count``, which doubles as the
+truncation check: a partially-written or clipped entry can never match
+the expected size and is rejected before any column is touched.
 """
 
 from __future__ import annotations
 
+import mmap as _mmap
+import struct
 from pathlib import Path
 
 from repro.isa.opcodes import INSTRUCTION_BYTES, OPCODE_BY_CODE
+from repro.trace.columnar import (
+    COLUMN_SPEC,
+    ColumnarTrace,
+    ColumnarTraceError,
+    as_columnar,
+)
 from repro.trace.record import TraceRecord
 
 MAGIC = b"VSRT\x02"
+MAGIC_V3 = b"VSRT\x03"
+
+#: v3 header: 5 magic bytes, 3 zero pad bytes, u64 record count.
+_V3_HEADER_SIZE = 16
 
 
 class BinaryTraceError(ValueError):
@@ -194,3 +234,101 @@ def write_trace_binary(records: list[TraceRecord], path: str | Path) -> int:
 def read_trace_binary(path: str | Path) -> list[TraceRecord]:
     """Read records from ``path``."""
     return loads_trace_binary(Path(path).read_bytes())
+
+
+# -- v3: fixed-width columnar, mmap-able -----------------------------------
+
+
+def v3_layout(count: int) -> tuple[dict[str, int], int]:
+    """Column byte offsets and total file size for ``count`` records.
+
+    Each column starts 8-byte aligned so every fixed-width view (and any
+    future numpy consumer) sits on a natural boundary regardless of the
+    mix of item sizes before it.
+    """
+    offsets: dict[str, int] = {}
+    pos = _V3_HEADER_SIZE
+    for name, _typecode, itemsize in COLUMN_SPEC:
+        pos = (pos + 7) & ~7
+        offsets[name] = pos
+        pos += count * itemsize
+    return offsets, pos
+
+
+def dumps_trace_binary_v3(trace) -> bytes:
+    """Serialize a trace (records or :class:`ColumnarTrace`) to v3 bytes."""
+    columnar = as_columnar(trace)
+    count = len(columnar)
+    offsets, total = v3_layout(count)
+    out = bytearray(total)
+    out[: len(MAGIC_V3)] = MAGIC_V3
+    struct.pack_into("<Q", out, 8, count)
+    for name, _typecode, itemsize in COLUMN_SPEC:
+        start = offsets[name]
+        out[start : start + count * itemsize] = columnar.column_bytes(name)
+    return bytes(out)
+
+
+def _v3_validate(buffer) -> tuple[int, dict[str, int]]:
+    """Check magic, size and count; returns (count, column offsets)."""
+    size = len(buffer)
+    if size < _V3_HEADER_SIZE:
+        raise BinaryTraceError("truncated v3 header")
+    if bytes(buffer[: len(MAGIC_V3)]) != MAGIC_V3:
+        raise BinaryTraceError("bad magic (not a v3 binary trace)")
+    (count,) = struct.unpack_from("<Q", buffer, 8)
+    offsets, expected = v3_layout(count)
+    if size != expected:
+        raise BinaryTraceError(
+            f"v3 size mismatch: {count} records need {expected} bytes, "
+            f"file has {size}"
+        )
+    return count, offsets
+
+
+def loads_trace_binary_v3(buffer) -> ColumnarTrace:
+    """Wrap v3 ``buffer`` (bytes, mmap, shared memory) without copying.
+
+    The returned trace's columns are views into ``buffer``; the buffer
+    must stay alive (and writable mappings unmodified) for the trace's
+    lifetime — the trace holds a reference to enforce the former.
+    """
+    count, offsets = _v3_validate(buffer)
+    try:
+        return ColumnarTrace.from_buffer(buffer, count, offsets)
+    except ColumnarTraceError as exc:
+        raise BinaryTraceError(str(exc)) from None
+
+
+def write_trace_binary_v3(trace, path: str | Path) -> int:
+    """Write a trace to ``path`` in v3; returns the byte size written."""
+    data = dumps_trace_binary_v3(trace)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_trace_binary_v3(path: str | Path, use_mmap: bool = True) -> ColumnarTrace:
+    """Load a v3 trace from ``path``.
+
+    With ``use_mmap`` (the default) the columns are served straight from
+    a read-only shared mapping of the file: load time is O(1) in trace
+    length and concurrent processes mapping the same entry share one
+    copy of the pages.  The mapping stays open for the trace's lifetime
+    (released when the trace is garbage collected).  ``use_mmap=False``
+    reads the file into bytes instead — same validation, private copy.
+    """
+    if not use_mmap:
+        return loads_trace_binary_v3(Path(path).read_bytes())
+    with open(path, "rb") as handle:
+        try:
+            mapped = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+        except ValueError:  # zero-length file: cannot mmap, and invalid anyway
+            raise BinaryTraceError("truncated v3 header") from None
+    try:
+        return loads_trace_binary_v3(mapped)
+    except BinaryTraceError:
+        try:
+            mapped.close()
+        except BufferError:  # column views still referenced by the traceback
+            pass
+        raise

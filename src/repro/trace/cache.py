@@ -5,15 +5,21 @@ whole instruction budget — for the full-scale experiments that is minutes
 of pure-Python interpretation per benchmark, repeated identically by
 every sweep, figure, benchmark run and CI job.  The dynamic trace is a
 pure function of (kernel source, instruction limit), so this module
-memoises it on disk: entries are stored in the VSRT v2 binary format
-(:mod:`repro.trace.binary`) under a key derived from the benchmark name,
-a hash of the kernel *source text*, and the limit.
+memoises it on disk: entries are stored in the VSRT v3 columnar binary
+format (:mod:`repro.trace.binary`) under a key derived from the benchmark
+name, a hash of the kernel *source text*, and the limit.  v3 entries are
+the on-disk image of a :class:`~repro.trace.columnar.ColumnarTrace`, so a
+warm hit is served by ``mmap`` — zero parse cost, zero per-record
+allocation, and concurrent sweep workers mapping the same entry share
+one copy of the pages in the OS page cache.
 
 Content addressing makes invalidation automatic: editing a kernel changes
 its source hash, which changes the file name, so stale entries are simply
-never found again (``repro cache clear`` removes them).  The engine-side
-representation (``TraceRecord``) never enters the key — records are
-rebuilt from the binary form on load, so engine changes cannot be masked
+never found again (``repro cache clear`` removes them).  Format bumps are
+handled the same way: the ``.vsrt3`` suffix changed with the layout, so a
+v3 reader never even opens a leftover v2 entry.  The engine-side
+representation (``TraceRecord``) never enters the key — row views are
+rebuilt from the columns on demand, so engine changes cannot be masked
 by a stale cache.
 
 Configuration is via the ``REPRO_TRACE_CACHE`` environment variable:
@@ -37,10 +43,10 @@ from pathlib import Path
 
 from repro.trace.binary import (
     BinaryTraceError,
-    dumps_trace_binary,
-    loads_trace_binary,
+    dumps_trace_binary_v3,
+    read_trace_binary_v3,
 )
-from repro.trace.record import TraceRecord
+from repro.trace.columnar import ColumnarTrace, as_columnar
 
 ENV_VAR = "REPRO_TRACE_CACHE"
 
@@ -51,7 +57,7 @@ _DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled", "false", "no"}
 
 #: File suffix; bump together with the binary format's magic so readers
 #: of a new format never even open old-format files.
-_SUFFIX = ".vsrt2"
+_SUFFIX = ".vsrt3"
 
 #: Hex digits of the kernel-source SHA-256 kept in the key.
 _HASH_CHARS = 16
@@ -101,22 +107,21 @@ def trace_path(
 
 def load_trace(
     benchmark: str, source: str, max_instructions: int | None
-) -> list[TraceRecord] | None:
+) -> ColumnarTrace | None:
     """Return the cached trace for this key, or ``None`` on a miss.
 
-    A corrupt or truncated entry (killed writer on a non-atomic
-    filesystem, format drift) is treated as a miss and deleted so the
-    next store replaces it.
+    Hits are mmap-backed :class:`ColumnarTrace` objects — the mapping
+    stays open for the trace's lifetime.  A corrupt or truncated entry
+    (killed writer on a non-atomic filesystem, format drift) is treated
+    as a miss and deleted so the next store replaces it.
     """
     path = trace_path(benchmark, source, max_instructions)
     if path is None:
         return None
     try:
-        data = path.read_bytes()
+        return read_trace_binary_v3(path)
     except OSError:
         return None
-    try:
-        return loads_trace_binary(data)
     except BinaryTraceError:
         try:
             path.unlink()
@@ -129,7 +134,7 @@ def store_trace(
     benchmark: str,
     source: str,
     max_instructions: int | None,
-    records: list[TraceRecord],
+    records,
 ) -> Path | None:
     """Atomically write ``records`` under this key; returns the path.
 
@@ -140,7 +145,7 @@ def store_trace(
     path = trace_path(benchmark, source, max_instructions)
     if path is None:
         return None
-    data = dumps_trace_binary(records)
+    data = dumps_trace_binary_v3(records)
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -157,7 +162,7 @@ def store_trace(
 
 def cached_trace(
     benchmark: str, max_instructions: int | None = None
-) -> list[TraceRecord]:
+) -> ColumnarTrace:
     """The dynamic trace for ``benchmark``, from disk when possible.
 
     This is the high-level entry the harness and CLI use in place of
@@ -171,7 +176,7 @@ def cached_trace(
     cached = load_trace(benchmark, spec.source, max_instructions)
     if cached is not None:
         return cached
-    trace = spec.trace(max_instructions)
+    trace = as_columnar(spec.trace(max_instructions))
     store_trace(benchmark, spec.source, max_instructions, trace)
     return trace
 

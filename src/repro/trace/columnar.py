@@ -1,0 +1,445 @@
+"""Columnar (struct-of-arrays) dynamic-trace storage.
+
+The sweep harness streams *one* dynamic trace through many engine
+instances (configurations x models x ablations), so the trace's in-memory
+representation is load-bearing for startup cost, memory footprint and
+worker fan-out.  A :class:`ColumnarTrace` keeps the per-instruction facts
+of :class:`~repro.trace.record.TraceRecord` as parallel fixed-width
+columns instead of one Python object per instruction:
+
+* **Zero-parse loading.**  The column layout is exactly the VSRT v3
+  on-disk layout (:mod:`repro.trace.binary`), so a cache hit is an
+  ``mmap`` plus a handful of ``memoryview.cast`` calls — no per-record
+  decode, no per-record allocation, O(1) in trace length.
+* **Zero-copy distribution.**  The same property lets the parallel sweep
+  runner hand a trace to worker processes as a shared buffer (an mmap'd
+  cache file or a ``multiprocessing.shared_memory`` segment) instead of
+  pickling a list of records per worker (:mod:`repro.harness.parallel`).
+* **Row-view compatibility.**  The timing engine consumes
+  ``TraceRecord`` objects; ``trace[i]`` materializes the row *once*, on
+  first touch, and memoizes it, so replaying the same trace object
+  through many engine instances pays record construction once per
+  process, not once per run.  Materialization writes the record's slots
+  directly from the columns (the ``dest_fold`` precompute is a stored
+  column, the classification flags come from a per-opcode table), which
+  is cheaper than re-running ``TraceRecord.__init__``.
+
+Column access returns plain Python ints at ``list``-like speed: columns
+are ``memoryview.cast`` views over one backing buffer (or ``array.array``
+columns when built from records), and the opcode-derived classification
+bits live in a ``bytes`` column produced by ``bytes.translate`` — one C
+call for the whole trace.
+
+Layout (all little-endian, each column contiguous):
+
+========== ======= ====================================================
+column     type    contents
+========== ======= ====================================================
+pc         u64     instruction byte address
+next_pc    u64     architecturally correct successor PC
+dest_value u64     result value (0 when the record carries none)
+mem_addr   u64     effective address (0 when not a memory op)
+srcs       u32     packed source registers: count | r0<<8 | r1<<16 | r2<<24
+dest_fold  u16     precomputed 16-bit XOR fold of dest_value
+opcode     u8      stable opcode code (:data:`OPCODE_BY_CODE`)
+flags      u8      bit0 has_dest, bit1 has_mem, bit2 branch_taken,
+                   bit3 has_branch_outcome
+mem_size   u8      access width in bytes (0 when not a memory op)
+dest_reg   u8      destination register (0xFF when none)
+========== ======= ====================================================
+
+``seq`` is implicit: row *i* has ``seq == i`` (the same contract as the
+VSRT v2 stream format — cache entries are always renumbered captures).
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Iterator
+
+from repro.isa.opcodes import CLASS_LATENCY, OPCODE_BY_CODE, OpClass, Opcode
+from repro.trace.record import TraceRecord
+
+_MASK64 = (1 << 64) - 1
+
+# -- flags byte ------------------------------------------------------------
+
+FLAG_HAS_DEST = 1
+FLAG_HAS_MEM = 2
+FLAG_BRANCH_TAKEN = 4
+FLAG_HAS_BRANCH = 8
+
+# -- kind byte (derived, not stored: pure function of the opcode) ----------
+
+KIND_BRANCH = 1
+KIND_CONTROL = 2
+KIND_LOAD = 4
+KIND_STORE = 8
+KIND_MEMORY = 16
+KIND_INDIRECT = 32
+
+#: Highest source-register arity the packed ``srcs`` column can hold.
+MAX_SRC_REGS = 3
+
+
+def _kind_bits(opclass: OpClass) -> int:
+    bits = 0
+    if opclass is OpClass.BRANCH:
+        bits |= KIND_BRANCH
+    if opclass in (OpClass.BRANCH, OpClass.JUMP, OpClass.IJUMP):
+        bits |= KIND_CONTROL
+    if opclass is OpClass.LOAD:
+        bits |= KIND_LOAD | KIND_MEMORY
+    if opclass is OpClass.STORE:
+        bits |= KIND_STORE | KIND_MEMORY
+    if opclass is OpClass.IJUMP:
+        bits |= KIND_INDIRECT
+    return bits
+
+
+#: opcode code -> kind byte, as a 256-entry translate table so deriving
+#: the whole kind column is one ``bytes.translate`` call.  Codes with no
+#: opcode map to 0 (validity is checked separately via ``_VALID_CODES``).
+_KIND_TABLE = bytes(
+    _kind_bits(OPCODE_BY_CODE[code].opclass) if code in OPCODE_BY_CODE else 0
+    for code in range(256)
+)
+
+_VALID_CODES = frozenset(OPCODE_BY_CODE)
+
+#: opcode code -> (opcode, opclass, is_load, is_store, is_memory,
+#: is_branch, is_control, is_indirect, exec_latency, sel_priority,
+#: is_ctrl) for row materialization; None for invalid codes.  Kept in
+#: lockstep with ``repro.trace.record._CLASS_FLAGS``.
+_ROW_INFO: list[tuple | None] = [None] * 256
+for _code, _op in OPCODE_BY_CODE.items():
+    _oc = _op.opclass
+    _ROW_INFO[_code] = (
+        _op,
+        _oc,
+        _oc is OpClass.LOAD,
+        _oc is OpClass.STORE,
+        _oc is OpClass.LOAD or _oc is OpClass.STORE,
+        _oc is OpClass.BRANCH,
+        _oc is OpClass.BRANCH or _oc is OpClass.JUMP or _oc is OpClass.IJUMP,
+        _oc is OpClass.IJUMP,
+        CLASS_LATENCY[_oc],
+        0 if _oc is OpClass.BRANCH or _oc is OpClass.LOAD else 1,
+        _oc is OpClass.BRANCH or _oc is OpClass.IJUMP,
+    )
+del _code, _op, _oc
+
+#: Pre-sliced src_regs tuples for the common arities (count 0/1/2 cover
+#: every ISA instruction; 3 is headroom for synthetic traces).
+_EMPTY_SRCS: tuple[int, ...] = ()
+
+
+class ColumnarTraceError(ValueError):
+    """Raised when columnar trace data is malformed or unrepresentable."""
+
+
+#: (attribute name, array typecode, item size) in on-disk column order.
+COLUMN_SPEC: tuple[tuple[str, str, int], ...] = (
+    ("pc", "Q", 8),
+    ("next_pc", "Q", 8),
+    ("dest_value", "Q", 8),
+    ("mem_addr", "Q", 8),
+    ("srcs", "I", 4),
+    ("dest_fold", "H", 2),
+    ("opcode", "B", 1),
+    ("flags", "B", 1),
+    ("mem_size", "B", 1),
+    ("dest_reg", "B", 1),
+)
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+class ColumnarTrace:
+    """A dynamic instruction trace stored as parallel columns.
+
+    Duck-types the ``list[TraceRecord]`` the engine consumes — ``len``,
+    indexing (memoized row materialization), iteration, equality — while
+    exposing the raw columns (``pc``, ``opcode``, ``kind``, ...) for
+    hot paths that want them directly.
+    """
+
+    __slots__ = (
+        "pc",
+        "next_pc",
+        "dest_value",
+        "mem_addr",
+        "srcs",
+        "dest_fold",
+        "opcode",
+        "flags",
+        "mem_size",
+        "dest_reg",
+        #: Derived per-row classification bits (``KIND_*``), a ``bytes``.
+        "kind",
+        "_count",
+        "_rows",
+        "_materialized",
+        #: Backing buffer keep-alive (mmap / SharedMemory buffer / bytes);
+        #: None when columns are own-memory ``array.array`` objects.
+        "_buffer",
+    )
+
+    def __init__(self, columns: dict, count: int, buffer=None):
+        for name, _tc, _size in COLUMN_SPEC:
+            setattr(self, name, columns[name])
+        self.kind = bytes(columns["opcode"]).translate(_KIND_TABLE)
+        self._count = count
+        self._rows: list[TraceRecord | None] = [None] * count
+        self._materialized = 0
+        self._buffer = buffer
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: list) -> "ColumnarTrace":
+        """Build columns from an iterable of :class:`TraceRecord`."""
+        pc = array("Q")
+        next_pc = array("Q")
+        dest_value = array("Q")
+        mem_addr = array("Q")
+        srcs = array("I")
+        dest_fold = array("H")
+        opcode = array("B")
+        flags = array("B")
+        mem_size = array("B")
+        dest_reg = array("B")
+        for rec in records:
+            regs = rec.src_regs
+            nsrcs = len(regs)
+            if nsrcs > MAX_SRC_REGS:
+                raise ColumnarTraceError(
+                    f"record has {nsrcs} source registers; the packed "
+                    f"srcs column holds at most {MAX_SRC_REGS}"
+                )
+            packed = nsrcs
+            for pos, reg in enumerate(regs):
+                if not 0 <= reg <= 0xFF:
+                    raise ColumnarTraceError(
+                        f"source register {reg} does not fit the srcs column"
+                    )
+                packed |= reg << (8 * (pos + 1))
+            flag = 0
+            if rec.dest_reg is not None:
+                flag |= FLAG_HAS_DEST
+            if rec.mem_addr is not None:
+                flag |= FLAG_HAS_MEM
+            if rec.branch_taken is not None:
+                flag |= FLAG_HAS_BRANCH
+                if rec.branch_taken:
+                    flag |= FLAG_BRANCH_TAKEN
+            pc.append(rec.pc & _MASK64)
+            next_pc.append(rec.next_pc & _MASK64)
+            dest_value.append((rec.dest_value or 0) & _MASK64)
+            mem_addr.append((rec.mem_addr or 0) & _MASK64)
+            srcs.append(packed)
+            dest_fold.append(rec.dest_fold)
+            opcode.append(rec.opcode.code)
+            flags.append(flag)
+            mem_size.append(rec.mem_size or 0)
+            dest_reg.append(0xFF if rec.dest_reg is None else rec.dest_reg)
+        columns = {
+            "pc": pc,
+            "next_pc": next_pc,
+            "dest_value": dest_value,
+            "mem_addr": mem_addr,
+            "srcs": srcs,
+            "dest_fold": dest_fold,
+            "opcode": opcode,
+            "flags": flags,
+            "mem_size": mem_size,
+            "dest_reg": dest_reg,
+        }
+        return cls(columns, len(opcode))
+
+    @classmethod
+    def from_buffer(
+        cls, buffer, count: int, offsets: dict[str, int]
+    ) -> "ColumnarTrace":
+        """Wrap columns living inside ``buffer`` (mmap, shared memory,
+        bytes) without copying.
+
+        ``offsets`` maps column name to byte offset.  On little-endian
+        hosts the columns are ``memoryview.cast`` views straight into the
+        buffer; big-endian hosts fall back to copied-and-byteswapped
+        ``array`` columns (correctness over zero-copy).
+        """
+        view = memoryview(buffer)
+        columns = {}
+        for name, typecode, itemsize in COLUMN_SPEC:
+            start = offsets[name]
+            chunk = view[start : start + count * itemsize]
+            if _LITTLE_ENDIAN:
+                columns[name] = chunk.cast(typecode)
+            else:  # pragma: no cover - exercised only on big-endian hosts
+                col = array(typecode)
+                col.frombytes(bytes(chunk))
+                col.byteswap()
+                columns[name] = col
+        keep = buffer if _LITTLE_ENDIAN else None
+        trace = cls(columns, count, buffer=keep)
+        opcode_codes = set(bytes(columns["opcode"]))
+        if not opcode_codes <= _VALID_CODES:
+            bad = min(opcode_codes - _VALID_CODES)
+            raise ColumnarTraceError(f"unknown opcode byte {bad:#x}")
+        return trace
+
+    # -- row views ---------------------------------------------------------
+
+    def _materialize(self, index: int) -> TraceRecord:
+        info = _ROW_INFO[self.opcode[index]]
+        if info is None:
+            raise ColumnarTraceError(
+                f"unknown opcode byte {self.opcode[index]:#x} at row {index}"
+            )
+        rec = TraceRecord.__new__(TraceRecord)
+        rec.seq = index
+        rec.pc = self.pc[index]
+        (
+            rec.opcode,
+            rec.opclass,
+            rec.is_load,
+            rec.is_store,
+            rec.is_memory,
+            rec.is_branch,
+            rec.is_control,
+            rec.is_indirect,
+            rec.exec_latency,
+            rec.sel_priority,
+            rec.is_ctrl,
+        ) = info
+        packed = self.srcs[index]
+        nsrcs = packed & 0xFF
+        if nsrcs == 0:
+            rec.src_regs = _EMPTY_SRCS
+        elif nsrcs == 1:
+            rec.src_regs = ((packed >> 8) & 0xFF,)
+        elif nsrcs == 2:
+            rec.src_regs = ((packed >> 8) & 0xFF, (packed >> 16) & 0xFF)
+        else:
+            rec.src_regs = (
+                (packed >> 8) & 0xFF,
+                (packed >> 16) & 0xFF,
+                (packed >> 24) & 0xFF,
+            )
+        flags = self.flags[index]
+        if flags & FLAG_HAS_DEST:
+            dest = self.dest_reg[index]
+            rec.dest_reg = dest
+            rec.dest_value = self.dest_value[index]
+            rec.writes_register = dest != 0
+        else:
+            rec.dest_reg = None
+            rec.dest_value = None
+            rec.writes_register = False
+        if flags & FLAG_HAS_MEM:
+            rec.mem_addr = self.mem_addr[index]
+            rec.mem_size = self.mem_size[index]
+        else:
+            rec.mem_addr = None
+            rec.mem_size = None
+        rec.branch_taken = (
+            bool(flags & FLAG_BRANCH_TAKEN) if flags & FLAG_HAS_BRANCH else None
+        )
+        rec.next_pc = self.next_pc[index]
+        rec.dest_fold = self.dest_fold[index]
+        self._materialized += 1
+        return rec
+
+    def row(self, index: int) -> TraceRecord:
+        """The memoized :class:`TraceRecord` view of row ``index``."""
+        rec = self._rows[index]
+        if rec is None:
+            rec = self._rows[index] = self._materialize(index)
+        return rec
+
+    def rows(self) -> list[TraceRecord]:
+        """The fully materialized row list (memoized; also the engine's
+        fast path — a plain list the fetch loop can index directly).
+
+        The returned list is the internal memo: callers must treat it as
+        read-only.
+        """
+        if self._materialized < self._count:
+            rows = self._rows
+            materialize = self._materialize
+            for index in range(self._count):
+                if rows[index] is None:
+                    rows[index] = materialize(index)
+        return self._rows  # fully populated from here on
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.row(i) for i in range(*index.indices(self._count))]
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError("trace row out of range")
+        return self.row(index)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for index in range(self._count):
+            yield self.row(index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnarTrace):
+            if self._count != other._count:
+                return False
+            return all(
+                self.row(i) == other.row(i) for i in range(self._count)
+            )
+        if isinstance(other, (list, tuple)):
+            if self._count != len(other):
+                return False
+            return all(
+                self.row(i) == other[i] for i in range(self._count)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        backing = "buffer" if self._buffer is not None else "arrays"
+        return f"ColumnarTrace({self._count} records, {backing}-backed)"
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total column payload size in bytes."""
+        return self._count * sum(size for _n, _tc, size in COLUMN_SPEC)
+
+    @property
+    def materialized_rows(self) -> int:
+        """How many row views have been materialized so far."""
+        return self._materialized
+
+    def to_records(self) -> list[TraceRecord]:
+        """A plain ``list[TraceRecord]`` copy of the trace."""
+        return list(self.rows())
+
+    def column_bytes(self, name: str) -> bytes:
+        """The raw little-endian bytes of one column."""
+        column = getattr(self, name)
+        if isinstance(column, array):
+            if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian only
+                column = array(column.typecode, column)
+                column.byteswap()
+            return column.tobytes()
+        return bytes(column)
+
+
+def as_columnar(trace) -> ColumnarTrace:
+    """``trace`` as a :class:`ColumnarTrace` (identity when it already is)."""
+    if isinstance(trace, ColumnarTrace):
+        return trace
+    return ColumnarTrace.from_records(trace)

@@ -28,6 +28,12 @@ _CLASS_FLAGS = {
         or opclass is OpClass.IJUMP,
         opclass is OpClass.IJUMP,
         CLASS_LATENCY[opclass],
+        # Engine-side derived fields, precomputed here so dispatch writes
+        # them straight into the reservation station: selection priority
+        # class (0 = branch/load, 1 = everything else) and the
+        # control-transfer flag the wakeup predicate gates on.
+        0 if opclass is OpClass.BRANCH or opclass is OpClass.LOAD else 1,
+        opclass is OpClass.BRANCH or opclass is OpClass.IJUMP,
     )
     for opclass in OpClass
 }
@@ -81,6 +87,8 @@ class TraceRecord:
         "is_control",
         "is_indirect",
         "exec_latency",
+        "sel_priority",
+        "is_ctrl",
         "writes_register",
         "dest_fold",
     )
@@ -131,6 +139,8 @@ class TraceRecord:
             self.is_control,
             self.is_indirect,
             self.exec_latency,
+            self.sel_priority,
+            self.is_ctrl,
         ) = _CLASS_FLAGS[opclass]
         #: True when the instruction produces a register value — the
         #: eligibility condition for value prediction.

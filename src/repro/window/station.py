@@ -127,6 +127,8 @@ class Station:
         "wrong_path",
         "operands",
         "consumers",
+        "prev_writer",
+        "stamp",
         "predicted",
         "predicted_confident",
         "pred_correct",
@@ -173,8 +175,18 @@ class Station:
         self.rec = rec
         self.wrong_path = wrong_path
         self.operands: list[Operand] = []
-        #: (consumer_sid, operand_index) pairs that captured our output.
-        self.consumers: list[tuple[int, int]] = []
+        #: (consumer station, operand index) pairs that captured our
+        #: output.  Direct references, not sids: consumers are strictly
+        #: younger, so the edges keep the graph acyclic (refcount-safe)
+        #: while sparing the broadcast loop a window lookup per edge.
+        self.consumers: list[tuple["Station", int]] = []
+        #: Sid of the previous in-flight writer of our destination
+        #: register at dispatch (-1 = none) — the squash-undo link for
+        #: the engine's last-writer table.
+        self.prev_writer = -1
+        #: Scratch mark for the engine's closure walks (monotonically
+        #: increasing visit stamp; never reset).
+        self.stamp = 0
         # -- value prediction state --
         self.predicted = False  # prediction broadcast to consumers
         self.predicted_confident = False

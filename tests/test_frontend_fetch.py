@@ -123,3 +123,39 @@ def test_wrong_path_mix_contains_loads():
     opcodes = {f.rec.opcode for f in fetched}
     assert Opcode.LD in opcodes
     assert Opcode.ADD in opcodes
+
+
+def test_wrong_path_memo_lru_cap(monkeypatch):
+    import repro.frontend.fetch as fetch_mod
+
+    monkeypatch.setattr(fetch_mod, "_WP_STREAMS", {})
+    monkeypatch.setattr(fetch_mod, "_WP_STREAM_LIMIT", 4)
+    streams = fetch_mod._WP_STREAMS
+
+    for pc in (0x100, 0x200, 0x300, 0x400):
+        fetch_mod._wrong_path_cache(7, pc)
+    assert len(streams) == 4
+
+    # Touch the oldest entry so it becomes the most recently used.
+    fetch_mod._wrong_path_cache(7, 0x100)
+    assert next(reversed(streams)) == (7, 0x100)
+
+    # Inserting past the cap evicts exactly one entry - the coldest
+    # ((7, 0x200), since (7, 0x100) was just touched) - not the memo.
+    fetch_mod._wrong_path_cache(7, 0x500)
+    assert len(streams) == 4
+    assert (7, 0x200) not in streams
+    assert (7, 0x100) in streams
+    assert (7, 0x500) in streams
+
+
+def test_wrong_path_memo_hit_preserves_stream_state(monkeypatch):
+    import repro.frontend.fetch as fetch_mod
+
+    monkeypatch.setattr(fetch_mod, "_WP_STREAMS", {})
+    cache = fetch_mod._wrong_path_cache(11, 0x4000)
+    cache[0].append("sentinel-record")
+    # A hit returns the same mutable stream object (move-to-end must not
+    # copy or reset the recorded prefix).
+    assert fetch_mod._wrong_path_cache(11, 0x4000) is cache
+    assert cache[0] == ["sentinel-record"]
