@@ -8,7 +8,12 @@ describe <model>          print a speculative-execution model's two tables
 bench <name> [options]    simulate one benchmark kernel and print counters
 obs trace|histo|export    instrumented runs: timelines, latency histograms
 cache info|clear|warm     manage the persistent on-disk trace cache
+cluster serve|work|submit|status   the fault-tolerant sweep service
 table1 / figure1 / figure3 / figure4   shorthands for ``run <id>``
+
+Any grid-running command accepts ``--backend cluster`` (or
+``REPRO_SWEEP_BACKEND=cluster``) to route its simulation grid through
+the fault-tolerant cluster sweep service — see docs/CLUSTER.md.
 
 ``obs`` accepts suite kernel names and micro kernels via the
 ``micro:<name>`` form (e.g. ``micro:fib``).
@@ -41,6 +46,8 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
         kwargs["benchmarks"] = args.benchmarks
     if getattr(args, "jobs", None) is not None:
         kwargs["jobs"] = args.jobs
+    if getattr(args, "backend", None) is not None:
+        kwargs["backend"] = args.backend
     return kwargs
 
 
@@ -217,6 +224,95 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import protocol
+    from repro.cluster.client import ADDR_ENV_VAR, ClusterClient
+
+    if args.action == "serve":
+        import signal as _signal
+        from pathlib import Path
+
+        from repro.cluster.scheduler import ClusterScheduler, SchedulerConfig
+
+        host, port = protocol.parse_address(args.bind)
+        config = SchedulerConfig(
+            host=host,
+            port=port,
+            journal_path=Path(args.journal) if args.journal else None,
+            heartbeat_timeout=args.heartbeat_timeout,
+            lease_timeout=args.lease_timeout,
+            max_attempts=args.max_attempts,
+        )
+        scheduler = ClusterScheduler(config)
+        bound = scheduler.start()
+        journal = args.journal or "(none — sweeps will not survive restarts)"
+        print(f"scheduler listening on {bound[0]}:{bound[1]}")
+        print(f"journal: {journal}")
+        print(f"workers connect with: repro cluster work --connect "
+              f"{bound[0]}:{bound[1]}")
+        try:
+            _signal.pause()
+        except (KeyboardInterrupt, AttributeError):
+            # AttributeError: no signal.pause on some platforms; fall
+            # back to a sleep loop interrupted the same way.
+            try:
+                import time as _time
+
+                while True:
+                    _time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+        finally:
+            scheduler.stop()
+        return 0
+
+    if args.action == "work":
+        from repro.cluster.worker import ClusterWorker
+
+        worker = ClusterWorker(
+            protocol.parse_address(args.connect),
+            strict=True if args.strict else None,
+            reconnect_deadline=args.reconnect_deadline,
+        )
+        return worker.run()
+
+    if args.action == "submit":
+        import os as _os
+
+        experiment = EXPERIMENTS.get(args.id)
+        if experiment is None:
+            print(
+                f"unknown experiment {args.id!r}; try `repro list`",
+                file=sys.stderr,
+            )
+            return 2
+        if args.connect:
+            _os.environ[ADDR_ENV_VAR] = args.connect
+        kwargs = _experiment_kwargs(args)
+        kwargs["backend"] = "cluster"
+        print(experiment.run(**kwargs))
+        return 0
+
+    # status
+    import json as _json
+    import os as _os
+
+    address = args.connect or _os.environ.get(ADDR_ENV_VAR, "")
+    if not address:
+        print(
+            f"no scheduler address (--connect or {ADDR_ENV_VAR})",
+            file=sys.stderr,
+        )
+        return 2
+    client = ClusterClient(protocol.parse_address(address))
+    try:
+        print(_json.dumps(client.status(), indent=2, sort_keys=True))
+    except OSError as error:
+        print(f"scheduler unreachable at {address}: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.trace import cache as trace_cache
 
@@ -281,6 +377,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the simulation grid (0 = all cores)",
     )
+    run_parser.add_argument(
+        "--backend",
+        choices=("local", "cluster"),
+        default=None,
+        help="grid execution backend (default: REPRO_SWEEP_BACKEND or local)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     for shorthand in ("table1", "figure1", "figure3", "figure4"):
@@ -288,6 +390,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-instructions", type=int, default=None)
         p.add_argument("--benchmarks", nargs="*", default=None)
         p.add_argument("--jobs", type=int, default=None, metavar="N")
+        p.add_argument(
+            "--backend", choices=("local", "cluster"), default=None
+        )
         p.set_defaults(func=_cmd_run, id=shorthand)
 
     describe_parser = sub.add_parser(
@@ -335,6 +440,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace limit for warmed entries (default: full traces)",
     )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="fault-tolerant sweep service (see docs/CLUSTER.md)",
+    )
+    cluster_sub = cluster_parser.add_subparsers(dest="action", required=True)
+
+    serve_parser = cluster_sub.add_parser(
+        "serve", help="run a sweep scheduler (Ctrl+C to stop)"
+    )
+    serve_parser.add_argument(
+        "--bind", default="127.0.0.1:7787", metavar="HOST:PORT",
+        help="listen address (port 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append-only sweep journal; lets resubmitted sweeps replay "
+        "completed points across scheduler restarts",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-timeout", type=float, default=8.0, metavar="SECONDS",
+        help="presume a silent worker dead after this long",
+    )
+    serve_parser.add_argument(
+        "--lease-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="requeue a leased job not reported back within this long",
+    )
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="per-job attempt budget before the sweep is failed",
+    )
+    serve_parser.set_defaults(func=_cmd_cluster)
+
+    work_parser = cluster_sub.add_parser(
+        "work", help="run one worker process against a scheduler"
+    )
+    work_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="scheduler address",
+    )
+    work_parser.add_argument(
+        "--reconnect-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="keep retrying an unreachable scheduler this long",
+    )
+    work_parser.add_argument(
+        "--strict", action="store_true",
+        help="fail jobs on cold traces instead of capturing",
+    )
+    work_parser.set_defaults(func=_cmd_cluster)
+
+    submit_parser = cluster_sub.add_parser(
+        "submit", help="run an experiment's grid on the cluster backend"
+    )
+    submit_parser.add_argument("id", help="experiment id (see `repro list`)")
+    submit_parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="scheduler address (default: REPRO_CLUSTER_ADDR, else an "
+        "ephemeral local cluster)",
+    )
+    submit_parser.add_argument("--max-instructions", type=int, default=None)
+    submit_parser.add_argument("--benchmarks", nargs="*", default=None)
+    submit_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for an ephemeral local cluster",
+    )
+    submit_parser.set_defaults(func=_cmd_cluster)
+
+    status_parser = cluster_sub.add_parser(
+        "status", help="print a scheduler's workers/jobs/sweeps as JSON"
+    )
+    status_parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="scheduler address (default: REPRO_CLUSTER_ADDR)",
+    )
+    status_parser.set_defaults(func=_cmd_cluster)
 
     obs_parser = sub.add_parser(
         "obs", help="instrumented runs: lifecycle timelines, latency histograms"

@@ -1,0 +1,194 @@
+"""The append-only, crash-safe sweep journal.
+
+One record per *completed* job, appended and ``fsync``-ed before the
+scheduler acknowledges the worker's result — so a record's existence
+means the result durably survived, and a job with no record is safe to
+re-run (re-execution is deterministic, so the worst a crash costs is
+recomputing in-flight points, never wrong results).
+
+Format: JSON lines.  Each line is one object::
+
+    {"v": 1, "key": <job content hash>, "attempt": n, "worker": id,
+     "result": {...}, "crc": <crc32 of the line minus the crc field>}
+
+The per-record CRC plus the trailing newline give two independent
+torn-write detectors: a crash mid-append leaves either a line without a
+terminator or a terminated line whose CRC does not match, and *both*
+are silently discarded by :meth:`SweepJournal.replay` (a torn tail is
+the expected crash artifact, not corruption worth failing over).  A bad
+record followed by further well-formed lines is different — that means
+the file was damaged, not torn — so replay stops at the first bad
+record and reports how many trailing records it discarded, and the
+next append truncates the file back to the last good byte so the
+journal never grows an unreadable middle.
+
+Keys are content hashes (:func:`repro.cluster.serial.job_key`), so a
+journal outlives any single scheduler process, sweep submission or
+client: resubmitting an interrupted grid replays every already-journaled
+point from disk and recomputes nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+_VERSION = 1
+
+
+class JournalError(Exception):
+    """The journal file cannot be used (I/O failure, not torn records)."""
+
+
+def _record_crc(doc: dict) -> int:
+    """CRC of a record's canonical text, excluding the crc field itself."""
+    body = {k: doc[k] for k in sorted(doc) if k != "crc"}
+    return zlib.crc32(json.dumps(body, separators=(",", ":"), sort_keys=True).encode())
+
+
+class SweepJournal:
+    """Append/replay access to one journal file.
+
+    The file is opened lazily on first append; replay of a missing file
+    is an empty journal (a fresh sweep).  One instance is single-writer
+    (the scheduler); readers (tests, tooling) may replay concurrently.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._fh = None
+        #: Filled by :meth:`replay`: records discarded because the file
+        #: was damaged mid-stream (0 for a clean or merely torn file).
+        self.discarded = 0
+        #: Byte offset of the end of the last good record seen by replay.
+        self._good_end = 0
+
+    # -- read side ---------------------------------------------------------
+
+    def replay(self) -> dict[str, dict]:
+        """Load every intact record, keyed by job content hash.
+
+        Duplicate keys keep the *first* record (results are
+        deterministic, so later duplicates are identical; first-wins
+        matches the scheduler's idempotent-result rule).  A torn or
+        corrupt tail is dropped; a corrupt record with valid records
+        after it truncates replay there and counts the rest in
+        :attr:`discarded`.
+        """
+        records: dict[str, dict] = {}
+        self.discarded = 0
+        self._good_end = 0
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return records
+        except OSError as error:
+            raise JournalError(f"cannot read journal {self.path}: {error}") from error
+        lines = data.split(b"\n")
+        lines.pop()  # bytes after the last newline: a torn append, dropped
+        offset = 0
+        bad_seen = False
+        for raw in lines:
+            line_end = offset + len(raw) + 1  # include the newline
+            offset = line_end
+            if not raw:
+                continue
+            doc = self._parse(raw)
+            if doc is None:
+                bad_seen = True  # CRC mismatch / undecodable: damaged
+            elif bad_seen:
+                # Valid records after a bad one: a damaged middle, not a
+                # torn tail.  Replay stops at the damage; count the rest.
+                self.discarded += 1
+            else:
+                records.setdefault(doc["key"], doc)
+                self._good_end = line_end
+        return records
+
+    @staticmethod
+    def _parse(raw: bytes) -> dict | None:
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(doc, dict) or "key" not in doc or "result" not in doc:
+            return None
+        if _record_crc(doc) != doc.get("crc"):
+            return None
+        return doc
+
+    def records(self) -> list[dict]:
+        """Every intact record in append order (tooling/tests view)."""
+        out: list[dict] = []
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return out
+        lines = data.split(b"\n")
+        lines.pop()
+        for raw in lines:
+            if not raw:
+                continue
+            doc = self._parse(raw)
+            if doc is None:
+                break
+            out.append(doc)
+        return out
+
+    # -- write side --------------------------------------------------------
+
+    def _open(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Re-scan so a writer attached to an existing journal trims a
+            # torn/damaged tail instead of appending after it.
+            self.replay()
+            self._fh = open(self.path, "r+b" if self.path.exists() else "w+b")
+            self._fh.seek(0, os.SEEK_END)
+            if self._fh.tell() > self._good_end:
+                self._fh.truncate(self._good_end)
+                self._fh.seek(self._good_end)
+        return self._fh
+
+    def append(self, key: str, result: dict, *, attempt: int = 1,
+               worker: str = "", meta: dict | None = None) -> dict:
+        """Durably append one completed-job record; returns the record.
+
+        The write is flushed and ``fsync``-ed before returning — the
+        scheduler's acknowledgement of a result *is* this fsync.
+        """
+        doc = {
+            "v": _VERSION,
+            "key": key,
+            "attempt": attempt,
+            "worker": worker,
+            "result": result,
+        }
+        if meta:
+            doc["meta"] = meta
+        doc["crc"] = _record_crc(doc)
+        line = json.dumps(doc, separators=(",", ":"), sort_keys=True) + "\n"
+        fh = self._open()
+        try:
+            fh.write(line.encode("utf-8"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        except OSError as error:
+            raise JournalError(f"journal append failed: {error}") from error
+        self._good_end = fh.tell()
+        return doc
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

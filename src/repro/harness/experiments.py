@@ -25,11 +25,13 @@ class Experiment:
 
 def _run_table1(**kwargs) -> str:
     kwargs.pop("jobs", None)  # pure trace analysis; nothing to fan out
+    kwargs.pop("backend", None)
     return table1.render_table1(table1.run_table1(**kwargs))
 
 
 def _run_figure1(**kwargs) -> str:
     kwargs.pop("jobs", None)  # seven hand-built scenarios; nothing to fan out
+    kwargs.pop("backend", None)
     return figure1.render_figure1(figure1.run_figure1(**kwargs))
 
 
@@ -96,6 +98,7 @@ def _run_limit_study(
     max_instructions: int | None = 6000,
     benchmarks: list[str] | None = None,
     jobs: int = 1,  # accepted for CLI uniformity; the study is pure analysis
+    backend: str | None = None,
 ) -> str:
     from repro.analysis.limits import limit_study, render_limit_study
     from repro.programs.suite import benchmark_suite

@@ -62,6 +62,7 @@ def run_figure3(
     configs: tuple[ProcessorConfig, ...] = PAPER_CONFIGS,
     models: tuple[SpeculativeExecutionModel, ...] = MODELS,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[Figure3Cell]:
     """Run the full Figure 3 sweep.
 
@@ -91,7 +92,7 @@ def run_figure3(
                     )
                     for n in names
                 )
-    results = iter(run_jobs(job_list, jobs=jobs))
+    results = iter(run_jobs(job_list, jobs=jobs, backend=backend))
 
     cells: list[Figure3Cell] = []
     for config in configs:

@@ -36,6 +36,7 @@ def run_figure4(
     configs: tuple[ProcessorConfig, ...] = PAPER_CONFIGS,
     model: SpeculativeExecutionModel = GREAT_MODEL,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[Figure4Cell]:
     """Measure the CH/CL/IH/IL breakdown for the great model (real
     confidence) across configurations and update timings.  ``jobs`` fans
@@ -60,7 +61,7 @@ def run_figure4(
         for config, timing in grid
         for name in names
     ]
-    results = iter(run_jobs(job_list, jobs=jobs))
+    results = iter(run_jobs(job_list, jobs=jobs, backend=backend))
     cells: list[Figure4Cell] = []
     for config, timing in grid:
         breakdowns = [next(results).accuracy_breakdown for _ in names]

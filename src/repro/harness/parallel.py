@@ -49,6 +49,7 @@ import random
 import tempfile
 import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -61,6 +62,17 @@ from repro.trace.columnar import ColumnarTrace
 #: staged handle only).  Used by tests/CI to assert warm sweeps perform
 #: zero per-worker trace materializations.
 STRICT_ENV_VAR = "REPRO_TRACE_STRICT"
+
+#: Env var: default execution backend for ``run_jobs`` when the caller
+#: does not pass one — ``local`` (this module's process pool) or
+#: ``cluster`` (the fault-tolerant sweep service, :mod:`repro.cluster`).
+#: Lets any harness entry point ride the cluster without code changes.
+BACKEND_ENV_VAR = "REPRO_SWEEP_BACKEND"
+
+#: Default per-job attempt budget when a *worker* dies mid-grid (the
+#: job itself raising is never retried — jobs are deterministic, so a
+#: job error would just recur).
+DEFAULT_MAX_ATTEMPTS = 3
 
 _STRICT_TRUE = frozenset({"1", "true", "yes", "on"})
 
@@ -211,13 +223,34 @@ def _stage_traces(
     Preference order per key: an existing (or freshly stored) disk-cache
     entry mmap'd by name; a ``multiprocessing.shared_memory`` segment
     with the v3 bytes; a temp file as the last resort when shared memory
-    is unavailable.  Cleanups run after the pool has shut down.
+    is unavailable.  Cleanups run after the pool has shut down — and if
+    staging *itself* fails partway (a capture error on the third
+    benchmark after two segments exist), the segments already created
+    are released before the exception escapes, so no error path leaks
+    shared memory.
     """
+    handles: dict[tuple[str, int | None], TraceHandle] = {}
+    cleanups: list = []
+    try:
+        _stage_traces_into(job_list, handles, cleanups)
+    except BaseException:
+        for release in cleanups:
+            try:
+                release()
+            except Exception:
+                pass
+        raise
+    return handles, cleanups
+
+
+def _stage_traces_into(
+    job_list: list[SimJob],
+    handles: dict[tuple[str, int | None], TraceHandle],
+    cleanups: list,
+) -> None:
     from repro.trace import cache as trace_cache
     from repro.trace.binary import dumps_trace_binary_v3
 
-    handles: dict[tuple[str, int | None], TraceHandle] = {}
-    cleanups: list = []
     for key in dict.fromkeys((job.benchmark, job.max_instructions) for job in job_list):
         benchmark, limit = key
         if trace_cache.cache_enabled():
@@ -259,7 +292,6 @@ def _stage_traces(
             handle = TraceHandle("file", tmp_path, len(data))
             cleanups.append(lambda tmp_path=tmp_path: os.unlink(tmp_path))
         handles[key] = handle
-    return handles, cleanups
 
 
 def _execute(job: SimJob) -> SimulationResult:
@@ -301,32 +333,110 @@ def effective_jobs(jobs: int | None, n_tasks: int) -> int:
     return max(1, min(jobs, n_tasks))
 
 
-def run_jobs(job_list: list[SimJob], jobs: int = 1) -> list[SimulationResult]:
+def resolve_backend(backend: str | None = None) -> str:
+    """The effective sweep backend: explicit argument, then
+    ``REPRO_SWEEP_BACKEND``, then ``local``."""
+    chosen = backend or os.environ.get(BACKEND_ENV_VAR, "").strip() or "local"
+    if chosen not in ("local", "cluster"):
+        raise ValueError(
+            f"unknown sweep backend {chosen!r} (expected 'local' or 'cluster')"
+        )
+    return chosen
+
+
+def _run_pool(
+    job_list: list[SimJob],
+    workers: int,
+    handles: dict[tuple[str, int | None], TraceHandle],
+    results: list[SimulationResult | None],
+    max_attempts: int,
+) -> None:
+    """Drive the process pool until every slot in ``results`` is filled.
+
+    Survives worker death (OOM kill, segfault, ``os.kill``): when the
+    pool breaks, results already completed are kept, a fresh pool is
+    built, and only the unfinished jobs are resubmitted — each with a
+    bounded attempt budget so a job that reliably kills its worker
+    cannot retry forever.  A job *raising* is not retried: jobs are
+    deterministic, so the error would simply recur.
+    """
+    strict = strict_no_capture()
+    attempts = [0] * len(job_list)
+    outstanding = [i for i, r in enumerate(results) if r is None]
+    while outstanding:
+        broken: BrokenProcessPool | None = None
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(outstanding)),
+            initializer=_init_worker,
+            initargs=(handles, strict),
+        ) as pool:
+            pending: dict = {}
+            try:
+                pending = {
+                    pool.submit(_execute, job_list[i]): i for i in outstanding
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = pending.pop(future)
+                        results[index] = future.result()
+            except BrokenProcessPool as error:
+                # Harvest whatever finished before the break; everything
+                # else (cancelled or poisoned by the dead worker) stays
+                # None and is requeued below.
+                broken = error
+                for future, index in pending.items():
+                    if (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        results[index] = future.result()
+        if broken is None:
+            return
+        outstanding = [i for i in outstanding if results[i] is None]
+        for i in outstanding:
+            attempts[i] += 1
+            if attempts[i] >= max_attempts:
+                raise BrokenProcessPool(
+                    f"job {i} ({job_list[i].benchmark}) lost its worker "
+                    f"{attempts[i]} times; giving up after the attempt "
+                    f"budget ({max_attempts})"
+                ) from broken
+
+
+def run_jobs(
+    job_list: list[SimJob],
+    jobs: int = 1,
+    *,
+    backend: str | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> list[SimulationResult]:
     """Execute a grid of simulation points, ``jobs`` processes wide.
 
     Returns results positionally aligned with ``job_list`` regardless of
     completion order, so callers can ``zip`` jobs with results and the
-    merged output is identical for any worker count.
+    merged output is identical for any worker count — and for any
+    backend: ``backend="cluster"`` (or ``REPRO_SWEEP_BACKEND=cluster``)
+    routes the grid through the fault-tolerant sweep service
+    (:mod:`repro.cluster`) with bit-identical results.
+
+    The local pool survives worker death: completed results are kept,
+    the pool is rebuilt, and only unfinished jobs are resubmitted, each
+    with a ``max_attempts`` budget.
     """
+    if resolve_backend(backend) == "cluster":
+        # Imported lazily: repro.cluster depends on this module.
+        from repro.cluster.client import run_jobs_cluster
+
+        return run_jobs_cluster(job_list, jobs)
     workers = effective_jobs(jobs, len(job_list))
     if workers <= 1:
         return [_execute(job) for job in job_list]
     handles, cleanups = _stage_traces(job_list)
     results: list[SimulationResult | None] = [None] * len(job_list)
     try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(handles, strict_no_capture()),
-        ) as pool:
-            pending = {
-                pool.submit(_execute, job): index
-                for index, job in enumerate(job_list)
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    results[pending.pop(future)] = future.result()
+        _run_pool(job_list, workers, handles, results, max_attempts)
     finally:
         for release in cleanups:
             release()
@@ -343,6 +453,7 @@ def run_grid(
     update_timing: str = "I",
     predictor: Callable | None = None,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> dict[str, SimulationResult]:
     """One (config, model, setting) row across a benchmark suite.
 
@@ -361,4 +472,4 @@ def run_grid(
         )
         for name in benchmarks
     ]
-    return dict(zip(benchmarks, run_jobs(job_list, jobs=jobs)))
+    return dict(zip(benchmarks, run_jobs(job_list, jobs=jobs, backend=backend)))

@@ -139,6 +139,7 @@ def _run_sweep(
     variants: list[_Variant],
     *,
     jobs: int = 1,
+    backend: str | None = None,
     extra_detail: Callable[[list[SimulationResult]], dict[str, float]] | None = None,
 ) -> list[SweepPoint]:
     """Execute a sweep's full grid as one parallel batch.
@@ -170,7 +171,7 @@ def _run_sweep(
             )
             for name in names
         )
-    results = run_jobs(job_list, jobs=jobs)
+    results = run_jobs(job_list, jobs=jobs, backend=backend)
 
     width = len(names)
     base_cycles: dict[ProcessorConfig, dict[str, int]] = {}
@@ -211,6 +212,7 @@ def latency_sensitivity_sweep(
     values: tuple[int, ...] = (0, 1, 2),
     base_latencies: LatencyModel = GREAT_LATENCIES,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """ABL-L: vary each latency variable independently around a base model.
 
@@ -231,7 +233,7 @@ def latency_sensitivity_sweep(
                 f"great[{label}={value}]", GREAT_MODEL.variables, latencies
             )
             variants.append(_Variant(f"{label}={value}", config, model))
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def verification_scheme_sweep(
@@ -239,6 +241,7 @@ def verification_scheme_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """ABL-V: the Section 3.2 verification approaches under great latencies."""
     config = config or ProcessorConfig(issue_width=8, window_size=48)
@@ -255,7 +258,7 @@ def verification_scheme_sweep(
         )
         for scheme in VerificationScheme
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def invalidation_scheme_sweep(
@@ -264,6 +267,7 @@ def invalidation_scheme_sweep(
     config: ProcessorConfig | None = None,
     confidence: str = "R",
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """ABL-I: selective (parallel/hierarchical) vs complete invalidation."""
     config = config or ProcessorConfig(issue_width=8, window_size=48)
@@ -281,7 +285,7 @@ def invalidation_scheme_sweep(
         )
         for scheme in InvalidationScheme
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def resolution_policy_sweep(
@@ -289,6 +293,7 @@ def resolution_policy_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Section 3.2 follow-up: resolve branches/memory with valid operands
     only (the paper's choice) versus allowing speculative resolution.
@@ -330,7 +335,7 @@ def resolution_policy_sweep(
             latencies,
         )
         variants.append(_Variant(label, config, model))
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def confidence_strength_sweep(
@@ -339,6 +344,7 @@ def confidence_strength_sweep(
     config: ProcessorConfig | None = None,
     counter_bits: tuple[int, ...] = (1, 2, 3, 4),
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Section 3.6 follow-up: vary the resetting-counter width.
 
@@ -361,7 +367,7 @@ def confidence_strength_sweep(
         for bits in counter_bits
     ]
     variants.append(_Variant("oracle", config, GREAT_MODEL, confidence="O"))
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def approximate_equality_sweep(
@@ -370,6 +376,7 @@ def approximate_equality_sweep(
     config: ProcessorConfig | None = None,
     low_bits: tuple[int, ...] = (0, 4, 8, 16),
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Section 3.3 extension: non-strict equality.
 
@@ -389,7 +396,7 @@ def approximate_equality_sweep(
         )
         for bits in low_bits
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def branch_predictor_sweep(
@@ -397,6 +404,7 @@ def branch_predictor_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Front-end direction predictors and their interaction with value
     speculation: each point reports the VP speedup *relative to a base
@@ -414,7 +422,7 @@ def branch_predictor_sweep(
         )
         for bp in ("bimodal", "local", "gshare", "tournament")
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def selective_prediction_sweep(
@@ -422,6 +430,7 @@ def selective_prediction_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Selective value prediction (Calder et al. [8], discussed in the
     paper's Sections 3.5–3.6): restrict prediction to instruction classes.
@@ -441,7 +450,7 @@ def selective_prediction_sweep(
         )
         for policy in ("all", "long-latency", "loads", "alu")
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def vp_ports_sweep(
@@ -450,6 +459,7 @@ def vp_ports_sweep(
     config: ProcessorConfig | None = None,
     ports: tuple[int, ...] = (1, 2, 4, 0),
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Predictor-port sensitivity: how many predictions per cycle the
     dispatch stage may request (0 = unlimited, the paper's assumption)."""
@@ -464,7 +474,7 @@ def vp_ports_sweep(
         )
         for count in ports
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def width_scaling_sweep(
@@ -473,6 +483,7 @@ def width_scaling_sweep(
     widths: tuple[int, ...] = (2, 4, 8, 16, 32),
     window_per_width: int = 6,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Extend the paper's width/window axis beyond its three points.
 
@@ -493,7 +504,7 @@ def width_scaling_sweep(
         )
         for width in widths
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def confidence_scheme_sweep(
@@ -501,6 +512,7 @@ def confidence_scheme_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Section 3.6: compare confidence estimation mechanisms.
 
@@ -535,7 +547,7 @@ def confidence_scheme_sweep(
         return {"_misspeculation_rate": combined.misspeculation_rate}
 
     return _run_sweep(
-        names, max_instructions, variants, jobs=jobs,
+        names, max_instructions, variants, jobs=jobs, backend=backend,
         extra_detail=misspeculation_rate,
     )
 
@@ -546,6 +558,7 @@ def predictor_size_sweep(
     config: ProcessorConfig | None = None,
     table_bits: tuple[int, ...] = (8, 10, 12, 16),
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Predictor table-size sensitivity (the "tables configuration"
     dimension the paper defers): shrink the context predictor's level-1
@@ -563,7 +576,7 @@ def predictor_size_sweep(
         )
         for bits in table_bits
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 def frontend_idealism_sweep(
@@ -571,6 +584,7 @@ def frontend_idealism_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Relax the paper's ideal-target front end: control-transfer targets
     come from a BTB and return-address stack instead of being free."""
@@ -586,7 +600,7 @@ def frontend_idealism_sweep(
             ("ideal targets (paper)", True), ("BTB + RAS", False)
         )
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)
 
 
 #: Predictor factories for the predictor-comparison sweep.
@@ -604,6 +618,7 @@ def predictor_sweep(
     benchmarks: list[str] | None = None,
     config: ProcessorConfig | None = None,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Extension: compare value predictors under the great model."""
     config = config or ProcessorConfig(issue_width=8, window_size=48)
@@ -612,4 +627,4 @@ def predictor_sweep(
         _Variant(label, config, GREAT_MODEL, predictor=factory)
         for label, factory in PREDICTOR_FACTORIES.items()
     ]
-    return _run_sweep(names, max_instructions, variants, jobs=jobs)
+    return _run_sweep(names, max_instructions, variants, jobs=jobs, backend=backend)

@@ -7,14 +7,43 @@ descriptions, factories build collaborators fresh per job, and merge is
 by submission index.
 """
 
+import os
 import pickle
+import signal
+from concurrent.futures.process import BrokenProcessPool
+from functools import partial
+
+import pytest
 
 from repro.core.model import GREAT_MODEL
 from repro.engine.config import ProcessorConfig
-from repro.harness.parallel import SimJob, effective_jobs, run_grid, run_jobs
+from repro.harness.parallel import (
+    SimJob,
+    effective_jobs,
+    resolve_backend,
+    run_grid,
+    run_jobs,
+)
 
 _CONFIG = ProcessorConfig(issue_width=4, window_size=24)
 _LIMIT = 800
+
+
+def _kamikaze_confidence(flag_path: str):
+    """Confidence factory that SIGKILLs its worker the first time it is
+    built (simulating an OOM-killed worker mid-job), then behaves
+    normally — the flag file is the 'already died once' marker."""
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("died")
+        os.kill(os.getpid(), signal.SIGKILL)
+    from repro.vp.confidence import ResettingConfidenceEstimator
+
+    return ResettingConfidenceEstimator()
+
+
+def _always_kill_confidence():
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 def _tiny_grid() -> list[SimJob]:
@@ -77,6 +106,103 @@ class TestMergeExactness:
             names, _CONFIG, None, max_instructions=_LIMIT, jobs=2
         )
         assert list(results) == names
+
+
+class TestBackendResolution:
+    def test_defaults_to_local(self):
+        assert resolve_backend(None) == "local"
+        assert resolve_backend("local") == "local"
+
+    def test_env_var_selects_cluster(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "cluster")
+        assert resolve_backend() == "cluster"
+        assert resolve_backend("local") == "local"  # argument wins
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            resolve_backend("bogus")
+
+
+class TestWorkerDeathRecovery:
+    def test_pool_survives_worker_sigkill(self, tmp_path):
+        flag = tmp_path / "died-once"
+        grid = [
+            SimJob(
+                "compress",
+                _CONFIG,
+                GREAT_MODEL,
+                _LIMIT,
+                confidence=partial(_kamikaze_confidence, str(flag)),
+            ),
+            SimJob("perl", _CONFIG, GREAT_MODEL, _LIMIT),
+        ]
+        fanned = run_jobs(grid, jobs=2)
+        assert flag.exists()  # the SIGKILL really happened
+        # The flag now exists, so the inline reference run is benign and
+        # must match the fanned run that survived a dead worker.
+        inline = run_jobs(grid, jobs=1)
+        assert [r.counters for r in fanned] == [r.counters for r in inline]
+        assert [r.cycles for r in fanned] == [r.cycles for r in inline]
+
+    def test_attempt_budget_bounds_retries(self):
+        grid = [
+            SimJob(
+                "compress",
+                _CONFIG,
+                GREAT_MODEL,
+                _LIMIT,
+                confidence=_always_kill_confidence,
+            ),
+            SimJob("perl", _CONFIG, GREAT_MODEL, _LIMIT),
+        ]
+        with pytest.raises(BrokenProcessPool, match="lost its worker"):
+            run_jobs(grid, jobs=2, max_attempts=2)
+
+
+class TestStagingCleanup:
+    def test_no_leaked_segments_on_staging_failure(self, monkeypatch):
+        import multiprocessing.shared_memory as shm_module
+
+        from repro.harness.parallel import _stage_traces
+        from repro.trace import binary as trace_binary
+
+        # Disable the disk cache so staging takes the shared-memory path.
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+
+        created: list[str] = []
+        real_shared_memory = shm_module.SharedMemory
+
+        class RecordingSharedMemory(real_shared_memory):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                if kwargs.get("create"):
+                    created.append(self.name)
+
+        monkeypatch.setattr(shm_module, "SharedMemory", RecordingSharedMemory)
+
+        real_dumps = trace_binary.dumps_trace_binary_v3
+        calls = {"n": 0}
+
+        def failing_dumps(trace):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected staging failure")
+            return real_dumps(trace)
+
+        monkeypatch.setattr(trace_binary, "dumps_trace_binary_v3", failing_dumps)
+
+        grid = [
+            SimJob("compress", _CONFIG, None, _LIMIT),
+            SimJob("perl", _CONFIG, None, _LIMIT),
+        ]
+        with pytest.raises(RuntimeError, match="injected staging failure"):
+            _stage_traces(grid)
+        # The first benchmark's segment existed when the second failed;
+        # the error path must have released and unlinked it.
+        assert len(created) == 1
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                real_shared_memory(name=name)
 
 
 class TestSweepEquality:
