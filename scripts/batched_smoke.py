@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Batched-engine smoke (the CI `batched-smoke` step, runnable locally).
+
+Runs a small Figure 3 grid twice through the public harness entry point:
+
+1. **Scalar** — ``run_figure3(batch=1)``, one engine pass per grid
+   point (the per-point path every earlier PR measured).
+2. **Batched** — ``run_figure3(batch=0)``, the planner groups each
+   (benchmark, trace-limit) family into one batch that shares the
+   recorded fetch stream (and, on immediate-timing lanes, the recorded
+   value-prediction columns — see docs/PERFORMANCE.md section 8).
+
+The step asserts the two runs produce **bit-identical merged results**
+— every Figure3Cell, including the per-benchmark speedup dicts — and
+reports the paired wall-clock ratio, appended to
+``$GITHUB_STEP_SUMMARY`` as a markdown table when that variable is set.
+The ratio is informational (CI runners are too noisy for a hard perf
+gate); bit-identity is the check.  Exit status is the check result.
+
+Usage::
+
+    PYTHONPATH=src python scripts/batched_smoke.py [--jobs 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=["compress", "m88ksim", "perl"]
+    )
+    parser.add_argument("--max-instructions", type=int, default=1500)
+    args = parser.parse_args(argv)
+
+    from repro.engine.config import ProcessorConfig
+    from repro.harness.figure3 import run_figure3
+
+    configs = (
+        ProcessorConfig(issue_width=4, window_size=24),
+        ProcessorConfig(issue_width=8, window_size=48),
+    )
+    kwargs = dict(
+        max_instructions=args.max_instructions,
+        benchmarks=args.benchmarks,
+        configs=configs,
+        jobs=args.jobs,
+    )
+
+    start = time.perf_counter()
+    scalar = run_figure3(batch=1, **kwargs)
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = run_figure3(batch=0, **kwargs)
+    batched_seconds = time.perf_counter() - start
+
+    status = 0
+    if len(scalar) != len(batched):
+        print(f"FAIL: cell counts differ ({len(scalar)} vs {len(batched)})")
+        status = 1
+    else:
+        for cell_s, cell_b in zip(scalar, batched):
+            if cell_s != cell_b or cell_s.per_benchmark != cell_b.per_benchmark:
+                print(
+                    "FAIL: batched cell differs from scalar: "
+                    f"{cell_b} vs {cell_s}"
+                )
+                status = 1
+
+    lanes = len(args.benchmarks) * len(configs) * (1 + 4 * 3)
+    speedup = scalar_seconds / batched_seconds if batched_seconds else 0.0
+    rows = [
+        ("grid lanes", str(lanes)),
+        ("figure3 cells", str(len(scalar))),
+        (f"scalar (batch=1, jobs={args.jobs})", f"{scalar_seconds:.2f} s"),
+        (f"batched (batch=0, jobs={args.jobs})", f"{batched_seconds:.2f} s"),
+        ("paired speedup (informational)", f"{speedup:.3f}x"),
+        ("merged results bit-identical", "yes" if status == 0 else "NO"),
+        ("result", "ok" if status == 0 else "FAIL"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"{label:<{width}}  {value}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        lines = [
+            "### Batched-engine smoke (bit-identity + paired speedup)",
+            "",
+            "| check | value |",
+            "|---|---|",
+        ]
+        lines += [f"| {label} | {value} |" for label, value in rows]
+        lines.append("")
+        with open(summary_path, "a") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,15 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
         kwargs["jobs"] = args.jobs
     if getattr(args, "backend", None) is not None:
         kwargs["backend"] = args.backend
+    if getattr(args, "batch", None) is not None:
+        # Exported as the env default rather than a kwarg so every
+        # experiment — including sweeps whose wrappers predate the
+        # batching planner — honors it through run_jobs' resolution.
+        import os
+
+        from repro.harness.parallel import BATCH_ENV_VAR
+
+        os.environ[BATCH_ENV_VAR] = str(args.batch)
     return kwargs
 
 
@@ -383,6 +392,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="grid execution backend (default: REPRO_SWEEP_BACKEND or local)",
     )
+    run_parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run up to N compatible same-trace grid points per batched-"
+            "engine unit (0 = unbounded; default: REPRO_SWEEP_BATCH or 1)"
+        ),
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     for shorthand in ("table1", "figure1", "figure3", "figure4"):
@@ -393,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--backend", choices=("local", "cluster"), default=None
         )
+        p.add_argument("--batch", type=int, default=None, metavar="N")
         p.set_defaults(func=_cmd_run, id=shorthand)
 
     describe_parser = sub.add_parser(
@@ -504,6 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker count for an ephemeral local cluster",
+    )
+    submit_parser.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="batched-engine group size (0 = unbounded; default: "
+        "REPRO_SWEEP_BATCH or 1)",
     )
     submit_parser.set_defaults(func=_cmd_cluster)
 

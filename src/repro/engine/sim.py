@@ -65,14 +65,29 @@ def make_confidence(kind: str) -> ConfidenceEstimator:
 
 
 def run_baseline(
-    trace: list[TraceRecord], config: ProcessorConfig, *, tracer=None
+    trace: list[TraceRecord],
+    config: ProcessorConfig,
+    *,
+    tracer=None,
+    hierarchy=None,
+    fetch_engine=None,
 ) -> SimulationResult:
     """Simulate the base processor (no value prediction).
 
     ``tracer`` optionally attaches a :class:`repro.obs.PipelineTracer`
     (or any object with its duck type) for lifecycle/latency recording.
+    ``hierarchy``/``fetch_engine`` inject pre-built collaborators — the
+    batched engine (:mod:`repro.engine.batched`) uses them to share one
+    predicted fetch stream across lanes; leave them ``None`` otherwise.
     """
-    simulator = PipelineSimulator(trace, config, model=None, tracer=tracer)
+    simulator = PipelineSimulator(
+        trace,
+        config,
+        model=None,
+        hierarchy=hierarchy,
+        fetch_engine=fetch_engine,
+        tracer=tracer,
+    )
     counters = simulator.run()
     return SimulationResult(counters=counters, config=config)
 
@@ -86,20 +101,29 @@ def run_trace(
     update_timing: UpdateTiming | str = UpdateTiming.DELAYED,
     predictor: ValuePredictor | None = None,
     tracer=None,
+    hierarchy=None,
+    fetch_engine=None,
+    confidence_kind: str | None = None,
 ) -> SimulationResult:
     """Simulate one value-speculative run.
 
     ``confidence`` accepts the paper's shorthand ("real"/"oracle") or a
     ready estimator; ``update_timing`` accepts "I"/"D" or the enum;
     ``tracer`` optionally attaches an observability tracer (see
-    :mod:`repro.obs`).
+    :mod:`repro.obs`).  ``hierarchy``/``fetch_engine`` inject pre-built
+    collaborators (see :mod:`repro.engine.batched`); ``confidence_kind``
+    overrides the paper-notation label when ``confidence`` is a wrapper
+    (e.g. a replay estimator) whose kind cannot be inferred by type.
     """
     if isinstance(update_timing, str):
         update_timing = UpdateTiming(update_timing.strip().upper())
     if isinstance(confidence, str):
-        confidence_kind = "O" if confidence.strip().upper() in ("O", "ORACLE") else "R"
+        if confidence_kind is None:
+            confidence_kind = (
+                "O" if confidence.strip().upper() in ("O", "ORACLE") else "R"
+            )
         confidence = make_confidence(confidence)
-    else:
+    elif confidence_kind is None:
         confidence_kind = "O" if isinstance(confidence, OracleConfidence) else "R"
     simulator = PipelineSimulator(
         trace,
@@ -108,6 +132,8 @@ def run_trace(
         predictor=predictor or ContextValuePredictor(),
         confidence=confidence,
         update_timing=update_timing,
+        hierarchy=hierarchy,
+        fetch_engine=fetch_engine,
         tracer=tracer,
     )
     counters = simulator.run()

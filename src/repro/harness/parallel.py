@@ -44,6 +44,7 @@ and the CI warm-sweep smoke assert the zero-materialization property.
 
 from __future__ import annotations
 
+import logging
 import os
 import random
 import tempfile
@@ -68,6 +69,14 @@ STRICT_ENV_VAR = "REPRO_TRACE_STRICT"
 #: ``cluster`` (the fault-tolerant sweep service, :mod:`repro.cluster`).
 #: Lets any harness entry point ride the cluster without code changes.
 BACKEND_ENV_VAR = "REPRO_SWEEP_BACKEND"
+
+#: Env var: default batch size for the batching planner when the caller
+#: does not pass one — ``1`` (scalar, the default), ``N`` (up to N
+#: compatible same-trace jobs per execution unit), or ``0`` (unbounded:
+#: one unit per compatible same-trace group).  See :func:`plan_units`.
+BATCH_ENV_VAR = "REPRO_SWEEP_BATCH"
+
+_log = logging.getLogger(__name__)
 
 #: Default per-job attempt budget when a *worker* dies mid-grid (the
 #: job itself raising is never retried — jobs are deterministic, so a
@@ -109,6 +118,135 @@ class SimJob:
             return self.seed
         key = f"{self.benchmark}:{self.max_instructions}".encode()
         return zlib.crc32(key)
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """A planner execution unit: several :class:`SimJob` points that
+    share one staged trace and run as lanes of the batched engine
+    (:mod:`repro.engine.batched`) in a single worker.
+
+    Exposes ``benchmark``/``max_instructions`` like a :class:`SimJob`
+    (every member shares them, by construction in :func:`plan_units`) so
+    trace staging, cluster cache warming and worker-side trace
+    acquisition treat a batch exactly like a point.  Executing a
+    ``BatchJob`` yields a *list* of results, positionally aligned with
+    ``jobs``.
+    """
+
+    jobs: tuple[SimJob, ...]
+
+    @property
+    def benchmark(self) -> str:
+        return self.jobs[0].benchmark
+
+    @property
+    def max_instructions(self) -> int | None:
+        return self.jobs[0].max_instructions
+
+    def task_seed(self) -> int:
+        return self.jobs[0].task_seed()
+
+
+def resolve_batch(batch: int | None = None) -> int:
+    """The effective planner batch size: explicit argument, then
+    ``REPRO_SWEEP_BATCH``, then 1 (scalar execution)."""
+    if batch is None:
+        raw = os.environ.get(BATCH_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            batch = int(raw)
+        except ValueError as error:
+            raise ValueError(
+                f"{BATCH_ENV_VAR}={raw!r} is not an integer batch size"
+            ) from error
+    if batch < 0:
+        raise ValueError(f"batch size must be >= 0, got {batch}")
+    return batch
+
+
+def plan_units(
+    job_list: list[SimJob], batch: int
+) -> tuple[list, list[list[int]]]:
+    """Group a grid into execution units for the batched engine.
+
+    Returns ``(units, slots)``: ``units`` is a list of :class:`SimJob`
+    (scalar) and :class:`BatchJob` (batched) entries, and ``slots[k]``
+    holds the original ``job_list`` indices unit ``k`` produces, so
+    results expand back to submission order regardless of how the grid
+    was grouped.
+
+    Planner rules (documented in docs/PERFORMANCE.md §8):
+
+    * ``batch == 1`` — identity: every job is its own scalar unit
+      (the default; ``batch == 0`` means unbounded group size).
+    * Jobs group by (benchmark, trace limit); different traces cannot
+      share a batch and stay scalar relative to each other.
+    * Within a group, jobs rejected by
+      :func:`repro.engine.batched.batch_compatible` (e.g. complete
+      invalidation, whose recovery rewinds the shared fetch stream)
+      fall back to scalar units, with the reason logged — never an
+      error.
+    * Compatible group members are chunked into ``BatchJob`` units of at
+      most ``batch`` jobs (``batch == 0`` means one unit per group); a
+      chunk of one is kept scalar (a one-lane batch only adds column
+      recording cost).
+
+    Grouping preserves submission order within and across groups, so
+    planning is deterministic for a given ``job_list``.
+    """
+    if batch == 1:
+        return list(job_list), [[i] for i in range(len(job_list))]
+    from repro.engine.batched import batch_compatible
+
+    groups: dict[tuple, list[int]] = {}
+    for i, job in enumerate(job_list):
+        groups.setdefault((job.benchmark, job.max_instructions), []).append(i)
+    units: list = []
+    slots: list[list[int]] = []
+    for key, indices in groups.items():
+        compatible: list[int] = []
+        for i in indices:
+            ok, reason = batch_compatible(job_list[i])
+            if ok:
+                compatible.append(i)
+            else:
+                _log.info(
+                    "batch planner: job %d (%s) runs scalar: %s",
+                    i, job_list[i].benchmark, reason,
+                )
+                units.append(job_list[i])
+                slots.append([i])
+        size = len(compatible) if batch == 0 else batch
+        for start in range(0, len(compatible), max(size, 1)):
+            chunk = compatible[start : start + max(size, 1)]
+            if len(chunk) == 1:
+                _log.info(
+                    "batch planner: job %d (%s) runs scalar: "
+                    "singleton group", chunk[0], key[0],
+                )
+                units.append(job_list[chunk[0]])
+            else:
+                units.append(
+                    BatchJob(jobs=tuple(job_list[i] for i in chunk))
+                )
+            slots.append(chunk)
+    return units, slots
+
+
+def _expand_units(
+    unit_results: list, slots: list[list[int]], n_jobs: int
+) -> list[SimulationResult]:
+    """Scatter per-unit results back to submission order."""
+    results: list[SimulationResult | None] = [None] * n_jobs
+    for unit_result, indices in zip(unit_results, slots):
+        if len(indices) == 1 and not isinstance(unit_result, list):
+            results[indices[0]] = unit_result
+        else:
+            for index, result in zip(indices, unit_result):
+                results[index] = result
+    return results  # type: ignore[return-value]
 
 
 #: Per-process memo of built traces.  Workers are long-lived (one pool
@@ -294,8 +432,11 @@ def _stage_traces_into(
         handles[key] = handle
 
 
-def _execute(job: SimJob) -> SimulationResult:
-    """Run one job to completion (worker side; also the inline path).
+def _execute(job: SimJob | BatchJob) -> SimulationResult | list[SimulationResult]:
+    """Run one execution unit to completion (worker side; also the
+    inline path).  A :class:`BatchJob` unit runs all its lanes through
+    the batched engine over the one shared trace and returns a *list*
+    of results aligned with ``job.jobs``.
 
     The job seed feeds a *local* :class:`random.Random`, not the global
     module state: reseeding the process-wide RNG from a worker would
@@ -304,6 +445,11 @@ def _execute(job: SimJob) -> SimulationResult:
     Nothing in the engine draws from global :mod:`random`; collaborators
     that want stochasticity receive this instance explicitly.
     """
+    if isinstance(job, BatchJob):
+        from repro.engine.batched import run_batch
+
+        trace = _trace_for(job.benchmark, job.max_instructions)
+        return run_batch(job.jobs, trace)
     rng = random.Random(job.task_seed())
     trace = _trace_for(job.benchmark, job.max_instructions)
     if job.model is None:
@@ -411,6 +557,7 @@ def run_jobs(
     *,
     backend: str | None = None,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    batch: int | None = None,
 ) -> list[SimulationResult]:
     """Execute a grid of simulation points, ``jobs`` processes wide.
 
@@ -421,26 +568,40 @@ def run_jobs(
     routes the grid through the fault-tolerant sweep service
     (:mod:`repro.cluster`) with bit-identical results.
 
+    ``batch`` (default ``REPRO_SWEEP_BATCH``, then 1) turns on the
+    batching planner: up to ``batch`` compatible jobs sharing one
+    (benchmark, trace limit) run as lanes of the batched engine in a
+    single worker, paying the shared front end once per unit instead of
+    once per point (``0`` = unbounded group size).  Results stay
+    bit-identical and positionally aligned for every batch size and
+    backend; incompatible jobs fall back to scalar units with a logged
+    reason (see :func:`plan_units`).
+
     The local pool survives worker death: completed results are kept,
     the pool is rebuilt, and only unfinished jobs are resubmitted, each
     with a ``max_attempts`` budget.
     """
+    units, slots = plan_units(job_list, resolve_batch(batch))
     if resolve_backend(backend) == "cluster":
         # Imported lazily: repro.cluster depends on this module.
         from repro.cluster.client import run_jobs_cluster
 
-        return run_jobs_cluster(job_list, jobs)
-    workers = effective_jobs(jobs, len(job_list))
+        return _expand_units(
+            run_jobs_cluster(units, jobs), slots, len(job_list)
+        )
+    workers = effective_jobs(jobs, len(units))
     if workers <= 1:
-        return [_execute(job) for job in job_list]
-    handles, cleanups = _stage_traces(job_list)
-    results: list[SimulationResult | None] = [None] * len(job_list)
+        return _expand_units(
+            [_execute(unit) for unit in units], slots, len(job_list)
+        )
+    handles, cleanups = _stage_traces(units)
+    results: list = [None] * len(units)
     try:
-        _run_pool(job_list, workers, handles, results, max_attempts)
+        _run_pool(units, workers, handles, results, max_attempts)
     finally:
         for release in cleanups:
             release()
-    return results  # type: ignore[return-value]
+    return _expand_units(results, slots, len(job_list))
 
 
 def run_grid(
@@ -454,11 +615,15 @@ def run_grid(
     predictor: Callable | None = None,
     jobs: int = 1,
     backend: str | None = None,
+    batch: int | None = None,
 ) -> dict[str, SimulationResult]:
     """One (config, model, setting) row across a benchmark suite.
 
     The common harness shape: same settings, one run per benchmark,
-    results keyed by benchmark name in input order.
+    results keyed by benchmark name in input order.  (Each row job has a
+    distinct benchmark, so ``batch`` only matters here when the caller's
+    grid shares traces — it is accepted for interface symmetry and
+    forwarded to :func:`run_jobs`.)
     """
     job_list = [
         SimJob(
@@ -472,4 +637,9 @@ def run_grid(
         )
         for name in benchmarks
     ]
-    return dict(zip(benchmarks, run_jobs(job_list, jobs=jobs, backend=backend)))
+    return dict(
+        zip(
+            benchmarks,
+            run_jobs(job_list, jobs=jobs, backend=backend, batch=batch),
+        )
+    )

@@ -1,0 +1,179 @@
+"""Replayable value-prediction columns for the batched engine.
+
+Under the paper's *immediate* (I) update timing with unlimited predictor
+ports, the sequence of (predicted value, confidence) outcomes a lane
+observes is a pure function of the trace: both ``predict`` and ``train``
+run at dispatch, dispatch walks the correct path in trace order, and
+wrong-path instructions never touch the predictor.  The outcome column
+can therefore be recorded once per (predictor factory, predict-classes)
+key and replayed by every lane in a batch that shares the key — the
+"predictor state as replicable column groups" piece of the batched
+engine (see :mod:`repro.engine.batched` and docs/PERFORMANCE.md §8).
+
+Delayed (D) timing is *not* replayable: training happens at retirement,
+so the predict/train interleaving depends on per-lane timing.  The
+batched engine simply runs D lanes with ordinary per-lane predictor
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.trace.record import TraceRecord
+from repro.vp.base import ValuePredictor
+from repro.vp.confidence import ConfidenceEstimator
+
+
+def eligible_records(
+    rows: list[TraceRecord], predict_classes: str
+) -> list[TraceRecord]:
+    """The correct-path records the engine consults the predictor for,
+    in dispatch (= trace) order.
+
+    Mirrors the dispatch gate in :class:`~repro.engine.pipeline
+    .PipelineSimulator` (``writes_register`` plus
+    ``_prediction_eligible``); the golden bit-identity tests pin the
+    lockstep.
+    """
+    if predict_classes == "all":
+        return [rec for rec in rows if rec.writes_register]
+    # Late import: repro.engine.pipeline imports repro.vp modules, but
+    # never this one, so the cycle stays open only in source order.
+    from repro.engine.pipeline import PipelineSimulator
+    from repro.isa.opcodes import OpClass
+
+    if predict_classes == "loads":
+        return [rec for rec in rows if rec.writes_register and rec.is_load]
+    if predict_classes == "long-latency":
+        classes = PipelineSimulator._LONG_LATENCY_CLASSES
+        return [
+            rec
+            for rec in rows
+            if rec.writes_register and rec.opclass in classes
+        ]
+    return [
+        rec
+        for rec in rows
+        if rec.writes_register and rec.opclass is OpClass.IALU
+    ]
+
+
+def record_predictions(
+    eligibles: Iterable[TraceRecord], predictor: ValuePredictor
+) -> list:
+    """Drive a fresh predictor through the immediate-timing call sequence
+    and record the predicted-value column."""
+    values = []
+    append = values.append
+    predict = predictor.predict
+    train = predictor.train
+    for rec in eligibles:
+        append(predict(rec.pc))
+        train(rec.pc, rec.dest_value, None, rec.dest_fold)
+    return values
+
+
+def record_confidence(
+    eligibles: list[TraceRecord],
+    values: list,
+    estimator: ConfidenceEstimator,
+    eq_shift: int,
+) -> tuple[bytearray, bytearray]:
+    """Drive a fresh confidence estimator through the immediate-timing
+    call sequence and record the high-confidence column.
+
+    ``eq_shift`` must match the lane's ``equality_ignore_low_bits`` —
+    approximate equality changes the correctness bit the estimator
+    learns from, so the column is keyed by it.
+
+    Returns ``(flags, codes)``: ``flags[i]`` is the plain confident bit
+    (what :class:`ReplayConfidence` replays), ``codes[i]`` packs the
+    whole per-record prediction outcome for the engine's fused replay
+    dispatch — bit 0 confident, bit 1 prediction counted correct, bit 2
+    correct only via the approximate-equality rescue.
+    """
+    flags = bytearray(len(values))
+    codes = bytearray(len(values))
+    confident = estimator.confident
+    update = estimator.update
+    for i, rec in enumerate(eligibles):
+        predicted = values[i]
+        actual = rec.dest_value
+        approx = False
+        pred_correct = predicted == actual
+        if not pred_correct and eq_shift:
+            pred_correct = approx = (
+                (predicted >> eq_shift) == ((actual or 0) >> eq_shift)
+            )
+        conf = 1 if confident(rec.pc, pred_correct) else 0
+        flags[i] = conf
+        codes[i] = conf | (2 if pred_correct else 0) | (4 if approx else 0)
+        update(rec.pc, pred_correct)
+    return flags, codes
+
+
+class ReplayValuePredictor(ValuePredictor):
+    """Replays a recorded predicted-value column.
+
+    ``train`` is a no-op (the recording pass already advanced the real
+    predictor's state); ``speculate`` raises because replay columns are
+    only valid under immediate timing, where the engine never calls it.
+    Several lanes may share one ``values`` list — each replayer keeps
+    its own cursor and never mutates the column.
+
+    ``codes`` (from :func:`record_confidence`) additionally lets the
+    engine take its fused replay dispatch path — one packed-byte read
+    per prediction instead of the predict/confident/update call round;
+    the generic cursor methods below remain the semantic reference.
+    """
+
+    #: Packed outcome column consumed by the engine's fused dispatch.
+    replay_codes: bytearray | None = None
+
+    def __init__(self, values: list, codes: bytearray | None = None):
+        super().__init__()
+        self._values = values
+        self.replay_codes = codes
+        self._pos = 0
+
+    def predict(self, pc: int) -> int:
+        pos = self._pos
+        self._pos = pos + 1
+        return self._values[pos]
+
+    def speculate(self, pc: int, predicted: int) -> object:
+        raise RuntimeError(
+            "ReplayValuePredictor is immediate-timing only; delayed "
+            "timing must use a live predictor instance"
+        )
+
+    def train(
+        self,
+        pc: int,
+        actual: int,
+        token: object | None = None,
+        fold16: int | None = None,
+    ) -> None:
+        pass
+
+
+class ReplayConfidence(ConfidenceEstimator):
+    """Replays a recorded high-confidence column (see module docstring)."""
+
+    #: Marks the estimator as replayable to the engine's fused dispatch.
+    replay_flags: bytearray | None = None
+
+    def __init__(self, flags: bytearray):
+        super().__init__()
+        self._flags = flags
+        self.replay_flags = flags
+        self._pos = 0
+
+    def confident(self, pc: int, prediction_correct: bool) -> bool:
+        pos = self._pos
+        self._pos = pos + 1
+        return self._flags[pos] != 0
+
+    def update(self, pc: int, correct: bool) -> None:
+        pass
