@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Specialized-engine smoke (the CI `specialize-smoke` step, runnable locally).
+
+Runs a small Figure 3 grid twice through the public harness entry point:
+
+1. **Generic** — with ``REPRO_ENGINE_SPECIALIZE=0`` exported, every grid
+   point runs on the generic interpreting ``PipelineSimulator``.
+2. **Specialized** — with the kill-switch cleared, every point runs on
+   its config-specialized generated class (docs/PERFORMANCE.md
+   section 9), memoized per fingerprint across the grid.
+
+The step asserts the two runs produce **bit-identical merged results**
+— every Figure3Cell, including the per-benchmark speedup dicts — and
+reports the paired wall-clock ratio, appended to
+``$GITHUB_STEP_SUMMARY`` as a markdown table when that variable is set.
+The ratio is informational (CI runners are too noisy for a hard perf
+gate, and at smoke scale the one-time codegen cost of each unique
+fingerprint dominates the few thousand simulated instructions, so a
+ratio below 1x is expected here — the amortized paired measurement
+lives in ``BENCH_engine_perf.json``); bit-identity is the check.
+Exit status is the check result.
+
+Usage::
+
+    PYTHONPATH=src python scripts/specialize_smoke.py [--jobs 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=["compress", "m88ksim", "perl"]
+    )
+    parser.add_argument("--max-instructions", type=int, default=1500)
+    args = parser.parse_args(argv)
+
+    from repro.engine.config import ProcessorConfig
+    from repro.engine.specialize import SPECIALIZE_ENV_VAR
+    from repro.harness.figure3 import run_figure3
+
+    configs = (
+        ProcessorConfig(issue_width=4, window_size=24),
+        ProcessorConfig(issue_width=8, window_size=48),
+    )
+    kwargs = dict(
+        max_instructions=args.max_instructions,
+        benchmarks=args.benchmarks,
+        configs=configs,
+        jobs=args.jobs,
+    )
+
+    # The kill-switch must bracket the whole generic pass: pool workers
+    # inherit the environment at spawn, so setting it here covers every
+    # backend the harness may route through.
+    os.environ[SPECIALIZE_ENV_VAR] = "0"
+    try:
+        start = time.perf_counter()
+        generic = run_figure3(**kwargs)
+        generic_seconds = time.perf_counter() - start
+    finally:
+        del os.environ[SPECIALIZE_ENV_VAR]
+
+    start = time.perf_counter()
+    specialized = run_figure3(**kwargs)
+    specialized_seconds = time.perf_counter() - start
+
+    status = 0
+    if len(generic) != len(specialized):
+        print(
+            f"FAIL: cell counts differ ({len(generic)} vs {len(specialized)})"
+        )
+        status = 1
+    else:
+        for cell_g, cell_s in zip(generic, specialized):
+            if cell_g != cell_s or cell_g.per_benchmark != cell_s.per_benchmark:
+                print(
+                    "FAIL: specialized cell differs from generic: "
+                    f"{cell_s} vs {cell_g}"
+                )
+                status = 1
+
+    lanes = len(args.benchmarks) * len(configs) * (1 + 4 * 3)
+    speedup = generic_seconds / specialized_seconds if specialized_seconds else 0.0
+    rows = [
+        ("grid lanes", str(lanes)),
+        ("figure3 cells", str(len(generic))),
+        (f"generic (jobs={args.jobs})", f"{generic_seconds:.2f} s"),
+        (f"specialized (jobs={args.jobs})", f"{specialized_seconds:.2f} s"),
+        (
+            "paired speedup (informational; codegen-dominated at smoke scale)",
+            f"{speedup:.3f}x",
+        ),
+        ("merged results bit-identical", "yes" if status == 0 else "NO"),
+        ("result", "ok" if status == 0 else "FAIL"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"{label:<{width}}  {value}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        lines = [
+            "### Specialized-engine smoke (bit-identity + paired speedup)",
+            "",
+            "| check | value |",
+            "|---|---|",
+        ]
+        lines += [f"| {label} | {value} |" for label, value in rows]
+        lines.append("")
+        with open(summary_path, "a") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

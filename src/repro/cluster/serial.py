@@ -134,6 +134,7 @@ def result_to_wire(result: SimulationResult | list) -> dict:
         "confidence_kind": result.confidence_kind,
         "update_timing": result.update_timing,
         "extra": dict(result.extra),
+        "engine_path": result.engine_path,
     }
 
 
@@ -152,4 +153,7 @@ def result_from_wire(doc: dict) -> SimulationResult | list:
         confidence_kind=doc.get("confidence_kind"),
         update_timing=doc.get("update_timing"),
         extra=dict(doc.get("extra") or {}),
+        # .get: journals written before engine-path attribution existed
+        # replay cleanly as None.
+        engine_path=doc.get("engine_path"),
     )

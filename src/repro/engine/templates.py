@@ -1,0 +1,262 @@
+"""Knob extraction and method templates for config-specialized codegen.
+
+The specializer (:mod:`repro.engine.specialize`) rewrites the generic
+:class:`~repro.engine.pipeline.PipelineSimulator` stage methods with every
+configuration-dependent branch condition replaced by its value for one
+sweep point.  This module owns the *inputs* to that rewrite:
+
+* :data:`STAGE_METHODS` — the registry of generic methods worth
+  specializing (the ones that read at least one constant-per-run knob).
+* :func:`derive_inputs` — evaluates, for one (config, model, predictor,
+  confidence, update timing) tuple, the exact same knob expressions
+  ``PipelineSimulator.__init__`` computes, and packages them with the
+  canonical cache key.  Derivation runs on the *actual* collaborator
+  instances so type-sensitive fast paths (the fused VP path, the replay
+  path) can never disagree with what ``__init__`` would decide.
+* :func:`verify_template` — the per-scheme ``_on_verify`` body that
+  replaces the generic method's ``self._verify_impl`` indirection.
+
+Everything folded into generated source is a pure function of the
+fingerprint returned in :attr:`SpecializationInputs.key`, which follows
+the same canonical-repr discipline as :func:`repro.cluster.serial.job_key`
+— so a cache hit can never hand back a class specialized for different
+knob values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.latency import LatencyModel
+from repro.core.model import SpeculativeExecutionModel
+from repro.core.variables import (
+    BranchResolution,
+    MemoryResolution,
+    ModelVariables,
+    SelectionPolicy,
+    VerificationScheme,
+    WakeupPolicy,
+)
+from repro.engine.config import ProcessorConfig
+from repro.vp.confidence import ResettingConfidenceEstimator
+from repro.vp.context import ContextValuePredictor
+from repro.vp.update_timing import UpdateTiming
+
+#: Generic methods the specializer rewrites: every ``PipelineSimulator``
+#: method that reads at least one constant-per-run knob attribute (the
+#: audit lives in tests/test_specialize.py, which fails if a registry
+#: method grows a *store* to a folded attribute).
+STAGE_METHODS: tuple[str, ...] = (
+    "run",
+    "_fetch",
+    "_dispatch",
+    "_prediction_eligible",
+    "_vp_port_available",
+    "_predict_value",
+    "_predict_value_fast",
+    "_branch_ready_cycle",
+    "_memory_ready_cycle",
+    "_issue",
+    "_try_load_access",
+    "_start_execution",
+    "_on_result",
+    "_on_equality",
+    "_resolve_correct",
+    "_verify_parallel",
+    "_clear_taints",
+    "_maybe_chain_equality",
+    "_retirement_based_validate",
+    "_on_provisional_invalidate",
+    "_on_invalidate",
+    "_apply_invalidation",
+    "_complete_invalidation",
+    "_resolve_mispredicted_branch",
+    "_squash_younger",
+    "_retire",
+)
+
+#: Per-scheme ``_on_verify`` replacement: the generic method dispatches
+#: through ``self._verify_impl`` (a lambda for the retirement schemes);
+#: the specialized class calls the scheme's implementation directly.
+#: ``_SPEC_VERIFY_SCHEME`` is injected into the exec namespace by the
+#: class builder.
+_VERIFY_DIRECT = """\
+def _on_verify(self, source, cycle):
+    if source.prediction_resolved:
+        return
+    self.{impl}(source, cycle)
+"""
+
+_VERIFY_RETIREMENT = """\
+def _on_verify(self, source, cycle):
+    if source.prediction_resolved:
+        return
+    self._verify_retirement_based(source, cycle, _SPEC_VERIFY_SCHEME)
+"""
+
+
+def verify_template(scheme: VerificationScheme) -> str:
+    """The ``_on_verify`` method source for one verification scheme."""
+    if scheme is VerificationScheme.PARALLEL_NETWORK:
+        return _VERIFY_DIRECT.format(impl="_verify_parallel")
+    if scheme is VerificationScheme.HIERARCHICAL:
+        return _VERIFY_DIRECT.format(impl="_verify_hierarchical")
+    if scheme in (VerificationScheme.RETIREMENT_BASED, VerificationScheme.HYBRID):
+        return _VERIFY_RETIREMENT
+    raise ValueError(f"no _on_verify template for scheme {scheme!r}")
+
+
+@dataclass(frozen=True)
+class SpecializationInputs:
+    """Everything the AST folder needs for one sweep point.
+
+    ``scalar_knobs`` maps ``self.<attr>`` names to embeddable constants
+    (bool/int/float/str/None) substituted at load sites.
+    ``notnone_attrs`` maps attribute names to identity-with-``None``
+    facts used to fold ``is None`` / ``is not None`` tests on objects
+    whose *values* cannot be embedded (the replay code column, the fused
+    confidence counter table).  ``config``/``variables``/``latencies``/
+    ``update_timing`` are the live objects compare-folding resolves
+    against (enum members compare by identity, so they can be folded in
+    tests but never embedded as literals).
+    """
+
+    key: str
+    scalar_knobs: dict
+    notnone_attrs: dict
+    config: ProcessorConfig
+    variables: ModelVariables
+    latencies: LatencyModel
+    update_timing: UpdateTiming
+    verify_scheme: VerificationScheme
+
+
+def _qualified(obj: object) -> str:
+    if obj is None:
+        return "None"
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def derive_inputs(
+    config: ProcessorConfig,
+    model: SpeculativeExecutionModel | None,
+    predictor,
+    confidence,
+    update_timing: UpdateTiming,
+) -> SpecializationInputs:
+    """Evaluate the knob expressions of ``PipelineSimulator.__init__``
+    for one sweep point and fingerprint them.
+
+    ``predictor``/``confidence`` must be the *same instances* later
+    passed to the simulator constructor — the fused-VP and replay fast
+    paths are gated on exact types and instance attributes, and folding
+    a decision that disagrees with construction time would change
+    timing.  Any attribute error here (an exotic collaborator missing an
+    expected field) propagates to the caller, which falls back generic.
+    """
+    variables = model.variables if model is not None else ModelVariables()
+    latencies = model.latencies if model is not None else LatencyModel()
+    vp_enabled = model is not None
+
+    vp_delayed = update_timing is not UpdateTiming.IMMEDIATE
+    eq_shift = config.equality_ignore_low_bits
+    vp_unlimited = not config.vp_ports
+    fast_vp = (
+        type(predictor) is ContextValuePredictor
+        and type(confidence) is ResettingConfidenceEstimator
+        and vp_delayed
+        and not eq_shift
+    )
+    fold16_ok = bool(fast_vp and predictor._fold16_ok)
+    # Replay gate: identical to __init__ (identity with None, not
+    # truthiness — a replay column may be an empty bytearray).
+    rv_codes = getattr(predictor, "replay_codes", None)
+    replay = not (
+        rv_codes is None
+        or getattr(confidence, "replay_flags", None) is None
+        or vp_delayed
+        or not vp_unlimited
+    )
+
+    scalar_knobs = {
+        "vp_enabled": vp_enabled,
+        "_model_on": vp_enabled,
+        "_obs_on": False,  # tracer-attached runs never specialize
+        "_log_on": bool(config.log_events),
+        "_lat_exec_eq": latencies.exec_to_equality,
+        "_lat_eq_verify": latencies.equality_to_verification,
+        "_lat_eq_inval": latencies.equality_to_invalidation,
+        "_lat_inval_reissue": latencies.invalidation_to_reissue,
+        "_lat_verify_branch": latencies.verification_to_branch,
+        "_lat_verify_mem": latencies.verification_addr_to_mem_access,
+        "_lat_release_spec": max(
+            latencies.verification_to_free_issue,
+            latencies.verification_to_free_retirement,
+        ),
+        "_rb_validate": variables.verification in (
+            VerificationScheme.RETIREMENT_BASED,
+            VerificationScheme.HYBRID,
+        ),
+        "_chain_equality": (
+            variables.verification is not VerificationScheme.PARALLEL_NETWORK
+        ),
+        "_predict_all": config.predict_classes == "all",
+        "_vp_unlimited": vp_unlimited,
+        "_sel_paper": variables.selection is SelectionPolicy.PAPER,
+        "_wakeup_valid_only": variables.wakeup is WakeupPolicy.VALID_ONLY,
+        "_branch_valid_only": (
+            variables.branch_resolution is BranchResolution.VALID_ONLY
+        ),
+        "_mem_valid_only": (
+            variables.memory_resolution is MemoryResolution.VALID_ONLY
+        ),
+        "_issue_width": config.issue_width,
+        "_dispatch_width": config.dispatch_width,
+        "_retire_width": config.retire_width,
+        "_fetch_width": config.fetch_width,
+        "_dispatch_latency": config.dispatch_latency,
+        "_fetch_limit": config.fetch_width * (config.dispatch_latency + 2),
+        "_vp_delayed": vp_delayed,
+        "_eq_shift": eq_shift,
+        "_fast_vp": fast_vp,
+        "_fvp_fold16_ok": fold16_ok,
+    }
+    # Object-valued knobs fold two ways: when absent they *are* the
+    # constant None; when present only their not-None-ness folds.
+    notnone_attrs = {"_rv_codes": replay, "_fconf_counters": fast_vp}
+    if not replay:
+        scalar_knobs["_rv_codes"] = None
+    if not fast_vp:
+        scalar_knobs["_fconf_counters"] = None
+
+    model_text = (
+        "baseline"
+        if model is None
+        else f"{model.name}|{model.variables!r}|{model.latencies!r}"
+    )
+    canonical = "\n".join(
+        [
+            "engine=specialize-v1",
+            f"config={config!r}",
+            f"model={model_text}",
+            f"update_timing={update_timing!r}",
+            f"predictor={_qualified(predictor)}",
+            f"confidence={_qualified(confidence)}",
+            f"fast_vp={fast_vp}",
+            f"replay={replay}",
+            f"fold16={fold16_ok}",
+        ]
+    )
+    key = hashlib.sha256(canonical.encode()).hexdigest()[:24]
+    return SpecializationInputs(
+        key=key,
+        scalar_knobs=scalar_knobs,
+        notnone_attrs=notnone_attrs,
+        config=config,
+        variables=variables,
+        latencies=latencies,
+        update_timing=update_timing,
+        verify_scheme=variables.verification,
+    )

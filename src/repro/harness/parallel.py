@@ -23,6 +23,12 @@ Design rules that keep ``--jobs N`` cycle-exact against ``--jobs 1``:
   already deterministic; the seeding is a guard rail, not a dependency.)
 * Results are merged by *submission index*, never by completion order:
   ``run_jobs`` returns results positionally aligned with its input list.
+* Workers build their config-specialized engine classes locally.
+  ``_execute`` runs ``run_baseline``/``run_trace`` in-process, so each
+  pool worker grows its own fingerprint-keyed class cache
+  (:mod:`repro.engine.specialize`); generated classes are never pickled
+  or shipped, and ``REPRO_ENGINE_SPECIALIZE=0`` (exported by
+  ``--no-specialize``) is inherited through the worker environment.
 
 The sequential path (``jobs <= 1``) runs the exact same ``_execute``
 function inline — same trace cache, same factory handling — so it is not
@@ -151,18 +157,24 @@ class BatchJob:
 def resolve_batch(batch: int | None = None) -> int:
     """The effective planner batch size: explicit argument, then
     ``REPRO_SWEEP_BATCH``, then 1 (scalar execution)."""
+    source = "batch size"
     if batch is None:
         raw = os.environ.get(BATCH_ENV_VAR, "").strip()
         if not raw:
             return 1
+        source = f"{BATCH_ENV_VAR}={raw!r}"
         try:
             batch = int(raw)
         except ValueError as error:
             raise ValueError(
-                f"{BATCH_ENV_VAR}={raw!r} is not an integer batch size"
+                f"{source} is not an integer batch size "
+                "(use 1 for scalar, N for chunks of N, 0 for unbounded)"
             ) from error
     if batch < 0:
-        raise ValueError(f"batch size must be >= 0, got {batch}")
+        raise ValueError(
+            f"{source} must be >= 0 (1 = scalar, N = chunks of N, "
+            f"0 = unbounded), got {batch}"
+        )
     return batch
 
 

@@ -74,6 +74,13 @@ class InstrumentedRun:
     def kinds_seen(self) -> set[LatencyEventKind]:
         return self.tracer.kinds_seen()
 
+    @property
+    def engine_path(self) -> str:
+        """Which engine produced this run (instrumented runs attach a
+        live tracer, so the expected answer is the generic fallback —
+        stated explicitly so perf investigations are attributable)."""
+        return self.result.engine_path or "generic"
+
 
 def run_instrumented(
     benchmark: str,

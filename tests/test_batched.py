@@ -244,6 +244,24 @@ def test_resolve_batch_env(monkeypatch):
         resolve_batch(-1)
 
 
+def test_resolve_batch_env_invalid_spellings_name_the_var(monkeypatch):
+    """Bad ``REPRO_SWEEP_BATCH`` spellings must fail at entry with a
+    message that names the env var and the accepted values — not a bare
+    ``ValueError`` from deep inside the planner."""
+    from repro.harness.parallel import BATCH_ENV_VAR
+
+    monkeypatch.setenv(BATCH_ENV_VAR, "full")
+    with pytest.raises(ValueError, match=r"REPRO_SWEEP_BATCH='full'.*unbounded"):
+        resolve_batch(None)
+
+    monkeypatch.setenv(BATCH_ENV_VAR, "-1")
+    with pytest.raises(ValueError, match=r"REPRO_SWEEP_BATCH='-1'.*>= 0"):
+        resolve_batch(None)
+
+    # An explicit argument bypasses the env var entirely.
+    assert resolve_batch(3) == 3
+
+
 def test_stream_fetch_engine_refuses_rewind():
     """Complete invalidation needs ``rewind_to``; the replay front end
     must fail loudly if the planner gate were ever bypassed."""
