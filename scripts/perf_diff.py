@@ -172,6 +172,52 @@ def specialized_rows(
     ]
 
 
+def _service_block(report: dict) -> dict | None:
+    """The record's ``service`` block (SLO summary written by
+    ``scripts/service_load.py``), or ``None`` for records that predate
+    the simulation service or carry a malformed block — old-schema
+    records must keep diffing cleanly."""
+    block = report.get("service")
+    if not isinstance(block, dict):
+        return None
+    if not isinstance(block.get("p50_ms"), (int, float)):
+        return None
+    return block
+
+
+def service_rows(new: dict, baseline: dict) -> list[tuple[str, object, object]]:
+    """Rows of (metric label, fresh value, committed value) for the
+    service SLO block.  Empty when the fresh record has no service
+    block; a committed record without one renders "-" cells.
+    """
+    fresh = _service_block(new)
+    if fresh is None:
+        return []
+    committed = _service_block(baseline) or {}
+    rows: list[tuple[str, object, object]] = []
+    for field, label in (
+        ("p50_ms", "latency p50 (ms)"),
+        ("p95_ms", "latency p95 (ms)"),
+        ("p99_ms", "latency p99 (ms)"),
+        ("throughput_rps", "throughput (req/s)"),
+        ("warm_hit_ratio", "warm-hit ratio"),
+        ("saturation_clients", "saturation point (clients)"),
+    ):
+        value = fresh.get(field)
+        if not isinstance(value, (int, float)):
+            continue
+        rows.append((label, value, committed.get(field)))
+    return rows
+
+
+def _service_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return str(value)
+    return "-"
+
+
 def dirty_warnings(new: dict, baseline: dict) -> list[str]:
     """Warnings for records whose revision does not identify the code.
 
@@ -243,6 +289,14 @@ def render_text(rows, new: dict, baseline: dict) -> str:
             lines.append(
                 f"  {label:28s} {fresh:.3f}x  (committed: {committed_text})"
             )
+    slo = service_rows(new, baseline)
+    if slo:
+        lines.append("service SLO (scripts/service_load.py, same host):")
+        for label, fresh, committed in slo:
+            lines.append(
+                f"  {label:28s} {_service_cell(fresh):>10s}  "
+                f"(committed: {_service_cell(committed)})"
+            )
     lines.append(
         "(ips are host-dependent; ratios across different machines are "
         "indicative only)"
@@ -296,6 +350,21 @@ def render_markdown(rows, new: dict, baseline: dict) -> str:
                 f"{committed:.3f}x" if committed is not None else "–"
             )
             lines.append(f"| {label} | {fresh:.3f}x | {committed_text} |")
+    slo = service_rows(new, baseline)
+    if slo:
+        lines += [
+            "",
+            "**Simulation service SLO** (scripts/service_load.py on the "
+            "runner — absolute numbers are host-dependent):",
+            "",
+            "| metric | fresh | committed |",
+            "|---|---:|---:|",
+        ]
+        for label, fresh, committed in slo:
+            lines.append(
+                f"| {label} | {_service_cell(fresh)} | "
+                f"{_service_cell(committed)} |"
+            )
     lines += [
         "",
         "_ips are host-dependent; this check is informational, not a gate._",

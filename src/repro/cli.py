@@ -9,11 +9,16 @@ bench <name> [options]    simulate one benchmark kernel and print counters
 obs trace|histo|export    instrumented runs: timelines, latency histograms
 cache info|clear|warm     manage the persistent on-disk trace cache
 cluster serve|work|submit|status   the fault-tolerant sweep service
+serve [options]           run the always-on HTTP simulation service
+submit <id> --connect     run an experiment through a running service
 table1 / figure1 / figure3 / figure4   shorthands for ``run <id>``
 
 Any grid-running command accepts ``--backend cluster`` (or
 ``REPRO_SWEEP_BACKEND=cluster``) to route its simulation grid through
-the fault-tolerant cluster sweep service — see docs/CLUSTER.md.
+the fault-tolerant cluster sweep service — see docs/CLUSTER.md — or
+``--backend service`` (with ``REPRO_SERVICE_ADDR=HOST:PORT``) to run
+it through the always-on HTTP service and its persistent result store
+— see docs/SERVICE.md.
 
 ``obs`` accepts suite kernel names and micro kernels via the
 ``micro:<name>`` form (e.g. ``micro:fib``).
@@ -325,10 +330,138 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return 2
     client = ClusterClient(protocol.parse_address(address))
     try:
-        print(_json.dumps(client.status(), indent=2, sort_keys=True))
+        status = client.status()
     except OSError as error:
         print(f"scheduler unreachable at {address}: {error}", file=sys.stderr)
         return 1
+    if getattr(args, "json", False):
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    _print_status_text(status, f"scheduler at {address}")
+    return 0
+
+
+def _print_status_text(status: dict, title: str) -> None:
+    """Human rendering of a status document (cluster scheduler and
+    simulation service share the ``jobs`` count schema)."""
+    print(title)
+    jobs = status.get("jobs") or {}
+    print(
+        "  jobs     "
+        + "  ".join(f"{k}={jobs.get(k, 0)}" for k in
+                    ("pending", "leased", "done", "failed"))
+    )
+    workers = status.get("workers")
+    if isinstance(workers, dict):
+        print(f"  workers  {len(workers)}")
+    sweeps = status.get("sweeps")
+    if isinstance(sweeps, dict):
+        print(f"  sweeps   {len(sweeps)}")
+    queue = status.get("queue")
+    if isinstance(queue, dict):
+        print(f"  queue    {queue.get('depth', 0)}/{queue.get('max', '?')}")
+    clients = status.get("clients")
+    if isinstance(clients, dict) and clients:
+        print(f"  clients  {len(clients)}")
+        for name, lane in sorted(clients.items()):
+            print(
+                f"    {name}: queued={lane.get('queued', 0)} "
+                f"weight={lane.get('weight', 1.0)} "
+                f"dispatched={lane.get('dispatched', 0)}"
+            )
+    store = status.get("store")
+    if isinstance(store, dict):
+        if store.get("enabled"):
+            print(
+                f"  store    {store.get('entries', 0)} entries, "
+                f"{store.get('bytes', 0)} bytes at {store.get('dir')}"
+            )
+        else:
+            print("  store    disabled")
+    stats = status.get("stats")
+    if isinstance(stats, dict):
+        print(
+            "  stats    "
+            + "  ".join(
+                f"{k}={stats.get(k, 0)}"
+                for k in ("submitted", "executed", "warm_hits", "joined",
+                          "rejected")
+            )
+        )
+    journal = status.get("journal")
+    if isinstance(journal, dict):
+        print(f"  journal  {journal.get('path')}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The always-on simulation service (``repro serve``)."""
+    import signal as _signal
+
+    from repro.cluster import protocol
+    from repro.service.server import AUTO_STORE, ServiceConfig, SimulationService
+
+    store: object = AUTO_STORE
+    if args.store is not None:
+        lowered = args.store.strip().lower()
+        store = None if lowered in ("off", "none", "0", "") else args.store
+    host, port = protocol.parse_address(args.bind)
+    config = ServiceConfig(
+        host=host,
+        port=port,
+        store=store,
+        backend=args.backend,
+        jobs=args.jobs if args.jobs is not None else 1,
+        batch=args.batch,
+        max_queue=args.max_queue,
+        store_max_entries=args.store_max_entries,
+    )
+    service = SimulationService(config)
+    bound = service.start()
+    print(f"simulation service listening on http://{bound[0]}:{bound[1]}/v1/")
+    print(
+        "result store: "
+        + (str(service.store_dir) if service.store_dir else
+           "(disabled — results held in memory only)")
+    )
+    print(f"backend: {config.backend} (jobs={config.jobs})")
+    print(f"submit with: repro submit <id> --connect {bound[0]}:{bound[1]}")
+    try:
+        _signal.pause()
+    except (KeyboardInterrupt, AttributeError):
+        try:
+            import time as _time
+
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    finally:
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Run an experiment's grid through a running simulation service
+    (``repro submit <id> --connect HOST:PORT``)."""
+    import os as _os
+
+    from repro.service.client import ENV_ADDR
+
+    experiment = EXPERIMENTS.get(args.id)
+    if experiment is None:
+        print(f"unknown experiment {args.id!r}; try `repro list`", file=sys.stderr)
+        return 2
+    if args.connect:
+        _os.environ[ENV_ADDR] = args.connect
+    if not _os.environ.get(ENV_ADDR):
+        print(
+            f"no service address (--connect or {ENV_ADDR})",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = _experiment_kwargs(args)
+    kwargs["backend"] = "service"
+    print(experiment.run(**kwargs))
     return 0
 
 
@@ -398,7 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--backend",
-        choices=("local", "cluster"),
+        choices=("local", "cluster", "service"),
         default=None,
         help="grid execution backend (default: REPRO_SWEEP_BACKEND or local)",
     )
@@ -430,7 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--benchmarks", nargs="*", default=None)
         p.add_argument("--jobs", type=int, default=None, metavar="N")
         p.add_argument(
-            "--backend", choices=("local", "cluster"), default=None
+            "--backend", choices=("local", "cluster", "service"), default=None
         )
         p.add_argument("--batch", type=int, default=None, metavar="N")
         p.add_argument(
@@ -559,13 +692,71 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.set_defaults(func=_cmd_cluster)
 
     status_parser = cluster_sub.add_parser(
-        "status", help="print a scheduler's workers/jobs/sweeps as JSON"
+        "status", help="print a scheduler's workers/jobs/sweeps"
     )
     status_parser.add_argument(
         "--connect", default=None, metavar="HOST:PORT",
         help="scheduler address (default: REPRO_CLUSTER_ADDR)",
     )
+    status_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw status document as JSON (the same schema the "
+        "service's /v1/status endpoint uses for its jobs block)",
+    )
     status_parser.set_defaults(func=_cmd_cluster)
+
+    service_parser = sub.add_parser(
+        "serve",
+        help="run the always-on HTTP simulation service "
+        "(see docs/SERVICE.md; Ctrl+C to stop)",
+    )
+    service_parser.add_argument(
+        "--bind", default="127.0.0.1:7788", metavar="HOST:PORT",
+        help="listen address (port 0 picks a free port; bracket IPv6 "
+        "literals, e.g. [::1]:7788)",
+    )
+    service_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory, or `off` to disable (default: "
+        "REPRO_RESULT_STORE, else $XDG_CACHE_HOME/repro/results)",
+    )
+    service_parser.add_argument(
+        "--store-max-entries", type=int, default=None, metavar="N",
+        help="evict oldest store entries beyond this count after each "
+        "dispatch cycle (default: unbounded)",
+    )
+    service_parser.add_argument(
+        "--backend", choices=("serial", "pool", "cluster"), default="serial",
+        help="how admitted jobs execute (default: serial)",
+    )
+    service_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="process-pool width for --backend pool",
+    )
+    service_parser.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="batched-engine group size (0 = unbounded; default: "
+        "REPRO_SWEEP_BATCH or 1)",
+    )
+    service_parser.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="admission bound: queued jobs beyond this draw 429 "
+        "(default: 256)",
+    )
+    service_parser.set_defaults(func=_cmd_serve)
+
+    svc_submit = sub.add_parser(
+        "submit",
+        help="run an experiment's grid through a running simulation service",
+    )
+    svc_submit.add_argument("id", help="experiment id (see `repro list`)")
+    svc_submit.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="service address (default: REPRO_SERVICE_ADDR)",
+    )
+    svc_submit.add_argument("--max-instructions", type=int, default=None)
+    svc_submit.add_argument("--benchmarks", nargs="*", default=None)
+    svc_submit.set_defaults(func=_cmd_submit)
 
     obs_parser = sub.add_parser(
         "obs", help="instrumented runs: lifecycle timelines, latency histograms"

@@ -42,6 +42,7 @@ must only be exposed to hosts that are already trusted to run the code
 from __future__ import annotations
 
 import json
+import re
 import socket
 import struct
 
@@ -146,7 +147,21 @@ def connect(address: tuple[str, int], timeout: float | None = None) -> socket.so
 
 
 def parse_address(text: str) -> tuple[str, int]:
-    """Parse a ``host:port`` string (the CLI's ``--connect`` form)."""
+    """Parse a ``host:port`` string (the CLI's ``--connect`` form).
+
+    IPv6 literals use the standard bracketed form — ``[::1]:9000``
+    parses to ``("::1", 9000)`` — since a bare ``rpartition(":")``
+    would otherwise hand the bracketed host straight to the socket
+    layer, which rejects it.  Hostnames and IPv4 stay ``host:port``.
+    """
+    bracketed = re.match(r"^\[([^\[\]]+)\]:(\d+)$", text)
+    if bracketed:
+        return bracketed.group(1), int(bracketed.group(2))
+    if text.startswith("["):
+        raise ValueError(
+            f"expected [v6-literal]:port, got {text!r} "
+            "(bracket the host and follow it with :port)"
+        )
     host, sep, port = text.rpartition(":")
     if not sep or not host:
         raise ValueError(f"expected host:port, got {text!r}")

@@ -97,13 +97,15 @@ def job_fingerprint(job: SimJob | BatchJob) -> str:
     )
 
 
-def job_key(job: SimJob) -> str:
-    """Content hash of one grid point — the journal and dedup key.
+def job_key(job: SimJob | BatchJob) -> str:
+    """Content hash of one execution unit — the journal, dedup and
+    result-store key (:mod:`repro.service.results`).
 
     Two jobs with equal settings hash equal no matter which process,
     host or session computed the hash; any setting change (config field,
     model latency, predictor factory argument) changes the key, so a
-    journal can never serve stale results for an edited sweep.
+    journal or result store can never serve stale results for an edited
+    sweep.
     """
     digest = hashlib.sha256(job_fingerprint(job).encode("utf-8")).hexdigest()
     return digest[:_KEY_CHARS]

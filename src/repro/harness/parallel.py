@@ -71,9 +71,11 @@ from repro.trace.columnar import ColumnarTrace
 STRICT_ENV_VAR = "REPRO_TRACE_STRICT"
 
 #: Env var: default execution backend for ``run_jobs`` when the caller
-#: does not pass one — ``local`` (this module's process pool) or
-#: ``cluster`` (the fault-tolerant sweep service, :mod:`repro.cluster`).
-#: Lets any harness entry point ride the cluster without code changes.
+#: does not pass one — ``local`` (this module's process pool),
+#: ``cluster`` (the fault-tolerant sweep service, :mod:`repro.cluster`)
+#: or ``service`` (the always-on HTTP front door, :mod:`repro.service`,
+#: at ``REPRO_SERVICE_ADDR``).  Lets any harness entry point ride a
+#: shared backend without code changes.
 BACKEND_ENV_VAR = "REPRO_SWEEP_BACKEND"
 
 #: Env var: default batch size for the batching planner when the caller
@@ -495,9 +497,10 @@ def resolve_backend(backend: str | None = None) -> str:
     """The effective sweep backend: explicit argument, then
     ``REPRO_SWEEP_BACKEND``, then ``local``."""
     chosen = backend or os.environ.get(BACKEND_ENV_VAR, "").strip() or "local"
-    if chosen not in ("local", "cluster"):
+    if chosen not in ("local", "cluster", "service"):
         raise ValueError(
-            f"unknown sweep backend {chosen!r} (expected 'local' or 'cluster')"
+            f"unknown sweep backend {chosen!r} "
+            "(expected 'local', 'cluster' or 'service')"
         )
     return chosen
 
@@ -592,9 +595,70 @@ def run_jobs(
     The local pool survives worker death: completed results are kept,
     the pool is rebuilt, and only unfinished jobs are resubmitted, each
     with a ``max_attempts`` budget.
+
+    When the persistent result store is configured
+    (``REPRO_RESULT_STORE=<dir>``; see :mod:`repro.service.results`),
+    jobs whose results are already on disk are served from the store —
+    *warm jobs skip execution on every backend* — and freshly computed
+    results are written back, so any sweep this process runs warms the
+    same store the always-on simulation service reads.
     """
+    backend = resolve_backend(backend)
+    if backend == "service":
+        # The service owns planning, dedup and the result store; jobs
+        # travel as submitted points.  Imported lazily — the service
+        # client depends (via repro.cluster) on this module.
+        from repro.service.client import run_jobs_service
+
+        return run_jobs_service(job_list)
+    from repro.service import results as result_store
+
+    directory = result_store.store_dir()
+    if directory is None:
+        return _run_jobs_backend(
+            job_list, jobs, backend=backend,
+            max_attempts=max_attempts, batch=batch,
+        )
+    # Store consult: serve warm keys from disk, execute only the cold
+    # remainder (deduplicated by key — a grid repeating a point pays
+    # for it once), then persist what was computed.
+    from repro.cluster.serial import job_key
+
+    keys = [job_key(job) for job in job_list]
+    results: list = [
+        result_store.load_result(key, directory) for key in keys
+    ]
+    cold: dict[str, int] = {}
+    for index, (key, result) in enumerate(zip(keys, results)):
+        if result is None and key not in cold:
+            cold[key] = index
+    if cold:
+        computed = _run_jobs_backend(
+            [job_list[index] for index in cold.values()],
+            jobs, backend=backend,
+            max_attempts=max_attempts, batch=batch,
+        )
+        fresh = dict(zip(cold.keys(), computed))
+        for key, result in fresh.items():
+            result_store.store_result(key, result, directory)
+        for index, key in enumerate(keys):
+            if results[index] is None:
+                results[index] = fresh[key]
+    return results
+
+
+def _run_jobs_backend(
+    job_list: list[SimJob],
+    jobs: int = 1,
+    *,
+    backend: str = "local",
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    batch: int | None = None,
+) -> list[SimulationResult]:
+    """The execution core behind :func:`run_jobs`: plan units, then run
+    them on the local pool or the cluster (no store involvement)."""
     units, slots = plan_units(job_list, resolve_batch(batch))
-    if resolve_backend(backend) == "cluster":
+    if backend == "cluster":
         # Imported lazily: repro.cluster depends on this module.
         from repro.cluster.client import run_jobs_cluster
 

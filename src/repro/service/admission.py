@@ -1,0 +1,146 @@
+"""Admission control for the simulation service: bounded intake with
+per-client weighted fair scheduling.
+
+Under heavy traffic two failure modes matter:
+
+* **overload** — accepting more work than the executors can drain turns
+  every request's latency into the whole backlog's.  The queue is
+  therefore *bounded*: a submission that does not fit is rejected
+  whole (all-or-nothing, so a client never gets half a sweep admitted)
+  and the HTTP layer turns the rejection into ``429`` with a
+  ``Retry-After`` derived from the observed drain rate.
+* **capture** — one aggressive client starving everyone else.  Queued
+  work is drained in *stride-scheduling* order: each client lane has a
+  pass value advanced by ``1/weight`` per job dispatched, and the
+  dispatcher always serves the lane with the smallest pass.  Over any
+  window, client throughput converges to the ratio of the weights
+  regardless of arrival pattern; a newly active lane starts at the
+  current virtual time, so idleness is neither banked nor punished.
+
+The queue knows nothing about jobs beyond opaque items — the service
+layer owns job identity, dedup and result plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: Weights outside this range are clamped — a client cannot grant
+#: itself unbounded priority, nor wedge the stride math with zero.
+MIN_WEIGHT = 0.1
+MAX_WEIGHT = 100.0
+
+
+class _Lane:
+    __slots__ = ("items", "pass_value", "weight", "dispatched")
+
+    def __init__(self, weight: float, start: float):
+        self.items: deque = deque()
+        self.pass_value = start
+        self.weight = weight
+        self.dispatched = 0
+
+
+def clamp_weight(weight: float) -> float:
+    try:
+        weight = float(weight)
+    except (TypeError, ValueError):
+        return 1.0
+    if weight != weight:  # NaN
+        return 1.0
+    return max(MIN_WEIGHT, min(MAX_WEIGHT, weight))
+
+
+class FairQueue:
+    """Bounded multi-client queue drained in weighted-fair order."""
+
+    def __init__(self, max_queue: int = 256):
+        self.max_queue = max(1, int(max_queue))
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._lanes: dict[str, _Lane] = {}
+        self._depth = 0
+        self._virtual_time = 0.0
+        self._closed = False
+
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def offer(self, client: str, weight: float, items: list) -> bool:
+        """Admit ``items`` to ``client``'s lane, all or nothing.
+
+        Returns ``False`` — admitting *none* of the items — when they
+        do not all fit under the queue bound, so a rejected submission
+        can be retried whole after backpressure.
+        """
+        if not items:
+            return True
+        weight = clamp_weight(weight)
+        with self._lock:
+            if self._closed or self._depth + len(items) > self.max_queue:
+                return False
+            lane = self._lanes.get(client)
+            if lane is None:
+                lane = _Lane(weight, self._virtual_time)
+                self._lanes[client] = lane
+            else:
+                lane.weight = weight
+                if not lane.items:
+                    # A lane going idle must not bank credit: restart at
+                    # the current virtual time (or keep its own pass if
+                    # it is already ahead).
+                    lane.pass_value = max(lane.pass_value, self._virtual_time)
+            lane.items.extend(items)
+            self._depth += len(items)
+            self._ready.notify_all()
+            return True
+
+    def take(self, limit: int, timeout: float | None = None) -> list:
+        """Up to ``limit`` items in stride order; blocks up to
+        ``timeout`` for the first one (empty list on timeout/close)."""
+        taken: list = []
+        with self._lock:
+            if self._depth == 0:
+                self._ready.wait(timeout)
+            while len(taken) < max(1, limit):
+                lane_id = self._next_lane()
+                if lane_id is None:
+                    break
+                lane = self._lanes[lane_id]
+                taken.append(lane.items.popleft())
+                lane.dispatched += 1
+                lane.pass_value += 1.0 / lane.weight
+                self._virtual_time = lane.pass_value
+                self._depth -= 1
+        return taken
+
+    def _next_lane(self) -> str | None:
+        best: str | None = None
+        best_pass = 0.0
+        for client, lane in self._lanes.items():
+            if not lane.items:
+                continue
+            if best is None or lane.pass_value < best_pass:
+                best = client
+                best_pass = lane.pass_value
+        return best
+
+    def close(self) -> None:
+        """Refuse further offers and wake any blocked taker."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+    def snapshot(self) -> dict:
+        """Per-client introspection for the status endpoint."""
+        with self._lock:
+            return {
+                client: {
+                    "queued": len(lane.items),
+                    "weight": lane.weight,
+                    "dispatched": lane.dispatched,
+                }
+                for client, lane in self._lanes.items()
+            }

@@ -24,3 +24,22 @@ def _hermetic_trace_cache(tmp_path_factory):
         os.environ.pop("REPRO_TRACE_CACHE", None)
     else:
         os.environ["REPRO_TRACE_CACHE"] = previous
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_store():
+    """Pin the result store off for the whole suite.
+
+    A developer's ``REPRO_RESULT_STORE`` must not leak into tests —
+    ``run_jobs`` would silently serve warm results and mask execution
+    bugs.  Tests that exercise the store opt in per-test with
+    ``monkeypatch.setenv`` (which takes precedence and is undone) or by
+    passing explicit directories.
+    """
+    previous = os.environ.get("REPRO_RESULT_STORE")
+    os.environ["REPRO_RESULT_STORE"] = "off"
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_RESULT_STORE", None)
+    else:
+        os.environ["REPRO_RESULT_STORE"] = previous

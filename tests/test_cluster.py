@@ -154,8 +154,24 @@ class TestProtocol:
 
     def test_parse_address(self):
         assert protocol.parse_address("127.0.0.1:7787") == ("127.0.0.1", 7787)
+        assert protocol.parse_address("localhost:0") == ("localhost", 0)
         with pytest.raises(ValueError):
             protocol.parse_address("no-port-here")
+
+    def test_parse_address_bracketed_ipv6(self):
+        assert protocol.parse_address("[::1]:9000") == ("::1", 9000)
+        assert protocol.parse_address("[2001:db8::2]:7787") == (
+            "2001:db8::2", 7787,
+        )
+        assert protocol.parse_address("[fe80::1%eth0]:80") == (
+            "fe80::1%eth0", 80,
+        )
+
+    def test_parse_address_bad_bracketed_forms(self):
+        for text in ("[::1]", "[::1]:", "[::1]:abc", "[]:9000",
+                     "[::1:9000", "[::1]9000"):
+            with pytest.raises(ValueError):
+                protocol.parse_address(text)
 
 
 # -- job identity and serialization ----------------------------------------

@@ -142,3 +142,49 @@ def test_specialized_rows_absent_or_malformed(perf_diff):
         _record(specialized={"grid_speedup": 1.05, "grid_lanes": 78}),
     )
     assert rows == [("full grid (78 lanes)", 1.1, 1.05)]
+
+
+def test_service_block_rendered_and_old_schema_tolerated(
+    perf_diff, tmp_path, capsys
+):
+    """A fresh record carrying the service SLO block renders it even
+    when the committed baseline predates the simulation service."""
+    new = tmp_path / "new.json"
+    old = tmp_path / "old.json"
+    new.write_text(json.dumps(_record(
+        service={
+            "p50_ms": 2.5, "p95_ms": 4.75, "p99_ms": 6.0,
+            "throughput_rps": 950.0, "warm_hit_ratio": 1.0,
+            "saturation_clients": 4,
+        },
+    )))
+    old.write_text(json.dumps(_record()))  # no service block
+    assert perf_diff.main([str(new), "--baseline", str(old)]) == 0
+    out = capsys.readouterr().out
+    assert "service SLO" in out
+    assert "latency p95 (ms)" in out and "4.750" in out
+    assert "saturation point (clients)" in out
+    assert perf_diff.main([str(new), "--baseline", str(old),
+                           "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert "**Simulation service SLO**" in out and "950.000" in out
+
+
+def test_service_rows_absent_malformed_and_paired(perf_diff):
+    assert perf_diff.service_rows(_record(), _record()) == []
+    # malformed blocks (wrong type, non-numeric p50) degrade to no rows
+    assert perf_diff.service_rows(
+        _record(service="fast"), _record()
+    ) == []
+    assert perf_diff.service_rows(
+        _record(service={"p50_ms": "quick"}), _record()
+    ) == []
+    rows = perf_diff.service_rows(
+        _record(service={"p50_ms": 2.0, "p95_ms": 4.0,
+                         "warm_hit_ratio": 1.0}),
+        _record(service={"p50_ms": 3.0}),
+    )
+    assert ("latency p50 (ms)", 2.0, 3.0) in rows
+    assert ("latency p95 (ms)", 4.0, None) in rows
+    # fields missing from the fresh block are skipped, not rendered
+    assert all(label != "latency p99 (ms)" for label, *_ in rows)
