@@ -105,12 +105,62 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sampled_bench(args, spec, trace, config) -> int:
+    """``bench --sample-phases N``: phase-sampled *estimate* mode."""
+    from repro.sampling import run_sampled
+    from repro.trace.columnar import ChunkedTrace
+
+    chunk_size = (
+        trace.chunk_size
+        if isinstance(trace, ChunkedTrace)
+        else max(len(trace) // 16, 1)
+    )
+    model = None if args.model == "none" else named_models()[args.model]
+    result = run_sampled(
+        trace,
+        config,
+        model,
+        phases=args.sample_phases,
+        chunk_size=chunk_size,
+        confidence=args.confidence,
+        update_timing=args.timing,
+    )
+    mode = "base" if model is None else model.name
+    print(f"{spec.name} @ {config.label} ({mode}) — {result.label}")
+    print(f"  CPI (estimate)          {result.cpi:12.4f}")
+    print(f"  CPI spread (error bar)  {result.cpi_spread:12.4f}")
+    print(f"  cycles (estimate)       {result.cycles_estimate:12d}")
+    print(f"  records simulated       {result.simulated_records:12d}")
+    print(f"  records total           {result.total_records:12d}")
+    for phase in result.phases:
+        alt = (
+            f"  alt CPI {phase.alternate_cpi:.4f}"
+            if phase.alternate_cpi is not None
+            else ""
+        )
+        print(
+            f"    phase {phase.phase}: weight {phase.weight:6.1%}  "
+            f"CPI {phase.cpi:8.4f}  rep chunk {phase.representative}  "
+            f"warmup {phase.warmup}{alt}"
+        )
+    print(
+        "  note: sampled results are estimates; rerun without "
+        "--sample-phases for exact counters"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sampling import sample_phases_from_env
     from repro.trace.cache import cached_trace
 
     spec = kernel(args.name)
     trace = cached_trace(args.name, args.max_instructions)
     config = paper_config(args.config)
+    if args.sample_phases is None:
+        args.sample_phases = sample_phases_from_env()
+    if args.sample_phases:
+        return _sampled_bench(args, spec, trace, config)
     base = run_baseline(trace, config)
     print(summarize_counters(base.counters, f"{spec.name} @ {config.label} (base)"))
     if args.model != "none":
@@ -474,10 +524,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"trace cache: {state}")
         if info["enabled"]:
             print(f"  dir      {info['dir']}")
-            print(f"  entries  {info['entries']}")
+            print(
+                f"  entries  {info['entries']} "
+                f"({info['v3_entries']} v3, {info['v4_entries']} chunked v4)"
+            )
             print(f"  bytes    {info['bytes']}")
             for name in info["files"]:
-                print(f"    {name}")
+                geometry = info["chunked"].get(name)
+                if geometry is None:
+                    print(f"    {name}")
+                elif "error" in geometry:
+                    print(f"    {name}  [unreadable v4 entry]")
+                else:
+                    sizes = geometry["chunk_bytes"]
+                    print(
+                        f"    {name}  {geometry['records']} records in "
+                        f"{geometry['chunks']} chunks of "
+                        f"{geometry['chunk_size']} "
+                        f"(payload {min(sizes)}-{max(sizes)} bytes/chunk)"
+                    )
         return 0
     if args.action == "clear":
         removed = trace_cache.clear_cache()
@@ -492,7 +557,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         return 2
     names = args.benchmarks or kernel_names()
-    lengths = trace_cache.warm_cache(names, args.max_instructions)
+    limit = args.max_instructions
+    if getattr(args, "limit", None) is not None:
+        limit = args.limit
+    lengths = trace_cache.warm_cache(names, limit)
     for name, length in lengths.items():
         print(f"{name:10s} {length:8d} instructions cached")
     return 0
@@ -617,6 +685,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="trace limit for warmed entries (default: full traces)",
+    )
+    cache_parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="alias for --max-instructions: `cache warm --limit N` "
+        "streams an N-instruction capture to disk without ever "
+        "materializing the trace in memory",
     )
     cache_parser.set_defaults(func=_cmd_cache)
 
@@ -807,6 +884,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--confidence", default="real", help="real | oracle")
     bench_parser.add_argument("--timing", default="D", help="I | D")
     bench_parser.add_argument("--max-instructions", type=int, default=10000)
+    bench_parser.add_argument(
+        "--sample-phases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="phase-sampled *estimate* mode: cluster trace chunks into N "
+        "phases and simulate one representative each (default: "
+        "REPRO_SAMPLE_PHASES, off when unset)",
+    )
     bench_parser.set_defaults(func=_cmd_bench)
     return parser
 

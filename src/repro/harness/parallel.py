@@ -271,12 +271,13 @@ _TRACE_CACHE: dict[tuple[str, int | None], ColumnarTrace | list] = {}
 
 @dataclass(frozen=True)
 class TraceHandle:
-    """A picklable pointer to a staged trace's shared v3 bytes.
+    """A picklable pointer to a staged trace's shared bytes.
 
-    ``kind`` is ``"file"`` (``name`` is a VSRT v3 file to mmap — usually
-    a disk-cache entry, sometimes a staged temp file) or ``"shm"``
+    ``kind`` is ``"file"`` (``name`` is a VSRT v3 or v4 file — usually a
+    disk-cache entry, sometimes a staged temp file) or ``"shm"``
     (``name`` is a ``multiprocessing.shared_memory`` segment holding
-    ``nbytes`` of v3 payload).
+    ``nbytes`` of v3 or v4 payload).  The attach side sniffs the magic,
+    so one handle shape covers both formats.
     """
 
     kind: str
@@ -307,11 +308,26 @@ def _init_worker(
     _WORKER_STRICT = strict
 
 
-def _attach_handle(handle: TraceHandle) -> ColumnarTrace:
-    """Open a staged trace without copying its payload."""
-    from repro.trace.binary import loads_trace_binary_v3, read_trace_binary_v3
+def _attach_handle(handle: TraceHandle):
+    """Open a staged trace without copying its payload.
+
+    The leading magic selects the reader: v3 entries attach as one
+    mmap/buffer-backed :class:`ColumnarTrace`; v4 entries attach as a
+    :class:`~repro.trace.columnar.ChunkedTrace`, so a worker simulating
+    a long trace holds at most its chunk LRU window — never the whole
+    payload — whether the handle is a file or a shared-memory segment.
+    """
+    from repro.trace.binary import (
+        loads_trace_binary_v3,
+        loads_trace_chunked,
+        read_trace_binary_v3,
+        read_trace_chunked,
+        sniff_format,
+    )
 
     if handle.kind == "file":
+        if sniff_format(handle.name) == "v4":
+            return read_trace_chunked(handle.name)
         return read_trace_binary_v3(handle.name)
     from multiprocessing import resource_tracker
     from multiprocessing.shared_memory import SharedMemory
@@ -325,7 +341,10 @@ def _attach_handle(handle: TraceHandle) -> ColumnarTrace:
     except Exception:
         pass
     _ATTACHED_SEGMENTS.append(segment)
-    return loads_trace_binary_v3(segment.buf[: handle.nbytes])
+    payload = segment.buf[: handle.nbytes]
+    if sniff_format(payload) == "v4":
+        return loads_trace_chunked(payload)
+    return loads_trace_binary_v3(payload)
 
 
 def _trace_for(benchmark: str, max_instructions: int | None):
@@ -401,7 +420,8 @@ def _stage_traces_into(
     cleanups: list,
 ) -> None:
     from repro.trace import cache as trace_cache
-    from repro.trace.binary import dumps_trace_binary_v3
+    from repro.trace.binary import dumps_trace_binary_v3, dumps_trace_chunked
+    from repro.trace.columnar import ChunkedTrace
 
     for key in dict.fromkeys((job.benchmark, job.max_instructions) for job in job_list):
         benchmark, limit = key
@@ -410,14 +430,31 @@ def _stage_traces_into(
 
             source = kernel(benchmark).source
             path = trace_cache.trace_path(benchmark, source, limit)
-            if path is not None and not path.is_file():
+            chunked_path = trace_cache.trace_path_chunked(benchmark, source, limit)
+            if (
+                path is not None
+                and not path.is_file()
+                and (chunked_path is None or not chunked_path.is_file())
+            ):
                 # Cold cache: capture once here in the parent (also
                 # memoized, so the inline path reuses it) and store.
                 _TRACE_CACHE[key] = trace_cache.cached_trace(benchmark, limit)
             if path is not None and path.is_file():
                 handles[key] = TraceHandle("file", str(path), path.stat().st_size)
                 continue
-        data = dumps_trace_binary_v3(_trace_for(benchmark, limit))
+            if chunked_path is not None and chunked_path.is_file():
+                handles[key] = TraceHandle(
+                    "file", str(chunked_path), chunked_path.stat().st_size
+                )
+                continue
+        staged = _trace_for(benchmark, limit)
+        if isinstance(staged, ChunkedTrace):
+            # Preserve the chunked layout in shared memory so workers
+            # attach a ChunkedTrace over the shared buffer (per-chunk
+            # zero-copy slices) instead of materializing every record.
+            data = dumps_trace_chunked(staged)
+        else:
+            data = dumps_trace_binary_v3(staged)
         handle = None
         try:
             from multiprocessing.shared_memory import SharedMemory

@@ -22,7 +22,7 @@ from repro.programs import (
     vortex as _vortex,
     xlisp as _xlisp,
 )
-from repro.trace import TraceRecord, capture_trace
+from repro.trace import TraceRecord, capture_trace, iter_trace
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,17 @@ class KernelSpec:
         """Execute the kernel and capture its dynamic trace."""
         machine = Machine(self.program())
         return capture_trace(machine, max_instructions)
+
+    def iter_trace(self, max_instructions: int | None = None):
+        """Stream the kernel's dynamic trace record by record.
+
+        The bounded-memory form of :meth:`trace`: records are yielded as
+        the functional simulator executes, so a consumer that writes
+        them straight to disk (the chunked trace cache) never holds the
+        whole trace in memory.
+        """
+        machine = Machine(self.program())
+        return iter_trace(machine, max_instructions)
 
     def run_functional(self) -> list[int]:
         """Run to completion and return the PRINT output (checksums)."""

@@ -1,0 +1,47 @@
+"""Phase-sampled timing simulation (SimPoint-style estimate mode).
+
+Long traces repeat themselves: programs move through a small number of
+*phases* (initialization, steady-state loops, cleanup), and within a
+phase the microarchitectural behavior — CPI included — is close to
+stationary.  Sherwood et al.'s SimPoint observed that a basic-block
+vector (BBV) fingerprint of each execution window clusters by phase, so
+simulating one representative window per cluster and weighting by
+cluster mass estimates whole-program metrics at a fraction of the cost.
+
+This package implements that recipe over the chunked VSRT v4 trace
+plane: chunk fingerprints come for free from capture
+(:class:`repro.trace.binary.ChunkWriter` accumulates one BBV per chunk),
+:mod:`repro.sampling.kmeans` clusters them with a deterministic
+stdlib-only k-means, :mod:`repro.sampling.phases` picks representatives
+and weights, and :mod:`repro.sampling.sample` runs the timing engine on
+each representative (with warm-up, via the cycle-delta method) to
+produce a CPI *estimate* with per-phase weights and error bars.
+
+Sampled results are estimates and are always labeled as such — exact
+mode remains the default everywhere; sampling is opt-in via
+``--sample-phases`` / ``REPRO_SAMPLE_PHASES``.
+"""
+
+from repro.sampling.kmeans import kmeans
+from repro.sampling.phases import PhasePlan, chunk_fingerprints, plan_phases
+from repro.sampling.sample import (
+    PHASES_ENV_VAR,
+    PhaseEstimate,
+    SampledResult,
+    compare_sampled_exact,
+    run_sampled,
+    sample_phases_from_env,
+)
+
+__all__ = [
+    "PHASES_ENV_VAR",
+    "PhaseEstimate",
+    "PhasePlan",
+    "SampledResult",
+    "chunk_fingerprints",
+    "compare_sampled_exact",
+    "kmeans",
+    "plan_phases",
+    "run_sampled",
+    "sample_phases_from_env",
+]

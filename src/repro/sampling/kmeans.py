@@ -1,0 +1,107 @@
+"""Deterministic stdlib-only k-means for phase clustering.
+
+The point sets here are tiny — one normalized basic-block vector per
+trace chunk, so tens to a few thousand points of dimension ~32 — which
+makes a plain-Python Lloyd's loop entirely adequate.  Determinism is the
+hard requirement, not speed: the same trace must always cluster into the
+same phases so sampled results are reproducible, hence the seeded
+k-means++ initialization and the stable tie-breaking (lowest index wins)
+throughout.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _sq_dist(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
+
+
+def _mean(points: list[tuple[float, ...]]) -> tuple[float, ...]:
+    n = len(points)
+    return tuple(sum(col) / n for col in zip(*points))
+
+
+def _init_plus_plus(
+    points: list[tuple[float, ...]], k: int, rng: random.Random
+) -> list[tuple[float, ...]]:
+    """k-means++ seeding: spread the initial centroids apart by sampling
+    each next centroid proportionally to squared distance from the
+    nearest one already chosen."""
+    centroids = [points[rng.randrange(len(points))]]
+    dists = [_sq_dist(p, centroids[0]) for p in points]
+    while len(centroids) < k:
+        total = sum(dists)
+        if total <= 0.0:
+            # All remaining points coincide with a centroid; any choice
+            # is equivalent — take the first for determinism.
+            centroids.append(points[0])
+            continue
+        target = rng.random() * total
+        acc = 0.0
+        chosen = len(points) - 1
+        for index, dist in enumerate(dists):
+            acc += dist
+            if acc >= target:
+                chosen = index
+                break
+        centroid = points[chosen]
+        centroids.append(centroid)
+        dists = [min(d, _sq_dist(p, centroid)) for p, d in zip(points, dists)]
+    return centroids
+
+
+def kmeans(
+    points: list[tuple[float, ...]],
+    k: int,
+    *,
+    seed: int = 0,
+    max_iterations: int = 100,
+) -> tuple[list[int], list[tuple[float, ...]]]:
+    """Cluster ``points`` into ``k`` groups; returns ``(assignments,
+    centroids)``.
+
+    ``k`` is clamped to the number of points.  Assignment ties break to
+    the lowest centroid index, and clusters that empty out are reseeded
+    with the point farthest from its centroid, so the result is a pure
+    function of (points, k, seed).
+    """
+    if not points:
+        raise ValueError("cannot cluster an empty point set")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, len(points))
+    rng = random.Random(seed)
+    centroids = _init_plus_plus(points, k, rng)
+    assignments = [0] * len(points)
+    for _ in range(max_iterations):
+        changed = False
+        for index, point in enumerate(points):
+            best = min(
+                range(k), key=lambda c: (_sq_dist(point, centroids[c]), c)
+            )
+            if assignments[index] != best:
+                assignments[index] = best
+                changed = True
+        for cluster in range(k):
+            members = [
+                points[i] for i, a in enumerate(assignments) if a == cluster
+            ]
+            if members:
+                centroids[cluster] = _mean(members)
+            else:
+                # Reseed an empty cluster with the worst-fit point.
+                farthest = max(
+                    range(len(points)),
+                    key=lambda i: (
+                        _sq_dist(points[i], centroids[assignments[i]]),
+                        -i,
+                    ),
+                )
+                centroids[cluster] = points[farthest]
+                assignments[farthest] = cluster
+                changed = True
+        if not changed:
+            break
+    return assignments, centroids

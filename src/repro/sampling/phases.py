@@ -1,0 +1,158 @@
+"""Phase detection: chunk fingerprints -> clusters -> representatives.
+
+A trace chunk's fingerprint is its basic-block vector (BBV): a histogram
+of executed instructions bucketed by the PC of their basic-block leader.
+Chunks executing the same code mix have near-identical BBVs regardless
+of the values flowing through, which is exactly the invariance phase
+sampling needs.  v4 traces carry their BBVs in the chunk index (computed
+during capture, zero extra cost here); other representations get
+fingerprinted on the fly with the identical leader/bucket rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sampling.kmeans import _sq_dist, kmeans
+from repro.trace.binary import BBV_DIM, _bbv_bucket
+from repro.trace.columnar import ChunkedTrace
+
+#: Cap on phase count: more phases than chunks is meaningless, and the
+#: CLI treats 0/negative as "sampling off".
+MAX_PHASES = 64
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """Everything sampled simulation needs to know about a trace's phases.
+
+    ``assignments[i]`` is the phase of chunk ``i``; ``representatives[p]``
+    is the chunk whose fingerprint sits closest to phase ``p``'s centroid
+    (simulated as the phase's proxy); ``alternates[p]`` is the
+    second-closest member (``None`` for singleton phases), used for error
+    bars; ``weights[p]`` is the fraction of all *records* in phase ``p``.
+    """
+
+    k: int
+    chunk_size: int
+    counts: tuple[int, ...]
+    assignments: tuple[int, ...]
+    representatives: tuple[int, ...]
+    alternates: tuple[int | None, ...]
+    weights: tuple[float, ...]
+
+    @property
+    def total_records(self) -> int:
+        return sum(self.counts)
+
+    def chunk_bounds(self, index: int) -> tuple[int, int]:
+        start = sum(self.counts[:index])
+        return start, start + self.counts[index]
+
+
+def chunk_fingerprints(
+    trace, chunk_size: int | None = None
+) -> tuple[list[tuple[int, ...]], list[int], int]:
+    """``(bbvs, counts, chunk_size)`` for any trace representation.
+
+    A :class:`ChunkedTrace` answers from its index without touching any
+    chunk payload; anything else (record list, ``ColumnarTrace``) is
+    walked in ``chunk_size`` windows applying the same leader/bucket
+    rule the capture-time writer uses, so both paths fingerprint a given
+    trace identically.
+    """
+    if isinstance(trace, ChunkedTrace):
+        return list(trace.bbvs()), list(trace.counts), trace.chunk_size
+    if chunk_size is None or chunk_size < 1:
+        raise ValueError(
+            "chunk_size is required to fingerprint a non-chunked trace"
+        )
+    bbvs: list[tuple[int, ...]] = []
+    counts: list[int] = []
+    total = len(trace)
+    for start in range(0, total, chunk_size):
+        stop = min(start + chunk_size, total)
+        bbv = [0] * BBV_DIM
+        leader: int | None = None
+        for index in range(start, stop):
+            rec = trace[index]
+            if leader is None:
+                leader = rec.pc
+            bbv[_bbv_bucket(leader, BBV_DIM)] += 1
+            if rec.is_control:
+                leader = None
+        bbvs.append(tuple(bbv))
+        counts.append(stop - start)
+    return bbvs, counts, chunk_size
+
+
+def _normalize(bbv: tuple[int, ...]) -> tuple[float, ...]:
+    total = sum(bbv)
+    if not total:
+        return tuple(0.0 for _ in bbv)
+    return tuple(value / total for value in bbv)
+
+
+def plan_phases(
+    trace,
+    k: int,
+    *,
+    chunk_size: int | None = None,
+    seed: int = 0,
+) -> PhasePlan:
+    """Cluster a trace's chunks into (at most) ``k`` phases.
+
+    Fingerprints are L1-normalized before clustering so a short tail
+    chunk clusters by code mix, not by length.  Representatives minimize
+    distance-to-centroid with lowest-chunk-index tie-breaking, keeping
+    the plan a pure function of (trace, k, seed).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, MAX_PHASES)
+    bbvs, counts, size = chunk_fingerprints(trace, chunk_size)
+    if not bbvs:
+        raise ValueError("cannot plan phases over an empty trace")
+    points = [_normalize(bbv) for bbv in bbvs]
+    assignments, centroids = kmeans(points, k, seed=seed)
+    k = len(centroids)
+    total = sum(counts)
+    representatives: list[int] = []
+    alternates: list[int | None] = []
+    weights: list[float] = []
+    for cluster in range(k):
+        members = [i for i, a in enumerate(assignments) if a == cluster]
+        # Ties in distance-to-centroid are the common case for a phase
+        # that recurs with an identical code mix, and the candidates are
+        # *not* interchangeable in time.  The estimator warms up on the
+        # records immediately preceding the representative, so a chunk
+        # whose predecessor belongs to the *same* phase gets same-code
+        # warm-up (predictors trained on the PCs being measured), while
+        # a segment-leading chunk warms up on foreign code and measures
+        # a cold start the phase only pays once per recurrence.  Rank
+        # equally-close candidates: same-phase predecessor first (chunk
+        # 0, with no context at all, last), then nearest the phase's
+        # median occurrence.
+        mid = sorted(members)[len(members) // 2]
+        ranked = sorted(
+            members,
+            key=lambda i: (
+                _sq_dist(points[i], centroids[cluster]),
+                i == 0 or assignments[i - 1] != cluster,
+                i == 0,
+                abs(i - mid),
+                i,
+            ),
+        )
+        representatives.append(ranked[0])
+        alternates.append(ranked[1] if len(ranked) > 1 else None)
+        weights.append(sum(counts[i] for i in members) / total)
+    return PhasePlan(
+        k=k,
+        chunk_size=size,
+        counts=tuple(counts),
+        assignments=tuple(assignments),
+        representatives=tuple(representatives),
+        alternates=tuple(alternates),
+        weights=tuple(weights),
+    )

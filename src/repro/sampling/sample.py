@@ -1,0 +1,288 @@
+"""Sampled timing simulation: one representative chunk per phase.
+
+The estimator is the cycle-delta method: for each phase, simulate
+``warmup + representative chunk`` and ``warmup`` alone, and attribute
+the cycle difference to the chunk.  The warm-up prefix (the records
+immediately preceding the representative in the real trace) charges
+cold caches, predictors and branch history to the prefix run instead of
+the measurement window, which is what keeps short windows honest.
+
+The headline number is
+
+    CPI_est = sum_p weight_p * CPI_p
+
+with ``weight_p`` the fraction of all records in phase ``p``.  The error
+bar is an empirical one: each phase's *alternate* representative (the
+second-closest chunk to the centroid) is simulated the same way, and the
+weighted |CPI_rep − CPI_alt| spread is reported as ``cpi_spread`` — a
+direct measurement of within-phase CPI variation, which is the quantity
+the estimate's accuracy actually rests on.  Everything here is an
+explicitly labeled *estimate*; exact mode stays the default.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.sampling.phases import PhasePlan, plan_phases
+from repro.trace.transform import renumber
+
+#: Env var: default phase count for ``repro bench --sample-phases``
+#: (unset, ``0`` or any falsy spelling = sampling off).
+PHASES_ENV_VAR = "REPRO_SAMPLE_PHASES"
+
+_OFF_VALUES = frozenset({"", "0", "off", "none", "disabled", "false", "no"})
+
+
+def sample_phases_from_env() -> int | None:
+    """The ``REPRO_SAMPLE_PHASES`` phase count, or ``None`` when off."""
+    raw = os.environ.get(PHASES_ENV_VAR)
+    if raw is None or raw.strip().lower() in _OFF_VALUES:
+        return None
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"{PHASES_ENV_VAR}={raw!r} is not an integer phase count"
+        ) from error
+    return value if value > 0 else None
+
+
+@dataclass(frozen=True)
+class PhaseEstimate:
+    """One phase's contribution to the sampled estimate."""
+
+    phase: int
+    representative: int  # chunk index simulated as the phase's proxy
+    weight: float  # fraction of all records in this phase
+    records: int  # records in the representative chunk
+    warmup: int  # warm-up records actually available and used
+    cpi: float
+    alternate_cpi: float | None = None  # second representative (error bar)
+
+
+@dataclass(frozen=True)
+class SampledResult:
+    """A phase-sampled CPI *estimate* (never an exact result).
+
+    ``cpi_spread`` is the weighted |CPI_rep − CPI_alt| across phases —
+    an empirical error bar; phases with a single chunk contribute zero.
+    ``simulated_records`` counts every record fed through the timing
+    engine (measurement windows, warm-ups and alternates), i.e. the
+    work actually done versus ``total_records`` for the exact run.
+    """
+
+    cpi: float
+    cycles_estimate: int
+    total_records: int
+    simulated_records: int
+    warmup: int
+    cpi_spread: float
+    plan: PhasePlan
+    phases: tuple[PhaseEstimate, ...]
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return (
+            f"estimate (sampled, {self.plan.k} phases, "
+            f"{self.simulated_records}/{self.total_records} records)"
+        )
+
+
+def _simulate(records, config, model, confidence, update_timing):
+    from repro.engine.sim import run_baseline, run_trace
+
+    if model is None:
+        return run_baseline(records, config)
+    return run_trace(
+        records,
+        config,
+        model,
+        confidence=confidence,
+        update_timing=update_timing,
+    )
+
+
+def _region(trace, start: int, stop: int):
+    return renumber(list(trace[start:stop]))
+
+
+def _chunk_cpi(
+    trace,
+    plan: PhasePlan,
+    chunk_index: int,
+    warmup: int,
+    config,
+    model,
+    confidence,
+    update_timing,
+) -> tuple[float, int, int]:
+    """``(cpi, warmup_used, records_simulated)`` for one chunk via the
+    cycle-delta method."""
+    start, stop = plan.chunk_bounds(chunk_index)
+    available = min(warmup, start)
+    full = _simulate(
+        _region(trace, start - available, stop),
+        config,
+        model,
+        confidence,
+        update_timing,
+    ).cycles
+    simulated = (stop - start) + available
+    if available:
+        warm = _simulate(
+            _region(trace, start - available, start),
+            config,
+            model,
+            confidence,
+            update_timing,
+        ).cycles
+        simulated += available
+    else:
+        warm = 0
+    delta = max(full - warm, 0)
+    return delta / (stop - start), available, simulated
+
+
+def run_sampled(
+    trace,
+    config,
+    model=None,
+    *,
+    phases: int = 3,
+    warmup: int | None = None,
+    chunk_size: int | None = None,
+    seed: int = 0,
+    confidence: str = "R",
+    update_timing: str = "D",
+    error_bars: bool = True,
+) -> SampledResult:
+    """Phase-sampled simulation of ``trace`` under ``config``/``model``.
+
+    ``warmup`` defaults to a quarter of the chunk size (clamped to the
+    records actually preceding each representative).  ``error_bars``
+    additionally simulates each phase's alternate representative; turn
+    it off to halve the sampled cost when only the point estimate is
+    needed.  The result is deterministic for fixed inputs and ``seed``.
+    """
+    plan = plan_phases(trace, phases, chunk_size=chunk_size, seed=seed)
+    if warmup is None:
+        warmup = plan.chunk_size // 4
+    estimates: list[PhaseEstimate] = []
+    simulated = 0
+    for phase in range(plan.k):
+        representative = plan.representatives[phase]
+        cpi, used, cost = _chunk_cpi(
+            trace,
+            plan,
+            representative,
+            warmup,
+            config,
+            model,
+            confidence,
+            update_timing,
+        )
+        simulated += cost
+        alternate_cpi = None
+        alternate = plan.alternates[phase]
+        if error_bars and alternate is not None:
+            alternate_cpi, _, cost = _chunk_cpi(
+                trace,
+                plan,
+                alternate,
+                warmup,
+                config,
+                model,
+                confidence,
+                update_timing,
+            )
+            simulated += cost
+        estimates.append(
+            PhaseEstimate(
+                phase=phase,
+                representative=representative,
+                weight=plan.weights[phase],
+                records=plan.counts[representative],
+                warmup=used,
+                cpi=cpi,
+                alternate_cpi=alternate_cpi,
+            )
+        )
+    cpi = sum(e.weight * e.cpi for e in estimates)
+    spread = sum(
+        e.weight * abs(e.cpi - e.alternate_cpi)
+        for e in estimates
+        if e.alternate_cpi is not None
+    )
+    total = plan.total_records
+    return SampledResult(
+        cpi=cpi,
+        cycles_estimate=round(cpi * total),
+        total_records=total,
+        simulated_records=simulated,
+        warmup=warmup,
+        cpi_spread=spread,
+        plan=plan,
+        phases=tuple(estimates),
+    )
+
+
+def compare_sampled_exact(
+    trace,
+    config,
+    model=None,
+    *,
+    phases: int = 3,
+    warmup: int | None = None,
+    chunk_size: int | None = None,
+    seed: int = 0,
+    confidence: str = "R",
+    update_timing: str = "D",
+    error_bars: bool = True,
+) -> dict:
+    """Run both modes and report error + speedup (the acceptance record).
+
+    Returns a plain dict (JSON-ready) with exact/sampled CPI, the
+    relative CPI error, wall-clock seconds for each mode, and the
+    wall-clock speedup.
+    """
+    start = time.perf_counter()
+    exact = _simulate(trace, config, model, confidence, update_timing)
+    exact_seconds = time.perf_counter() - start
+    exact_cpi = exact.cycles / len(trace)
+    start = time.perf_counter()
+    sampled = run_sampled(
+        trace,
+        config,
+        model,
+        phases=phases,
+        warmup=warmup,
+        chunk_size=chunk_size,
+        seed=seed,
+        confidence=confidence,
+        update_timing=update_timing,
+        error_bars=error_bars,
+    )
+    sampled_seconds = time.perf_counter() - start
+    error = (
+        abs(sampled.cpi - exact_cpi) / exact_cpi if exact_cpi else 0.0
+    )
+    return {
+        "records": len(trace),
+        "phases": sampled.plan.k,
+        "chunk_size": sampled.plan.chunk_size,
+        "warmup": sampled.warmup,
+        "simulated_records": sampled.simulated_records,
+        "exact_cpi": exact_cpi,
+        "sampled_cpi": sampled.cpi,
+        "cpi_error": error,
+        "cpi_spread": sampled.cpi_spread,
+        "exact_seconds": exact_seconds,
+        "sampled_seconds": sampled_seconds,
+        "speedup": exact_seconds / sampled_seconds
+        if sampled_seconds
+        else float("inf"),
+    }

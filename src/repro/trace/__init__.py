@@ -10,11 +10,23 @@ per-instruction facts captured here.
 """
 
 from repro.trace.record import TraceRecord
-from repro.trace.capture import capture_trace, trace_program
+from repro.trace.capture import (
+    capture_trace,
+    capture_trace_chunked,
+    iter_trace,
+    trace_program,
+)
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.writer import write_trace, dumps_trace
 from repro.trace.reader import read_trace, loads_trace
-from repro.trace.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.trace.synthetic import (
+    PhasedSyntheticConfig,
+    SyntheticTraceConfig,
+    generate_phased_synthetic_trace,
+    generate_synthetic_trace,
+    iter_phased_synthetic_trace,
+    iter_synthetic_trace,
+)
 from repro.trace.transform import (
     concatenate,
     loop_region,
@@ -23,16 +35,23 @@ from repro.trace.transform import (
     skip_warmup,
 )
 from repro.trace.binary import (
+    ChunkWriter,
+    chunked_entry_info,
     dumps_trace_binary,
     dumps_trace_binary_v3,
+    dumps_trace_chunked,
     loads_trace_binary,
     loads_trace_binary_v3,
+    loads_trace_chunked,
     read_trace_binary,
     read_trace_binary_v3,
+    read_trace_chunked,
+    sniff_format,
     write_trace_binary,
     write_trace_binary_v3,
+    write_trace_chunked,
 )
-from repro.trace.columnar import ColumnarTrace, as_columnar
+from repro.trace.columnar import ChunkedTrace, ColumnarTrace, as_columnar
 from repro.trace.cache import (
     cache_info,
     cached_trace,
@@ -43,6 +62,8 @@ from repro.trace.cache import (
 __all__ = [
     "TraceRecord",
     "capture_trace",
+    "capture_trace_chunked",
+    "iter_trace",
     "trace_program",
     "TraceStats",
     "compute_stats",
@@ -50,8 +71,12 @@ __all__ = [
     "dumps_trace",
     "read_trace",
     "loads_trace",
+    "PhasedSyntheticConfig",
     "SyntheticTraceConfig",
+    "generate_phased_synthetic_trace",
     "generate_synthetic_trace",
+    "iter_phased_synthetic_trace",
+    "iter_synthetic_trace",
     "renumber",
     "skip_warmup",
     "region_of_interest",
@@ -65,6 +90,14 @@ __all__ = [
     "loads_trace_binary_v3",
     "read_trace_binary_v3",
     "write_trace_binary_v3",
+    "ChunkWriter",
+    "chunked_entry_info",
+    "dumps_trace_chunked",
+    "loads_trace_chunked",
+    "read_trace_chunked",
+    "sniff_format",
+    "write_trace_chunked",
+    "ChunkedTrace",
     "ColumnarTrace",
     "as_columnar",
     "cache_info",

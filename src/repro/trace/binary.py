@@ -47,25 +47,68 @@ Layout (all integers little-endian)::
 The file size is an exact function of ``count``, which doubles as the
 truncation check: a partially-written or clipped entry can never match
 the expected size and is rejected before any column is touched.
+
+**v4 (chunked columnar, streaming).**  v3 materializes the whole trace
+at capture time and maps the whole body at load time, which caps runs at
+traces that fit in memory.  v4 splits the body into fixed-size windowed
+chunks (default 1M records, ``REPRO_TRACE_CHUNK``), each an independent
+v3-style column block with its own CRC32, written *incrementally* by
+:class:`ChunkWriter` as the functional simulator produces records — peak
+writer memory is O(chunk), regardless of trace length.  Readers get a
+:class:`~repro.trace.columnar.ChunkedTrace` that loads one chunk at a
+time (CRC-checked), so replaying a 10M-instruction trace holds at most
+two chunks of rows.  Each chunk's index entry also carries a
+basic-block-vector fingerprint (instruction counts bucketed by basic-
+block leader PC) computed during the write, the raw material for
+phase-sampled simulation (:mod:`repro.sampling`).
+
+Layout (all integers little-endian)::
+
+    magic        b"VSRT\\x04"
+    pad          3 bytes (zero)
+    total        u64    record count over all chunks
+    chunk_size   u64    nominal records per chunk (last may be shorter)
+    chunk_count  u64
+    index_offset u64    byte offset of the chunk index
+    bbv_dim      u32    fingerprint buckets per chunk
+    index_crc    u32    CRC32 of the index block
+    chunks, each 8-byte aligned:
+      columns in COLUMN_SPEC order, each 8-byte aligned from chunk start
+    index, one entry per chunk:
+      offset u64 | count u64 | crc u32 (chunk payload CRC32) | pad u32 |
+      bbv    bbv_dim x u32
+
+The file size must equal ``index_offset + chunk_count * entry_size`` —
+the truncation check — and the index itself is CRC-guarded, so a torn
+write is rejected at open and a corrupt chunk is rejected the first time
+it is loaded.
 """
 
 from __future__ import annotations
 
+import io
 import mmap as _mmap
+import os
 import struct
+import sys
+import zlib
+from array import array
 from pathlib import Path
 
 from repro.isa.opcodes import INSTRUCTION_BYTES, OPCODE_BY_CODE
 from repro.trace.columnar import (
     COLUMN_SPEC,
+    ChunkedTrace,
     ColumnarTrace,
     ColumnarTraceError,
     as_columnar,
+    pack_record_fields,
 )
 from repro.trace.record import TraceRecord
 
 MAGIC = b"VSRT\x02"
 MAGIC_V3 = b"VSRT\x03"
+MAGIC_V4 = b"VSRT\x04"
 
 #: v3 header: 5 magic bytes, 3 zero pad bytes, u64 record count.
 _V3_HEADER_SIZE = 16
@@ -332,3 +375,435 @@ def read_trace_binary_v3(path: str | Path, use_mmap: bool = True) -> ColumnarTra
         except BufferError:  # column views still referenced by the traceback
             pass
         raise
+
+
+# -- v4: chunked columnar, streaming ---------------------------------------
+
+#: Default records per chunk (overridable per writer; the cache layer
+#: reads ``REPRO_TRACE_CHUNK`` — see :mod:`repro.trace.cache`).
+DEFAULT_CHUNK_RECORDS = 1_000_000
+
+#: Basic-block-vector fingerprint buckets per chunk.
+BBV_DIM = 32
+
+#: v4 header: magic(5) pad(3) total u64 chunk_size u64 chunk_count u64
+#: index_offset u64 bbv_dim u32 index_crc u32.
+_V4_HEADER = struct.Struct("<5s3xQQQQII")
+_V4_HEADER_SIZE = _V4_HEADER.size  # 48
+
+_MASK64 = (1 << 64) - 1
+
+_PAYLOAD_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def _v4_entry_struct(bbv_dim: int) -> struct.Struct:
+    return struct.Struct(f"<QQI4x{bbv_dim}I")
+
+
+def chunk_layout(count: int) -> tuple[dict[str, int], int]:
+    """Column byte offsets (relative to the chunk start) and payload
+    size for a chunk of ``count`` records.  Chunk starts are themselves
+    8-byte aligned, so every column sits on a natural boundary."""
+    offsets: dict[str, int] = {}
+    pos = 0
+    for name, _typecode, itemsize in COLUMN_SPEC:
+        pos = (pos + 7) & ~7
+        offsets[name] = pos
+        pos += count * itemsize
+    return offsets, pos
+
+
+def _bbv_bucket(leader_pc: int, dim: int) -> int:
+    """Fingerprint bucket for the basic block led by ``leader_pc``."""
+    mixed = (leader_pc ^ (leader_pc >> 33)) * 0x9E3779B97F4A7C15 & _MASK64
+    return (mixed >> 32) % dim
+
+
+class ChunkWriter:
+    """Incremental VSRT v4 writer with O(chunk) memory.
+
+    Feed it records one at a time (:meth:`append`) or in bulk
+    (:meth:`extend`); every ``chunk_records`` records it flushes one
+    self-contained column block (with CRC and basic-block-vector
+    fingerprint) to the output and drops its buffers.  ``close`` (or
+    leaving the context manager) seals the file: tail chunk, index, and
+    the header patched in place.
+
+    ``out`` is a path or a seekable binary file object (``BytesIO``
+    works, which is how shared-memory staging serializes a chunked
+    trace).
+    """
+
+    def __init__(
+        self,
+        out,
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+        *,
+        bbv_dim: int = BBV_DIM,
+    ):
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        if bbv_dim < 1:
+            raise ValueError("bbv_dim must be >= 1")
+        self._chunk_records = chunk_records
+        self._bbv_dim = bbv_dim
+        if hasattr(out, "write"):
+            self._file = out
+            self._owns_file = False
+        else:
+            self._file = open(out, "wb")
+            self._owns_file = True
+        self._file.write(b"\x00" * _V4_HEADER_SIZE)
+        self._pos = _V4_HEADER_SIZE
+        self._index: list[tuple[int, int, int, tuple[int, ...]]] = []
+        self.total = 0
+        self._closed = False
+        self._new_columns()
+        #: Basic-block tracking: the leader PC of the block the next
+        #: record belongs to (``None`` = next record starts a block).
+        self._leader: int | None = None
+        self._bbv = [0] * bbv_dim
+
+    def _new_columns(self) -> None:
+        self._cols = {name: array(tc) for name, tc, _s in COLUMN_SPEC}
+        self._buffered = 0
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._index) + (1 if self._buffered else 0)
+
+    @property
+    def buffered(self) -> int:
+        """Records currently held in memory (never exceeds the chunk
+        size — the writer's O(chunk) memory bound)."""
+        return self._buffered
+
+    def append(self, rec: TraceRecord) -> None:
+        """Buffer one record, flushing a chunk when the window fills."""
+        packed, flag = pack_record_fields(rec)
+        cols = self._cols
+        cols["pc"].append(rec.pc & _MASK64)
+        cols["next_pc"].append(rec.next_pc & _MASK64)
+        cols["dest_value"].append((rec.dest_value or 0) & _MASK64)
+        cols["mem_addr"].append((rec.mem_addr or 0) & _MASK64)
+        cols["srcs"].append(packed)
+        cols["dest_fold"].append(rec.dest_fold)
+        cols["opcode"].append(rec.opcode.code)
+        cols["flags"].append(flag)
+        cols["mem_size"].append(rec.mem_size or 0)
+        cols["dest_reg"].append(0xFF if rec.dest_reg is None else rec.dest_reg)
+        if self._leader is None:
+            self._leader = rec.pc
+        self._bbv[_bbv_bucket(self._leader, self._bbv_dim)] += 1
+        if rec.is_control:
+            self._leader = None
+        self._buffered += 1
+        self.total += 1
+        if self._buffered >= self._chunk_records:
+            self._flush_chunk()
+
+    def extend(self, records) -> None:
+        append = self.append
+        for rec in records:
+            append(rec)
+
+    def _flush_chunk(self) -> None:
+        count = self._buffered
+        if not count:
+            return
+        offsets, size = chunk_layout(count)
+        payload = bytearray(size)
+        for name, _typecode, itemsize in COLUMN_SPEC:
+            col = self._cols[name]
+            if not _PAYLOAD_LITTLE_ENDIAN:  # pragma: no cover - BE hosts
+                col = array(col.typecode, col)
+                col.byteswap()
+            start = offsets[name]
+            payload[start : start + count * itemsize] = col.tobytes()
+        # 8-align the chunk start so column views sit on natural
+        # boundaries in mmap/shared-memory consumers.
+        pad = (-self._pos) % 8
+        if pad:
+            self._file.write(b"\x00" * pad)
+            self._pos += pad
+        self._file.write(payload)
+        self._index.append(
+            (self._pos, count, zlib.crc32(payload), tuple(self._bbv))
+        )
+        self._pos += size
+        self._bbv = [0] * self._bbv_dim
+        # Fingerprints are per-chunk: a basic block straddling a chunk
+        # boundary counts under its first PC in the new chunk, exactly
+        # as an after-the-fact walk of that chunk alone would bucket it.
+        self._leader = None
+        self._new_columns()
+
+    def close(self) -> int:
+        """Seal the file (tail chunk + index + header); returns the
+        total record count."""
+        if self._closed:
+            return self.total
+        self._flush_chunk()
+        self._closed = True
+        pad = (-self._pos) % 8
+        if pad:
+            self._file.write(b"\x00" * pad)
+            self._pos += pad
+        index_offset = self._pos
+        entry = _v4_entry_struct(self._bbv_dim)
+        index = bytearray()
+        for offset, count, crc, bbv in self._index:
+            index += entry.pack(offset, count, crc, *bbv)
+        self._file.write(index)
+        header = _V4_HEADER.pack(
+            MAGIC_V4,
+            self.total,
+            self._chunk_records,
+            len(self._index),
+            index_offset,
+            self._bbv_dim,
+            zlib.crc32(bytes(index)),
+        )
+        self._file.seek(0)
+        self._file.write(header)
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+        else:
+            self._file.seek(0, io.SEEK_END)
+        return self.total
+
+    def __enter__(self) -> "ChunkWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        elif self._owns_file:
+            self._file.close()
+
+
+def _v4_parse_header(header: bytes):
+    magic, total, chunk_size, chunk_count, index_offset, bbv_dim, index_crc = (
+        _V4_HEADER.unpack(header)
+    )
+    if magic != MAGIC_V4:
+        raise BinaryTraceError("bad magic (not a v4 chunked trace)")
+    if chunk_size < 1 or bbv_dim < 1:
+        raise BinaryTraceError("corrupt v4 header (zero chunk size)")
+    return total, chunk_size, chunk_count, index_offset, bbv_dim, index_crc
+
+
+def _v4_parse_index(
+    index_bytes: bytes, chunk_count: int, bbv_dim: int, index_crc: int,
+    total: int, chunk_size: int, file_size: int, index_offset: int,
+):
+    entry = _v4_entry_struct(bbv_dim)
+    if len(index_bytes) != chunk_count * entry.size:
+        raise BinaryTraceError("truncated v4 index")
+    if file_size != index_offset + chunk_count * entry.size:
+        raise BinaryTraceError(
+            f"v4 size mismatch: expected "
+            f"{index_offset + chunk_count * entry.size} bytes, "
+            f"file has {file_size}"
+        )
+    if zlib.crc32(index_bytes) != index_crc:
+        raise BinaryTraceError("v4 index CRC mismatch")
+    offsets: list[int] = []
+    counts: list[int] = []
+    crcs: list[int] = []
+    bbvs: list[tuple[int, ...]] = []
+    for i in range(chunk_count):
+        fields = entry.unpack_from(index_bytes, i * entry.size)
+        offsets.append(fields[0])
+        counts.append(fields[1])
+        crcs.append(fields[2])
+        bbvs.append(fields[3:])
+    if sum(counts) != total:
+        raise BinaryTraceError("v4 chunk counts do not sum to the total")
+    for i, count in enumerate(counts):
+        expected = chunk_size if i + 1 < chunk_count else None
+        if count < 1 or (expected is not None and count != expected):
+            raise BinaryTraceError(f"v4 chunk {i} has invalid count {count}")
+        _coffsets, csize = chunk_layout(count)
+        if offsets[i] + csize > index_offset:
+            raise BinaryTraceError(f"v4 chunk {i} overruns the index")
+    return offsets, counts, crcs, bbvs
+
+
+class _ChunkSourceBase:
+    """Shared v4 chunk-source state (offsets/counts/CRCs/fingerprints)."""
+
+    def __init__(self, header: bytes, index_bytes: bytes, file_size: int):
+        (total, chunk_size, chunk_count, index_offset, bbv_dim, index_crc) = (
+            _v4_parse_header(header)
+        )
+        self.total = total
+        self.chunk_size = chunk_size
+        self.offsets, self.counts, self.crcs, self.bbvs = _v4_parse_index(
+            index_bytes, chunk_count, bbv_dim, index_crc,
+            total, chunk_size, file_size, index_offset,
+        )
+
+    def _wrap(self, payload, index: int, seq_base: int) -> ColumnarTrace:
+        count = self.counts[index]
+        offsets, _size = chunk_layout(count)
+        try:
+            return ColumnarTrace.from_buffer(
+                payload, count, offsets, seq_base=seq_base
+            )
+        except ColumnarTraceError as exc:
+            raise BinaryTraceError(str(exc)) from None
+
+
+class _FileChunkSource(_ChunkSourceBase):
+    """Chunks served by positional reads from a v4 file — loading a
+    chunk costs one bounded read (plus a CRC pass over it), never a
+    whole-file map, so resident memory tracks the LRU window, not the
+    trace.  Reads use ``os.pread`` so the file offset is never shared
+    state: forked pool workers inherit the parent's open file
+    description, and seek+read pairs from sibling processes would race
+    on its offset and return scrambled payloads."""
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._file = open(self._path, "rb")
+        try:
+            file_size = self._file.seek(0, io.SEEK_END)
+            if file_size < _V4_HEADER_SIZE:
+                raise BinaryTraceError("truncated v4 header")
+            header = self._pread(_V4_HEADER_SIZE, 0)
+            index_offset = _v4_parse_header(header)[3]
+            if index_offset > file_size:
+                raise BinaryTraceError("v4 index offset beyond end of file")
+            index_bytes = self._pread(file_size - index_offset, index_offset)
+            super().__init__(header, index_bytes, file_size)
+        except BaseException:
+            self._file.close()
+            raise
+
+    def _pread(self, size: int, offset: int) -> bytes:
+        return os.pread(self._file.fileno(), size, offset)
+
+    def load_chunk(self, index: int, seq_base: int) -> ColumnarTrace:
+        _coffsets, size = chunk_layout(self.counts[index])
+        payload = self._pread(size, self.offsets[index])
+        if len(payload) != size:
+            raise BinaryTraceError(f"v4 chunk {index} truncated")
+        if zlib.crc32(payload) != self.crcs[index]:
+            raise BinaryTraceError(f"v4 chunk {index} CRC mismatch")
+        return self._wrap(payload, index, seq_base)
+
+    def verify(self) -> None:
+        """CRC-check every chunk (streaming, bounded memory)."""
+        for index in range(len(self.counts)):
+            _coffsets, size = chunk_layout(self.counts[index])
+            payload = self._pread(size, self.offsets[index])
+            if len(payload) != size or zlib.crc32(payload) != self.crcs[index]:
+                raise BinaryTraceError(f"v4 chunk {index} CRC mismatch")
+
+    def __del__(self):  # pragma: no cover - GC timing
+        try:
+            self._file.close()
+        except Exception:
+            pass
+
+
+class _BufferChunkSource(_ChunkSourceBase):
+    """Chunks served zero-copy from one buffer (shared memory, bytes);
+    each chunk's CRC is checked once, on first load."""
+
+    def __init__(self, buffer):
+        self._view = memoryview(buffer)
+        file_size = len(self._view)
+        if file_size < _V4_HEADER_SIZE:
+            raise BinaryTraceError("truncated v4 header")
+        header = bytes(self._view[:_V4_HEADER_SIZE])
+        index_offset = _v4_parse_header(header)[3]
+        if index_offset > file_size:
+            raise BinaryTraceError("v4 index offset beyond end of file")
+        index_bytes = bytes(self._view[index_offset:])
+        super().__init__(header, index_bytes, file_size)
+        self._verified = [False] * len(self.counts)
+
+    def load_chunk(self, index: int, seq_base: int) -> ColumnarTrace:
+        _coffsets, size = chunk_layout(self.counts[index])
+        start = self.offsets[index]
+        payload = self._view[start : start + size]
+        if not self._verified[index]:
+            if zlib.crc32(payload) != self.crcs[index]:
+                raise BinaryTraceError(f"v4 chunk {index} CRC mismatch")
+            self._verified[index] = True
+        return self._wrap(payload, index, seq_base)
+
+
+def read_trace_chunked(
+    path: str | Path, *, verify: bool = False, keep_chunks: int = 2
+) -> ChunkedTrace:
+    """Open a v4 chunked trace from ``path``.
+
+    Opening validates the header and CRC-guarded index only — O(1) in
+    trace length.  ``verify=True`` additionally CRC-checks every chunk
+    in one streaming pass (bounded memory); the cache layer uses it so a
+    corrupt entry is detected at load time and regenerated, never
+    mid-simulation.
+    """
+    source = _FileChunkSource(path)
+    if verify:
+        source.verify()
+    return ChunkedTrace(source, keep_chunks=keep_chunks)
+
+
+def loads_trace_chunked(buffer, *, keep_chunks: int = 2) -> ChunkedTrace:
+    """Wrap v4 ``buffer`` (bytes, mmap, shared memory) without copying."""
+    return ChunkedTrace(_BufferChunkSource(buffer), keep_chunks=keep_chunks)
+
+
+def write_trace_chunked(
+    records,
+    path: str | Path,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+) -> int:
+    """Stream ``records`` (any iterable) to ``path`` in v4; returns the
+    record count.  Peak memory is O(chunk_records)."""
+    with ChunkWriter(path, chunk_records) as writer:
+        writer.extend(records)
+    return writer.total
+
+
+def dumps_trace_chunked(
+    trace, chunk_records: int = DEFAULT_CHUNK_RECORDS
+) -> bytes:
+    """Serialize a trace to v4 bytes (for shared-memory staging)."""
+    if isinstance(trace, ChunkedTrace):
+        chunk_records = trace.chunk_size
+    out = io.BytesIO()
+    with ChunkWriter(out, chunk_records) as writer:
+        writer.extend(iter(trace))
+    return out.getvalue()
+
+
+def sniff_format(path_or_buffer) -> str:
+    """``"v2"``, ``"v3"`` or ``"v4"`` from the leading magic bytes."""
+    if isinstance(path_or_buffer, (str, Path)):
+        with open(path_or_buffer, "rb") as handle:
+            head = handle.read(5)
+    else:
+        head = bytes(memoryview(path_or_buffer)[:5])
+    for magic, name in ((MAGIC_V4, "v4"), (MAGIC_V3, "v3"), (MAGIC, "v2")):
+        if head == magic:
+            return name
+    raise BinaryTraceError("unknown trace magic")
+
+
+def chunked_entry_info(path: str | Path) -> dict:
+    """Header/index summary of a v4 file without loading any chunk."""
+    source = _FileChunkSource(path)
+    sizes = [chunk_layout(count)[1] for count in source.counts]
+    return {
+        "records": source.total,
+        "chunk_size": source.chunk_size,
+        "chunks": len(source.counts),
+        "chunk_records": list(source.counts),
+        "chunk_bytes": sizes,
+    }

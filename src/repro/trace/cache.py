@@ -42,13 +42,24 @@ import os
 from pathlib import Path
 
 from repro.trace.binary import (
+    DEFAULT_CHUNK_RECORDS,
     BinaryTraceError,
+    ChunkWriter,
+    chunked_entry_info,
     dumps_trace_binary_v3,
     read_trace_binary_v3,
+    read_trace_chunked,
 )
-from repro.trace.columnar import ColumnarTrace, as_columnar
+from repro.trace.columnar import ChunkedTrace, ColumnarTrace, as_columnar
 
 ENV_VAR = "REPRO_TRACE_CACHE"
+
+#: Env var: records per chunk for streaming capture and VSRT v4 cache
+#: entries.  Unset = the format default (1M records); a positive integer
+#: overrides it; any falsy spelling ("0", "off", "none", ...) disables
+#: chunked storage entirely (every capture materializes in memory and
+#: stores v3, the pre-streaming behavior).
+CHUNK_ENV_VAR = "REPRO_TRACE_CHUNK"
 
 #: ``REPRO_TRACE_CACHE`` values that turn the cache off.  Any common
 #: falsy spelling disables the cache everywhere rather than being
@@ -59,8 +70,32 @@ _DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled", "false", "no"}
 #: of a new format never even open old-format files.
 _SUFFIX = ".vsrt3"
 
+#: Suffix for chunked (VSRT v4) entries — long traces only; short
+#: captures keep the mmap-friendly single-block v3 layout.
+_SUFFIX_V4 = ".vsrt4"
+
 #: Hex digits of the kernel-source SHA-256 kept in the key.
 _HASH_CHARS = 16
+
+
+def chunk_records() -> int | None:
+    """Records per chunk from ``REPRO_TRACE_CHUNK``; ``None`` when
+    chunked storage is disabled."""
+    raw = os.environ.get(CHUNK_ENV_VAR)
+    if raw is None:
+        return DEFAULT_CHUNK_RECORDS
+    if raw.strip().lower() in _DISABLED_VALUES:
+        return None
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"{CHUNK_ENV_VAR}={raw!r} is not an integer chunk size "
+            "(records per chunk, or 0/off to disable chunked storage)"
+        ) from error
+    if value < 1:
+        return None
+    return value
 
 
 def cache_dir() -> Path | None:
@@ -105,26 +140,51 @@ def trace_path(
     return directory / (trace_key(benchmark, source, max_instructions) + _SUFFIX)
 
 
+def trace_path_chunked(
+    benchmark: str, source: str, max_instructions: int | None
+) -> Path | None:
+    """Where a *chunked* (v4) entry for this key lives."""
+    directory = cache_dir()
+    if directory is None:
+        return None
+    return directory / (
+        trace_key(benchmark, source, max_instructions) + _SUFFIX_V4
+    )
+
+
 def load_trace(
     benchmark: str, source: str, max_instructions: int | None
-) -> ColumnarTrace | None:
+) -> ColumnarTrace | ChunkedTrace | None:
     """Return the cached trace for this key, or ``None`` on a miss.
 
-    Hits are mmap-backed :class:`ColumnarTrace` objects — the mapping
-    stays open for the trace's lifetime.  A corrupt or truncated entry
-    (killed writer on a non-atomic filesystem, format drift) is treated
-    as a miss and deleted so the next store replaces it.
+    v3 hits are mmap-backed :class:`ColumnarTrace` objects — the mapping
+    stays open for the trace's lifetime.  v4 hits are
+    :class:`ChunkedTrace` objects serving one chunk at a time; every
+    chunk CRC is verified in one streaming pass at load, so a corrupt
+    middle chunk is detected *here* (treated as a miss and deleted —
+    the next capture regenerates it), never mid-simulation.
     """
     path = trace_path(benchmark, source, max_instructions)
-    if path is None:
+    if path is not None and path.is_file():
+        try:
+            return read_trace_binary_v3(path)
+        except OSError:
+            return None
+        except BinaryTraceError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    chunked = trace_path_chunked(benchmark, source, max_instructions)
+    if chunked is None or not chunked.is_file():
         return None
     try:
-        return read_trace_binary_v3(path)
+        return read_trace_chunked(chunked, verify=True)
     except OSError:
         return None
     except BinaryTraceError:
         try:
-            path.unlink()
+            chunked.unlink()
         except OSError:
             pass
         return None
@@ -162,13 +222,21 @@ def store_trace(
 
 def cached_trace(
     benchmark: str, max_instructions: int | None = None
-) -> ColumnarTrace:
+) -> ColumnarTrace | ChunkedTrace:
     """The dynamic trace for ``benchmark``, from disk when possible.
 
     This is the high-level entry the harness and CLI use in place of
     ``kernel(name).trace(limit)``: a hit skips the functional simulator
     entirely; a miss captures the trace and populates the cache for the
     next caller.
+
+    Capture *streams*: with the cache writable and chunked storage on
+    (``REPRO_TRACE_CHUNK``, default 1M records per chunk), records flow
+    from the functional simulator straight into a chunk writer, so peak
+    memory is O(chunk) regardless of trace length.  Captures no longer
+    than one chunk are converted to the mmap-friendly v3 layout; longer
+    captures keep the chunked v4 layout and are served as
+    :class:`ChunkedTrace`.
     """
     from repro.programs.suite import kernel
 
@@ -176,32 +244,100 @@ def cached_trace(
     cached = load_trace(benchmark, spec.source, max_instructions)
     if cached is not None:
         return cached
+    chunk = chunk_records()
+    directory = cache_dir()
+    if chunk is not None and directory is not None:
+        streamed = _capture_streaming(
+            benchmark, spec, max_instructions, chunk, directory
+        )
+        if streamed is not None:
+            return streamed
     trace = as_columnar(spec.trace(max_instructions))
     store_trace(benchmark, spec.source, max_instructions, trace)
     return trace
+
+
+def _capture_streaming(
+    benchmark: str,
+    spec,
+    max_instructions: int | None,
+    chunk: int,
+    directory: Path,
+) -> ColumnarTrace | ChunkedTrace | None:
+    """Capture ``spec``'s trace with bounded memory, storing v4 (long
+    captures) or v3 (captures that fit one chunk).  Returns ``None`` on
+    any filesystem failure so the caller can fall back to the in-memory
+    path — caching is an optimisation, never a hard dependency.
+    """
+    path = trace_path_chunked(benchmark, spec.source, max_instructions)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        with ChunkWriter(tmp, chunk) as writer:
+            writer.extend(spec.iter_trace(max_instructions))
+        if writer.total <= chunk:
+            # Single-chunk capture: keep the zero-parse v3 layout.
+            trace = read_trace_chunked(tmp)
+            columnar = (
+                trace.chunk(0) if trace.chunk_count else as_columnar([])
+            )
+            # Return the heap-backed decoded chunk, not a re-loaded mmap
+            # of the entry just stored: a miss must hand back a trace
+            # that stays valid even if the cache file is later deleted
+            # or overwritten (warm hits get the zero-parse mmap path).
+            store_trace(benchmark, spec.source, max_instructions, columnar)
+            tmp.unlink()
+            return columnar
+        os.replace(tmp, path)
+        return read_trace_chunked(path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return None
 
 
 # -- maintenance (the `repro cache` subcommand) ---------------------------
 
 
 def cache_entries() -> list[Path]:
-    """Every entry file currently in the cache directory."""
+    """Every entry file (v3 and v4) currently in the cache directory."""
     directory = cache_dir()
     if directory is None or not directory.is_dir():
         return []
-    return sorted(directory.glob(f"*{_SUFFIX}"))
+    return sorted(
+        list(directory.glob(f"*{_SUFFIX}"))
+        + list(directory.glob(f"*{_SUFFIX_V4}"))
+    )
 
 
 def cache_info() -> dict:
-    """Summary of the cache's location and contents."""
+    """Summary of the cache's location and contents.
+
+    v4 (chunked) entries additionally report their chunk geometry —
+    chunk count and per-chunk payload sizes — read from the entry index
+    alone, without loading any chunk data.
+    """
     directory = cache_dir()
     entries = cache_entries()
+    v3 = [path for path in entries if path.suffix == _SUFFIX]
+    v4 = [path for path in entries if path.suffix == _SUFFIX_V4]
+    chunked: dict[str, dict] = {}
+    for path in v4:
+        try:
+            chunked[path.name] = chunked_entry_info(path)
+        except (OSError, BinaryTraceError):
+            chunked[path.name] = {"error": "unreadable"}
     return {
         "enabled": directory is not None,
         "dir": str(directory) if directory is not None else None,
         "entries": len(entries),
         "bytes": sum(path.stat().st_size for path in entries),
         "files": [path.name for path in entries],
+        "v3_entries": len(v3),
+        "v4_entries": len(v4),
+        "chunked": chunked,
     }
 
 

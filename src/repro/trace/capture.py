@@ -49,6 +49,31 @@ def iter_trace(
         seq += 1
 
 
+def capture_trace_chunked(
+    machine: Machine,
+    path,
+    max_instructions: int | None = None,
+    chunk_records: int | None = None,
+):
+    """Run ``machine`` and stream its trace to ``path`` as a VSRT v4
+    chunked file; returns the reopened :class:`ChunkedTrace`.
+
+    This is the bounded-memory capture path: records go straight from
+    the functional simulator into the chunk writer, so peak memory is
+    O(chunk) no matter how long the run is (the in-memory
+    :func:`capture_trace` accumulates the whole record list).
+    """
+    from repro.trace.binary import (
+        DEFAULT_CHUNK_RECORDS,
+        ChunkWriter,
+        read_trace_chunked,
+    )
+
+    with ChunkWriter(path, chunk_records or DEFAULT_CHUNK_RECORDS) as writer:
+        writer.extend(iter_trace(machine, max_instructions))
+    return read_trace_chunked(path)
+
+
 def trace_program(
     source: str,
     max_instructions: int | None = None,

@@ -156,6 +156,36 @@ COLUMN_SPEC: tuple[tuple[str, str, int], ...] = (
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
 
+def pack_record_fields(rec: TraceRecord) -> tuple[int, int]:
+    """``(packed_srcs, flags)`` for one record — the column encoding
+    shared by :meth:`ColumnarTrace.from_records` and the streaming v4
+    chunk writer (:class:`repro.trace.binary.ChunkWriter`)."""
+    regs = rec.src_regs
+    nsrcs = len(regs)
+    if nsrcs > MAX_SRC_REGS:
+        raise ColumnarTraceError(
+            f"record has {nsrcs} source registers; the packed "
+            f"srcs column holds at most {MAX_SRC_REGS}"
+        )
+    packed = nsrcs
+    for pos, reg in enumerate(regs):
+        if not 0 <= reg <= 0xFF:
+            raise ColumnarTraceError(
+                f"source register {reg} does not fit the srcs column"
+            )
+        packed |= reg << (8 * (pos + 1))
+    flag = 0
+    if rec.dest_reg is not None:
+        flag |= FLAG_HAS_DEST
+    if rec.mem_addr is not None:
+        flag |= FLAG_HAS_MEM
+    if rec.branch_taken is not None:
+        flag |= FLAG_HAS_BRANCH
+        if rec.branch_taken:
+            flag |= FLAG_BRANCH_TAKEN
+    return packed, flag
+
+
 class ColumnarTrace:
     """A dynamic instruction trace stored as parallel columns.
 
@@ -184,9 +214,13 @@ class ColumnarTrace:
         #: Backing buffer keep-alive (mmap / SharedMemory buffer / bytes);
         #: None when columns are own-memory ``array.array`` objects.
         "_buffer",
+        #: Global sequence number of row 0 — non-zero when this trace is
+        #: one chunk of a :class:`ChunkedTrace`, so materialized rows
+        #: carry their position in the *whole* stream.
+        "_seq_base",
     )
 
-    def __init__(self, columns: dict, count: int, buffer=None):
+    def __init__(self, columns: dict, count: int, buffer=None, seq_base: int = 0):
         for name, _tc, _size in COLUMN_SPEC:
             setattr(self, name, columns[name])
         self.kind = bytes(columns["opcode"]).translate(_KIND_TABLE)
@@ -194,6 +228,7 @@ class ColumnarTrace:
         self._rows: list[TraceRecord | None] = [None] * count
         self._materialized = 0
         self._buffer = buffer
+        self._seq_base = seq_base
 
     # -- construction ------------------------------------------------------
 
@@ -211,29 +246,7 @@ class ColumnarTrace:
         mem_size = array("B")
         dest_reg = array("B")
         for rec in records:
-            regs = rec.src_regs
-            nsrcs = len(regs)
-            if nsrcs > MAX_SRC_REGS:
-                raise ColumnarTraceError(
-                    f"record has {nsrcs} source registers; the packed "
-                    f"srcs column holds at most {MAX_SRC_REGS}"
-                )
-            packed = nsrcs
-            for pos, reg in enumerate(regs):
-                if not 0 <= reg <= 0xFF:
-                    raise ColumnarTraceError(
-                        f"source register {reg} does not fit the srcs column"
-                    )
-                packed |= reg << (8 * (pos + 1))
-            flag = 0
-            if rec.dest_reg is not None:
-                flag |= FLAG_HAS_DEST
-            if rec.mem_addr is not None:
-                flag |= FLAG_HAS_MEM
-            if rec.branch_taken is not None:
-                flag |= FLAG_HAS_BRANCH
-                if rec.branch_taken:
-                    flag |= FLAG_BRANCH_TAKEN
+            packed, flag = pack_record_fields(rec)
             pc.append(rec.pc & _MASK64)
             next_pc.append(rec.next_pc & _MASK64)
             dest_value.append((rec.dest_value or 0) & _MASK64)
@@ -260,7 +273,7 @@ class ColumnarTrace:
 
     @classmethod
     def from_buffer(
-        cls, buffer, count: int, offsets: dict[str, int]
+        cls, buffer, count: int, offsets: dict[str, int], seq_base: int = 0
     ) -> "ColumnarTrace":
         """Wrap columns living inside ``buffer`` (mmap, shared memory,
         bytes) without copying.
@@ -283,7 +296,7 @@ class ColumnarTrace:
                 col.byteswap()
                 columns[name] = col
         keep = buffer if _LITTLE_ENDIAN else None
-        trace = cls(columns, count, buffer=keep)
+        trace = cls(columns, count, buffer=keep, seq_base=seq_base)
         opcode_codes = set(bytes(columns["opcode"]))
         if not opcode_codes <= _VALID_CODES:
             bad = min(opcode_codes - _VALID_CODES)
@@ -299,7 +312,7 @@ class ColumnarTrace:
                 f"unknown opcode byte {self.opcode[index]:#x} at row {index}"
             )
         rec = TraceRecord.__new__(TraceRecord)
-        rec.seq = index
+        rec.seq = self._seq_base + index
         rec.pc = self.pc[index]
         (
             rec.opcode,
@@ -438,8 +451,155 @@ class ColumnarTrace:
         return bytes(column)
 
 
+class ChunkedTrace:
+    """A long dynamic trace served one fixed-size chunk at a time.
+
+    Duck-types the ``list[TraceRecord]`` interface the engine consumes —
+    ``len``, integer/slice indexing, iteration, equality — while keeping
+    only a bounded number of chunks (default 2: the engine walks mostly
+    forward, but value-misspeculation recovery can step back across a
+    chunk boundary) materialized at any moment.  Peak memory is
+    O(chunk size), independent of trace length.
+
+    The chunk *source* is pluggable: anything with ``counts`` (records
+    per chunk), ``chunk_size`` (nominal records per chunk — every chunk
+    but the last holds exactly this many), ``load_chunk(i, seq_base)``
+    returning a :class:`ColumnarTrace`, and ``bbvs`` (per-chunk
+    basic-block-vector fingerprints, tuples of ints).  The on-disk and
+    shared-memory VSRT v4 sources live in :mod:`repro.trace.binary`.
+    """
+
+    __slots__ = ("_source", "_counts", "_starts", "_chunk_size", "_total",
+                 "_loaded", "_keep")
+
+    def __init__(self, source, keep_chunks: int = 2):
+        if keep_chunks < 1:
+            raise ValueError("keep_chunks must be >= 1")
+        self._source = source
+        self._counts = tuple(source.counts)
+        self._chunk_size = source.chunk_size
+        starts = []
+        pos = 0
+        for count in self._counts:
+            starts.append(pos)
+            pos += count
+        self._starts = tuple(starts)
+        self._total = pos
+        #: chunk index -> ColumnarTrace, insertion-ordered LRU.
+        self._loaded: dict[int, ColumnarTrace] = {}
+        self._keep = keep_chunks
+
+    # -- chunk access ------------------------------------------------------
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._counts)
+
+    @property
+    def chunk_size(self) -> int:
+        """Nominal records per chunk (the last chunk may be shorter)."""
+        return self._chunk_size
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Records per chunk."""
+        return self._counts
+
+    @property
+    def loaded_chunks(self) -> tuple[int, ...]:
+        """Indices of the chunks currently materialized (bounded)."""
+        return tuple(self._loaded)
+
+    def chunk_bounds(self, index: int) -> tuple[int, int]:
+        """``(start, end)`` global record positions of chunk ``index``."""
+        start = self._starts[index]
+        return start, start + self._counts[index]
+
+    def chunk(self, index: int) -> ColumnarTrace:
+        """Chunk ``index`` as a :class:`ColumnarTrace` (LRU-cached)."""
+        loaded = self._loaded
+        trace = loaded.get(index)
+        if trace is not None:
+            if next(reversed(loaded)) != index:  # move to LRU tail
+                del loaded[index]
+                loaded[index] = trace
+            return trace
+        if not 0 <= index < len(self._counts):
+            raise IndexError("chunk index out of range")
+        trace = self._source.load_chunk(index, self._starts[index])
+        while len(loaded) >= self._keep:
+            del loaded[next(iter(loaded))]
+        loaded[index] = trace
+        return trace
+
+    def bbvs(self) -> tuple[tuple[int, ...], ...]:
+        """Per-chunk basic-block-vector fingerprints (capture-time)."""
+        return tuple(self._source.bbvs)
+
+    def chunk_crcs(self) -> tuple[int, ...]:
+        """Per-chunk payload CRCs from the index (no chunk is loaded).
+
+        Two captures of the same workload are bit-identical exactly when
+        these sequences match — the cheap determinism check the 10M-
+        record regression uses.
+        """
+        return tuple(self._source.crcs)
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._total))]
+        if index < 0:
+            index += self._total
+        if not 0 <= index < self._total:
+            raise IndexError("trace row out of range")
+        chunk_index = index // self._chunk_size
+        return self.chunk(chunk_index).row(index - self._starts[chunk_index])
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for chunk_index in range(len(self._counts)):
+            yield from self.chunk(chunk_index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (ChunkedTrace, ColumnarTrace, list, tuple)):
+            if self._total != len(other):
+                return False
+            other_iter = iter(other)
+            return all(a == b for a, b in zip(self, other_iter))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkedTrace({self._total} records, "
+            f"{len(self._counts)} chunks of {self._chunk_size})"
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total column payload size in bytes (all chunks)."""
+        itemsize = sum(size for _n, _tc, size in COLUMN_SPEC)
+        return self._total * itemsize
+
+    def to_records(self) -> list[TraceRecord]:
+        """A plain ``list[TraceRecord]`` copy (materializes everything —
+        test/convenience API, not for long traces)."""
+        return list(self)
+
+
 def as_columnar(trace) -> ColumnarTrace:
-    """``trace`` as a :class:`ColumnarTrace` (identity when it already is)."""
+    """``trace`` as a :class:`ColumnarTrace` (identity when it already is).
+
+    A :class:`ChunkedTrace` is materialized in full — callers that need
+    bounded memory should consume chunks directly instead.
+    """
     if isinstance(trace, ColumnarTrace):
         return trace
+    if isinstance(trace, ChunkedTrace):
+        return ColumnarTrace.from_records(iter(trace))
     return ColumnarTrace.from_records(trace)

@@ -1,0 +1,207 @@
+"""Exact-mode streaming runs are bit-identical to the in-memory path.
+
+Every golden snapshot (13 main + 24 predictor-path variants) is replayed
+through a :class:`ChunkedTrace` with a deliberately small chunk size, so
+each workload crosses many chunk boundaries; the counters must match the
+committed snapshots bit for bit.  A second group proves the same through
+the harness backends — pool, cluster and service workers attaching the
+chunked cache entry — against the serial in-memory result.
+
+This is the "streaming changes nothing" guarantee: sampling is the only
+mode allowed to approximate, and it is opt-in and labeled.
+"""
+
+import json
+from dataclasses import fields
+from pathlib import Path
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.model import GREAT_MODEL
+from repro.engine.config import ProcessorConfig
+from repro.engine.sim import run_baseline, run_trace
+from repro.func import Machine
+from repro.programs.micro import micro_kernel
+from repro.programs.suite import benchmark_suite
+from repro.trace.binary import dumps_trace_chunked, loads_trace_chunked
+from repro.trace.capture import capture_trace
+from repro.vp.confidence import SaturatingConfidenceEstimator
+from repro.vp.hybrid import HybridPredictor
+from repro.vp.last_value import LastValuePredictor
+from repro.vp.stride import StridePredictor
+from repro.vp.tagged import TaggedContextPredictor
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+SNAPSHOTS = sorted(GOLDEN_DIR.glob("*.json"))
+VARIANT_SNAPSHOTS = sorted((GOLDEN_DIR / "variants").glob("*.json"))
+
+MICRO_TRACE_LIMIT = 3000
+SPEC_TRACE_LIMIT = 2000
+
+#: Small enough that every golden workload spans multiple chunks.
+CHUNK = 389
+
+_CONFIDENCE = {
+    "R": lambda: "R",
+    "SaturatingConfidenceEstimator": SaturatingConfidenceEstimator,
+}
+_PREDICTOR = {
+    "context": lambda: None,
+    "LastValuePredictor": LastValuePredictor,
+    "StridePredictor": StridePredictor,
+    "HybridPredictor": HybridPredictor,
+    "TaggedContextPredictor": TaggedContextPredictor,
+}
+
+#: Captured records per workload label, shared across all tests in this
+#: module (capture is the expensive part; every test re-chunks cheaply).
+_TRACES: dict[str, list] = {}
+
+
+def counters_dict(counters) -> dict:
+    return {
+        f.name: getattr(counters, f.name)
+        for f in fields(counters)
+        if f.name != "extra"
+    }
+
+
+def _records(label: str):
+    cached = _TRACES.get(label)
+    if cached is not None:
+        return cached
+    kind, name = label.split("_", 1)
+    if kind == "micro":
+        machine = Machine(assemble(micro_kernel(name)))
+        records = capture_trace(machine, MICRO_TRACE_LIMIT)
+    else:
+        for spec in benchmark_suite():
+            if spec.name == name:
+                records = spec.trace(SPEC_TRACE_LIMIT)
+                break
+        else:
+            raise KeyError(label)
+    _TRACES[label] = records
+    return records
+
+
+def _chunked(label: str):
+    trace = loads_trace_chunked(dumps_trace_chunked(_records(label), CHUNK))
+    assert trace.chunk_count > 1  # the test is vacuous on a single chunk
+    return trace
+
+
+@pytest.mark.parametrize("path", SNAPSHOTS, ids=[p.stem for p in SNAPSHOTS])
+def test_streaming_counters_match_golden(path):
+    assert SNAPSHOTS, "tests/golden/ is empty"
+    snapshot = json.loads(path.read_text())
+    trace = _chunked(snapshot["workload"])
+    assert len(trace) == snapshot["trace_length"]
+    config = ProcessorConfig(
+        issue_width=snapshot["config"]["issue_width"],
+        window_size=snapshot["config"]["window_size"],
+    )
+    base = run_baseline(trace, config)
+    assert counters_dict(base.counters) == snapshot["base"]
+    vp = run_trace(
+        trace, config, GREAT_MODEL, confidence="R", update_timing="D"
+    )
+    assert counters_dict(vp.counters) == snapshot["vp"]
+
+
+@pytest.mark.parametrize(
+    "path", VARIANT_SNAPSHOTS, ids=[p.stem for p in VARIANT_SNAPSHOTS]
+)
+def test_streaming_variant_counters_match_golden(path):
+    assert VARIANT_SNAPSHOTS, "tests/golden/variants/ is empty"
+    snapshot = json.loads(path.read_text())
+    trace = _chunked(snapshot["workload"])
+    assert len(trace) == snapshot["trace_length"]
+    config = ProcessorConfig(
+        issue_width=snapshot["config"]["issue_width"],
+        window_size=snapshot["config"]["window_size"],
+    )
+    result = run_trace(
+        trace,
+        config,
+        GREAT_MODEL,
+        confidence=_CONFIDENCE[snapshot["confidence"]](),
+        update_timing=snapshot["update_timing"],
+        predictor=_PREDICTOR[snapshot["predictor"]](),
+    )
+    assert counters_dict(result.counters) == snapshot["vp"]
+
+
+class TestBackendsStreaming:
+    """Every execution backend serves v4 cache entries bit-identically.
+
+    The chunk size is forced down so the cached traces are genuinely
+    chunked, then the same grid runs serially from memory and through
+    each backend; counters must agree exactly.
+    """
+
+    @pytest.fixture()
+    def fresh_memo(self, monkeypatch):
+        from repro.harness import parallel
+
+        monkeypatch.setattr(parallel, "_TRACE_CACHE", {})
+
+    def _grid(self):
+        from repro.harness.parallel import SimJob
+
+        config = ProcessorConfig()
+        return [
+            SimJob("compress", config, None, 1_500),
+            SimJob("compress", config, GREAT_MODEL, 1_500),
+            SimJob("m88ksim", config, GREAT_MODEL, 1_500),
+        ]
+
+    def _reference(self, monkeypatch, tmp_path):
+        """The grid run serially with chunking off: pure in-memory."""
+        from repro.harness import parallel
+        from repro.harness.parallel import run_jobs
+        from repro.trace import cache as trace_cache
+
+        monkeypatch.setenv(trace_cache.ENV_VAR, str(tmp_path / "ref"))
+        monkeypatch.setenv(trace_cache.CHUNK_ENV_VAR, "off")
+        monkeypatch.setattr(parallel, "_TRACE_CACHE", {})
+        reference = run_jobs(self._grid(), jobs=1)
+        # Switch to a chunked cache for the backend under test.
+        monkeypatch.setenv(trace_cache.ENV_VAR, str(tmp_path / "chunked"))
+        monkeypatch.setenv(trace_cache.CHUNK_ENV_VAR, "400")
+        monkeypatch.setattr(parallel, "_TRACE_CACHE", {})
+        return reference
+
+    @pytest.mark.parametrize("backend,jobs", [
+        ("local", 1),
+        ("local", 2),
+        ("cluster", 2),
+    ])
+    def test_backend_matches_in_memory(
+        self, monkeypatch, tmp_path, backend, jobs
+    ):
+        from repro.harness.parallel import run_jobs
+
+        reference = self._reference(monkeypatch, tmp_path)
+        results = run_jobs(self._grid(), jobs=jobs, backend=backend)
+        assert [counters_dict(r.counters) for r in results] == [
+            counters_dict(r.counters) for r in reference
+        ]
+        # The cache really is chunked (the premise of the test).
+        assert list((tmp_path / "chunked").glob("*.vsrt4"))
+
+    def test_service_backend_matches_in_memory(self, monkeypatch, tmp_path):
+        from repro.harness.parallel import run_jobs
+        from repro.service.client import ENV_ADDR
+        from repro.service.server import ServiceConfig, SimulationService
+
+        reference = self._reference(monkeypatch, tmp_path)
+        with SimulationService(ServiceConfig(store=None)) as service:
+            host, port = service.address
+            monkeypatch.setenv(ENV_ADDR, f"{host}:{port}")
+            results = run_jobs(self._grid(), backend="service")
+        assert [counters_dict(r.counters) for r in results] == [
+            counters_dict(r.counters) for r in reference
+        ]
+        assert list((tmp_path / "chunked").glob("*.vsrt4"))

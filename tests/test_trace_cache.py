@@ -22,12 +22,18 @@ def capture_counter(monkeypatch):
     """Count functional-simulator trace captures."""
     calls = {"count": 0}
     original = KernelSpec.trace
+    original_iter = KernelSpec.iter_trace
 
     def counting(self, max_instructions=None):
         calls["count"] += 1
         return original(self, max_instructions)
 
+    def counting_iter(self, max_instructions=None):
+        calls["count"] += 1
+        return original_iter(self, max_instructions)
+
     monkeypatch.setattr(KernelSpec, "trace", counting)
+    monkeypatch.setattr(KernelSpec, "iter_trace", counting_iter)
     return calls
 
 

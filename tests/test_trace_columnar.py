@@ -73,14 +73,23 @@ def cache_dir(tmp_path, monkeypatch):
 
 @pytest.fixture()
 def capture_counter(monkeypatch):
+    # Counts functional-simulation captures through either entry point:
+    # the in-memory KernelSpec.trace and the streaming KernelSpec.iter_trace
+    # (the default capture path since chunked storage landed).
     calls = {"count": 0}
-    original = KernelSpec.trace
+    original_trace = KernelSpec.trace
+    original_iter = KernelSpec.iter_trace
 
-    def counting(self, max_instructions=None):
+    def counting_trace(self, max_instructions=None):
         calls["count"] += 1
-        return original(self, max_instructions)
+        return original_trace(self, max_instructions)
 
-    monkeypatch.setattr(KernelSpec, "trace", counting)
+    def counting_iter(self, max_instructions=None):
+        calls["count"] += 1
+        return original_iter(self, max_instructions)
+
+    monkeypatch.setattr(KernelSpec, "trace", counting_trace)
+    monkeypatch.setattr(KernelSpec, "iter_trace", counting_iter)
     return calls
 
 

@@ -77,3 +77,47 @@ def test_synthetic_config_validation():
         SyntheticTraceConfig(predictable_fraction=1.5)
     with pytest.raises(ValueError):
         SyntheticTraceConfig(value_period=0)
+
+
+def test_stats_identical_across_representations():
+    """The single-pass columnar/chunked fast paths must be observationally
+    identical to the per-record reference loop — same dataclass, field
+    for field — on a workload exercising every instruction class."""
+    from dataclasses import asdict
+
+    from repro.trace import (
+        as_columnar,
+        dumps_trace_chunked,
+        loads_trace_chunked,
+    )
+
+    records = generate_synthetic_trace(
+        SyntheticTraceConfig(length=3_000, load_every=5, branch_every=7,
+                             branch_taken_bias=0.6, seed=9)
+    )
+    reference = asdict(compute_stats(records))
+    assert asdict(compute_stats(as_columnar(records))) == reference
+    chunked = loads_trace_chunked(dumps_trace_chunked(records, 400))
+    assert asdict(compute_stats(chunked)) == reference
+
+
+def test_stats_streaming_is_bounded(monkeypatch):
+    """compute_stats on a ChunkedTrace must not materialize the trace:
+    at most the LRU window of chunks may ever be resident."""
+    from repro.trace import dumps_trace_chunked, loads_trace_chunked
+    from repro.trace.columnar import ChunkedTrace
+
+    records = generate_synthetic_trace(SyntheticTraceConfig(length=2_000))
+    chunked = loads_trace_chunked(dumps_trace_chunked(records, 250))
+    seen = []
+    original = ChunkedTrace.chunk
+
+    def watching(self, index):
+        result = original(self, index)
+        seen.append(self.loaded_chunks)
+        return result
+
+    monkeypatch.setattr(ChunkedTrace, "chunk", watching)
+    compute_stats(chunked)
+    assert seen  # the fast path really went chunk by chunk
+    assert all(len(loaded) <= 2 for loaded in seen)
