@@ -267,6 +267,110 @@ def sampled_rows(new: dict, baseline: dict) -> list[tuple[str, str, str]]:
     return rows
 
 
+def _ablation_block(report: dict) -> dict | None:
+    """The record's ablation importance block, or ``None`` for records
+    that predate the ablation framework or carry a malformed block —
+    old-schema records must keep diffing cleanly.
+
+    Two shapes are accepted: a throughput record embedding the compact
+    block under ``"ablation"`` (``repro.ablation.report.report_record``),
+    and a standalone ablation report (``kind == "ablation"``) whose
+    ranked ``components`` list is reduced to the same compact shape.
+    """
+    block = report.get("ablation")
+    if isinstance(block, dict) and isinstance(block.get("importance"), dict):
+        importance = {
+            name: value
+            for name, value in block["importance"].items()
+            if isinstance(value, (int, float))
+        }
+        if importance:
+            return {
+                "importance": importance,
+                "baseline_speedup": block.get("baseline_speedup"),
+                "harmful": [
+                    str(name)
+                    for name in block.get("harmful", [])
+                    if isinstance(name, str)
+                ]
+                if isinstance(block.get("harmful"), list)
+                else [],
+            }
+        return None
+    if report.get("kind") != "ablation":
+        return None
+    components = report.get("components")
+    if not isinstance(components, list):
+        return None
+    importance = {}
+    harmful = []
+    for entry in components:
+        if not isinstance(entry, dict):
+            continue
+        names = entry.get("components")
+        value = entry.get("importance")
+        if not isinstance(names, list) or not isinstance(value, (int, float)):
+            continue
+        label = "+".join(str(name) for name in names)
+        importance[label] = value
+        if entry.get("harmful"):
+            harmful.append(label)
+    if not importance:
+        return None
+    baseline = report.get("baseline")
+    baseline_speedup = (
+        baseline.get("speedup") if isinstance(baseline, dict) else None
+    )
+    return {
+        "importance": importance,
+        "baseline_speedup": baseline_speedup,
+        "harmful": harmful,
+    }
+
+
+def ablation_rows(new: dict, baseline: dict) -> list[tuple[str, str, str]]:
+    """Rows of (component, fresh cell, committed cell) for the ablation
+    importance block, ranked by fresh importance.  Importance deltas are
+    host-independent (they are ratios of deterministic cycle counts), so
+    fresh-vs-committed drift here means the *model* changed, not the
+    machine.  Empty when the fresh record has no ablation block; a
+    committed record without one renders "-" cells.
+    """
+    fresh = _ablation_block(new)
+    if fresh is None:
+        return []
+    committed = _ablation_block(baseline) or {"importance": {}, "harmful": []}
+    rows: list[tuple[str, str, str]] = []
+    speedup = fresh.get("baseline_speedup")
+    if isinstance(speedup, (int, float)):
+        old_speedup = committed.get("baseline_speedup")
+        rows.append(
+            (
+                "baseline speedup",
+                f"{speedup:.4f}",
+                f"{old_speedup:.4f}"
+                if isinstance(old_speedup, (int, float))
+                else "-",
+            )
+        )
+    ranked = sorted(
+        fresh["importance"].items(), key=lambda item: item[1], reverse=True
+    )
+    for name, value in ranked:
+        flag = " [HARMFUL]" if name in fresh["harmful"] else ""
+        old_value = committed["importance"].get(name)
+        rows.append(
+            (
+                f"{name}{flag}",
+                f"{value:+.4f}",
+                f"{old_value:+.4f}"
+                if isinstance(old_value, (int, float))
+                else "-",
+            )
+        )
+    return rows
+
+
 def _service_cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
@@ -364,6 +468,16 @@ def render_text(rows, new: dict, baseline: dict) -> str:
             lines.append(
                 f"  {label:28s} {fresh:>10s}  (committed: {committed})"
             )
+    ablation = ablation_rows(new, baseline)
+    if ablation:
+        lines.append(
+            "ablation importance (speedup lost when the component is "
+            "lesioned; host-independent):"
+        )
+        for label, fresh, committed in ablation:
+            lines.append(
+                f"  {label:36s} {fresh:>10s}  (committed: {committed})"
+            )
     lines.append(
         "(ips are host-dependent; ratios across different machines are "
         "indicative only)"
@@ -444,6 +558,19 @@ def render_markdown(rows, new: dict, baseline: dict) -> str:
             "|---|---:|---:|",
         ]
         for label, fresh, committed in sampled:
+            lines.append(f"| {label} | {fresh} | {committed} |")
+    ablation = ablation_rows(new, baseline)
+    if ablation:
+        lines += [
+            "",
+            "**Ablation importance** (harmonic-mean speedup lost when "
+            "the component is lesioned — deterministic cycle ratios, "
+            "host-independent):",
+            "",
+            "| component | fresh | committed |",
+            "|---|---:|---:|",
+        ]
+        for label, fresh, committed in ablation:
             lines.append(f"| {label} | {fresh} | {committed} |")
     lines += [
         "",

@@ -7,6 +7,7 @@ run <id> [options]        run one experiment and print its table/figure
 describe <model>          print a speculative-execution model's two tables
 bench <name> [options]    simulate one benchmark kernel and print counters
 obs trace|histo|export    instrumented runs: timelines, latency histograms
+ablate [options]          leave-one-out ablation, ranked importance report
 cache info|clear|warm     manage the persistent on-disk trace cache
 cluster serve|work|submit|status   the fault-tolerant sweep service
 serve [options]           run the always-on HTTP simulation service
@@ -566,6 +567,57 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    """``repro ablate``: run a leave-one-out ablation and print the
+    ranked per-component importance report."""
+    from repro.ablation import (
+        AblationPoint,
+        AblationSpec,
+        build_report,
+        execute_plan,
+        plan_ablation,
+        render_csv,
+        render_text,
+        validate_report,
+        verify_engine_identity,
+        write_report,
+    )
+
+    model = named_models()[args.model]
+    point = AblationPoint(
+        config=paper_config(args.config),
+        model=model,
+        update_timing=args.update_timing,
+    )
+    spec = AblationSpec(
+        benchmarks=tuple(args.benchmarks),
+        point=point,
+        max_instructions=args.max_instructions,
+    )
+    plan = plan_ablation(spec, pairs=args.pairs, limit=args.limit)
+    executed = execute_plan(
+        plan,
+        jobs=args.jobs if args.jobs is not None else 1,
+        backend=args.backend,
+        batch=args.batch,
+    )
+    mismatches = verify_engine_identity(executed)
+    report = build_report(plan, executed, engine_mismatches=mismatches)
+    validate_report(report)
+    print(render_text(report))
+    if args.json:
+        path = write_report(report, args.json)
+        print(f"json report written to {path}")
+    if args.csv:
+        from pathlib import Path
+
+        path = Path(args.csv)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_csv(report) + "\n")
+        print(f"csv report written to {path}")
+    return 1 if mismatches else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -876,6 +928,66 @@ def build_parser() -> argparse.ArgumentParser:
     _obs_common(obs_export)
     obs_export.add_argument("--format", choices=("csv", "json"), default="json")
     obs_export.add_argument("--out", default=None, help="write to a file")
+
+    ablate_parser = sub.add_parser(
+        "ablate",
+        help="leave-one-out ablation over the registered model components",
+    )
+    ablate_parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=["micro:fib"],
+        metavar="NAME",
+        help="suite kernels and/or micro:<name> kernels "
+        "(default: micro:fib)",
+    )
+    ablate_parser.add_argument(
+        "--config",
+        default="8/48",
+        help="processor configuration label (default: 8/48)",
+    )
+    ablate_parser.add_argument(
+        "--model",
+        default="great",
+        help="baseline speculation model: super | great | good",
+    )
+    ablate_parser.add_argument(
+        "--update-timing",
+        choices=("I", "D"),
+        default="D",
+        help="baseline predictor update timing (default: D, realistic)",
+    )
+    ablate_parser.add_argument(
+        "--max-instructions", type=int, default=3000,
+        help="truncate each kernel trace (default: 3000)",
+    )
+    ablate_parser.add_argument(
+        "--pairs",
+        action="store_true",
+        help="also lesion every component pair (interaction probing)",
+    )
+    ablate_parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the number of lesioned runs (dropped runs are counted "
+        "in the report, never silently truncated)",
+    )
+    ablate_parser.add_argument("--jobs", type=int, default=None, metavar="N")
+    ablate_parser.add_argument(
+        "--backend", choices=("local", "cluster", "service"), default=None
+    )
+    ablate_parser.add_argument("--batch", type=int, default=None, metavar="N")
+    ablate_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the versioned JSON report",
+    )
+    ablate_parser.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="also write the ranked table as CSV",
+    )
+    ablate_parser.set_defaults(func=_cmd_ablate)
 
     bench_parser = sub.add_parser("bench", help="simulate one kernel")
     bench_parser.add_argument("name", choices=kernel_names())

@@ -648,6 +648,26 @@ def run_jobs(
         from repro.service.client import run_jobs_service
 
         return run_jobs_service(job_list)
+    from repro.cluster.serial import job_key
+
+    keys = [job_key(job) for job in job_list]
+    first: dict[str, int] = {}
+    for index, key in enumerate(keys):
+        first.setdefault(key, index)
+    if len(first) < len(keys):
+        # A grid repeating a point (ablation run sets share their
+        # baseline jobs) pays for each distinct key once, on every
+        # backend — store configured or not.  Distinct jobs execute in
+        # first-submission order and the shared result is scattered
+        # back to every occurrence, so results stay positionally
+        # aligned with the submitted list.
+        unique = run_jobs(
+            [job_list[index] for index in first.values()],
+            jobs, backend=backend,
+            max_attempts=max_attempts, batch=batch,
+        )
+        by_key = dict(zip(first, unique))
+        return [by_key[key] for key in keys]
     from repro.service import results as result_store
 
     directory = result_store.store_dir()
@@ -657,11 +677,7 @@ def run_jobs(
             max_attempts=max_attempts, batch=batch,
         )
     # Store consult: serve warm keys from disk, execute only the cold
-    # remainder (deduplicated by key — a grid repeating a point pays
-    # for it once), then persist what was computed.
-    from repro.cluster.serial import job_key
-
-    keys = [job_key(job) for job in job_list]
+    # remainder, then persist what was computed.
     results: list = [
         result_store.load_result(key, directory) for key in keys
     ]

@@ -89,9 +89,29 @@ def kernel_names() -> list[str]:
     return [spec.name for spec in _SUITE]
 
 
+#: Benchmark-name prefix selecting a synthetic micro-kernel
+#: (``micro:fib`` etc.) instead of a suite member.  Resolving these here
+#: lets every consumer of :func:`kernel` — the trace cache, the parallel
+#: harness's staging, the cluster workers, the service — run micro
+#: kernels with no special-casing of its own.
+MICRO_PREFIX = "micro:"
+
+
 @functools.lru_cache(maxsize=None)
 def kernel(name: str) -> KernelSpec:
-    """Look up a kernel by benchmark name."""
+    """Look up a kernel by benchmark name (suite member or ``micro:*``)."""
+    if name.startswith(MICRO_PREFIX):
+        from repro.programs.micro import micro_kernel
+
+        # Paper Table 1 has no row for synthetic kernels; the reference
+        # fields are zeroed and reporting layers skip them.
+        return KernelSpec(
+            name=name,
+            source=micro_kernel(name[len(MICRO_PREFIX):]),
+            input_label="synthetic",
+            paper_dynamic_mil=0,
+            paper_predicted_pct=0.0,
+        )
     for spec in _SUITE:
         if spec.name == name:
             return spec

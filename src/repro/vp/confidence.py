@@ -163,6 +163,22 @@ class HistoryConfidenceEstimator(ConfidenceEstimator):
         self._history[index] = pattern
 
 
+class AlwaysConfidentEstimator(ConfidenceEstimator):
+    """Confidence gating disabled: every prediction is used.
+
+    The ablation framework's lesion for the confidence component — the
+    machine acts on every prediction the value predictor produces, so
+    the report isolates what the confidence table itself buys.  Keeping
+    it module-level keeps it picklable for the pool/cluster backends.
+    """
+
+    def confident(self, pc: int, prediction_correct: bool) -> bool:
+        return True
+
+    def update(self, pc: int, correct: bool) -> None:
+        pass
+
+
 class ResettingConfidenceEstimator(ConfidenceEstimator):
     """The paper's realistic estimator: PC-indexed resetting counters."""
 

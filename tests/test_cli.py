@@ -100,3 +100,35 @@ def test_figure4_shorthand(capsys):
     )
     assert code == 0
     assert "CH %" in capsys.readouterr().out
+
+
+def test_ablate(capsys, tmp_path):
+    json_path = tmp_path / "report.json"
+    csv_path = tmp_path / "report.csv"
+    assert main([
+        "ablate", "--max-instructions", "600", "--limit", "2",
+        "--json", str(json_path), "--csv", str(csv_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ablation report v1" in out
+    assert "baseline speedup" in out
+    assert "importance" in out
+    assert "dropped by --limit" in out
+    assert json_path.exists() and csv_path.exists()
+
+    import json as json_module
+
+    report = json_module.loads(json_path.read_text())
+    assert report["kind"] == "ablation"
+    assert len(report["components"]) == 2
+    assert csv_path.read_text().startswith("rank,run_id,label")
+
+
+def test_ablate_pairs_grow_the_run_set(capsys):
+    assert main([
+        "ablate", "--max-instructions", "600", "--limit", "0", "--pairs",
+    ]) == 0
+    out = capsys.readouterr().out
+    # limit 0 drops every lesioned run but the counter proves the pairs
+    # were planned.
+    assert "dropped by --limit" in out

@@ -73,3 +73,11 @@ def test_latency_events():
     assert "latency events — great" in out
     assert "Verification - Free Issue Resource" in out
     assert "Invalidation - Reissue" in out
+
+
+def test_ablation_report():
+    out = _run("ablation_report.py")
+    assert "planned 10 runs" in out
+    assert "importance" in out
+    assert "engine-batching" in out and "engine" in out
+    assert "baseline speedup" in out

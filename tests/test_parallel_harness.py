@@ -205,6 +205,56 @@ class TestStagingCleanup:
                 real_shared_memory(name=name)
 
 
+class TestDuplicateJobDedup:
+    """A grid repeating a point (ablation run sets share their baseline
+    jobs) must execute each distinct key once — on every backend, store
+    configured or not — with results scattered back in submission order.
+    """
+
+    def test_duplicates_execute_once_and_preserve_submission_order(
+        self, monkeypatch
+    ):
+        import repro.harness.parallel as parallel
+
+        base = SimJob("compress", _CONFIG, None, _LIMIT)
+        vp = SimJob("compress", _CONFIG, GREAT_MODEL, _LIMIT)
+        other = SimJob("perl", _CONFIG, None, _LIMIT)
+        # The same base job appears three times, interleaved — the
+        # shape an ablation run set flattens to.
+        grid = [base, vp, base, other, base]
+
+        executed: list[SimJob] = []
+        real_execute = parallel._execute
+
+        def counting_execute(job):
+            executed.append(job)
+            return real_execute(job)
+
+        monkeypatch.setattr(parallel, "_execute", counting_execute)
+        results = run_jobs(grid)
+
+        assert [job.benchmark for job in executed] == [
+            "compress", "compress", "perl"
+        ]
+        assert len(executed) == 3  # distinct keys, not submissions
+        # Submission order preserved: every occurrence of a duplicated
+        # job gets the shared result at its own position.
+        assert len(results) == len(grid)
+        assert results[0] == results[2] == results[4]
+        assert results[1].model_name == "great"
+        assert results[3].counters == real_execute(other).counters
+
+    def test_deduped_results_match_undeduped_inline_run(self):
+        vp = SimJob("perl", _CONFIG, GREAT_MODEL, _LIMIT)
+        base = SimJob("perl", _CONFIG, None, _LIMIT)
+        duplicated = run_jobs([vp, base, vp, vp])
+        plain = run_jobs([vp, base])
+        assert duplicated[0].counters == plain[0].counters
+        assert duplicated[1].counters == plain[1].counters
+        assert duplicated[2].counters == duplicated[0].counters
+        assert duplicated[3].counters == duplicated[0].counters
+
+
 class TestSweepEquality:
     def test_sweep_identical_across_worker_counts(self):
         from repro.harness.sweeps import invalidation_scheme_sweep

@@ -236,3 +236,91 @@ def test_sampled_rows_absent_malformed_and_paired(perf_diff):
     assert ("w CPI error", "1.00%", "2.00%") in rows
     assert ("w speedup", "12.0x", "-") in rows
     assert all(not label.startswith("broken") for label, *_ in rows)
+
+
+def _ablation_block(**overrides) -> dict:
+    block = {
+        "fingerprint": "f" * 24,
+        "baseline_speedup": 1.21,
+        "importance": {
+            "confidence-gating": 0.18,
+            "verification-network": 0.05,
+            "delayed-update": -0.01,
+        },
+        "harmful": ["delayed-update"],
+    }
+    block.update(overrides)
+    return block
+
+
+def test_ablation_block_rendered_and_old_schema_tolerated(
+    perf_diff, tmp_path, capsys
+):
+    new = tmp_path / "new.json"
+    old = tmp_path / "old.json"
+    new.write_text(json.dumps(_record(ablation=_ablation_block())))
+    old.write_text(json.dumps(_record()))  # no ablation block
+    assert perf_diff.main([str(new), "--baseline", str(old)]) == 0
+    out = capsys.readouterr().out
+    assert "ablation importance" in out
+    assert "confidence-gating" in out and "+0.1800" in out
+    assert "delayed-update [HARMFUL]" in out and "-0.0100" in out
+    assert "baseline speedup" in out and "1.2100" in out
+    assert perf_diff.main([str(new), "--baseline", str(old),
+                           "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert "**Ablation importance**" in out
+    # Ranked by fresh importance, committed cells degrade to "-".
+    lines = [l for l in out.splitlines() if l.startswith("| confidence")]
+    assert lines and lines[0].endswith("| - |")
+
+
+def test_ablation_rows_ranked_and_paired(perf_diff):
+    rows = perf_diff.ablation_rows(
+        _record(ablation=_ablation_block()),
+        _record(ablation=_ablation_block(
+            importance={"confidence-gating": 0.20}, harmful=[],
+            baseline_speedup=1.19,
+        )),
+    )
+    labels = [label for label, *_ in rows]
+    assert labels == [
+        "baseline speedup",
+        "confidence-gating",
+        "verification-network",
+        "delayed-update [HARMFUL]",
+    ]
+    assert ("confidence-gating", "+0.1800", "+0.2000") in rows
+    assert ("verification-network", "+0.0500", "-") in rows
+    assert ("baseline speedup", "1.2100", "1.1900") in rows
+
+
+def test_ablation_rows_absent_or_malformed(perf_diff):
+    assert perf_diff.ablation_rows(_record(), _record()) == []
+    assert perf_diff.ablation_rows(
+        _record(ablation="broken"), _record()
+    ) == []
+    assert perf_diff.ablation_rows(
+        _record(ablation={"importance": "not-a-dict"}), _record()
+    ) == []
+    # Non-numeric importances are dropped; all-dropped means no block.
+    assert perf_diff.ablation_rows(
+        _record(ablation={"importance": {"x": "fast"}}), _record()
+    ) == []
+
+
+def test_ablation_rows_accept_standalone_report(perf_diff):
+    report = {
+        "v": 1,
+        "kind": "ablation",
+        "baseline": {"speedup": 1.1},
+        "components": [
+            {"components": ["a"], "importance": 0.2, "harmful": False},
+            {"components": ["b", "c"], "importance": -0.1, "harmful": True},
+            "not-a-dict",
+        ],
+    }
+    rows = perf_diff.ablation_rows(report, {})
+    assert ("baseline speedup", "1.1000", "-") in rows
+    assert ("a", "+0.2000", "-") in rows
+    assert ("b+c [HARMFUL]", "-0.1000", "-") in rows
